@@ -1,0 +1,136 @@
+// Fig 10: average latency of offloaded hash-table gets vs value size,
+// against Ideal (single READ), one-sided (FaRM-KV), and two-sided RPC
+// (polling and event-based).
+#include <cstdio>
+#include <memory>
+
+#include "baseline/one_sided.h"
+#include "baseline/two_sided.h"
+#include "offloads/hash_harness.h"
+#include "report.h"
+#include "sim/simulator.h"
+
+using namespace redn;
+
+namespace {
+
+constexpr std::uint32_t kSizes[] = {64, 1024, 4096, 16384, 65536};
+constexpr int kOps = 300;
+
+double RednUs(std::uint32_t len) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  offloads::HashGetHarness h(cdev, sdev,
+                             {.buckets = 1, .max_requests = kOps + 8});
+  h.PutPattern(42, len);
+  h.Arm(kOps + 4);
+  sim::LatencyRecorder rec;
+  for (int i = 0; i < kOps; ++i) {
+    auto r = h.Get(42, sim::Millis(2));
+    if (r.found) rec.Add(r.latency);
+  }
+  return rec.MeanUs();
+}
+
+double IdealUs(std::uint32_t len) {
+  // A single network round-trip READ of the value.
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  rnic::QpConfig c;
+  c.send_cq = cdev.CreateCq();
+  c.recv_cq = cdev.CreateCq();
+  rnic::QueuePair* cqp = cdev.CreateQp(c);
+  rnic::QpConfig s;
+  s.send_cq = sdev.CreateCq();
+  s.recv_cq = sdev.CreateCq();
+  rnic::QueuePair* sqp = sdev.CreateQp(s);
+  rnic::Connect(cqp, sqp, rnic::Calibration{}.net_one_way);
+  auto cbuf = std::make_unique<std::byte[]>(len);
+  auto cmr = cdev.pd().Register(cbuf.get(), len, rnic::kAccessAll);
+  auto sbuf = std::make_unique<std::byte[]>(len);
+  auto smr = sdev.pd().Register(sbuf.get(), len, rnic::kAccessAll);
+  sim::LatencyRecorder rec;
+  verbs::Cqe cqe;
+  for (int i = 0; i < kOps; ++i) {
+    const sim::Nanos t0 = sim.now();
+    verbs::PostSendNow(cqp, verbs::MakeRead(cmr.addr, len, cmr.lkey, smr.addr,
+                                            smr.rkey));
+    verbs::AwaitCqe(sim, cdev, cqp->send_cq, &cqe);
+    rec.Add(sim.now() - t0);
+  }
+  return rec.MeanUs();
+}
+
+double OneSidedUs(std::uint32_t len) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  kv::RdmaHashTable table(sdev, {.buckets = 1 << 14});
+  kv::ValueHeap heap(sdev, 256 << 20);
+  std::vector<std::byte> v(len, std::byte{0x42});
+  table.Insert(42, heap.Store(v.data(), len), len);
+  baseline::OneSidedKvClient client(cdev, sdev, table, heap);
+  sim::LatencyRecorder rec;
+  for (int i = 0; i < kOps; ++i) {
+    auto r = client.Get(42);
+    if (r.found) rec.Add(r.latency);
+  }
+  return rec.MeanUs();
+}
+
+double TwoSidedUs(std::uint32_t len, baseline::TwoSidedKvServer::Mode mode) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  kv::RdmaHashTable table(sdev, {.buckets = 1 << 14});
+  kv::ValueHeap heap(sdev, 256 << 20);
+  std::vector<std::byte> v(len, std::byte{0x42});
+  table.Insert(42, heap.Store(v.data(), len), len);
+  baseline::TwoSidedKvServer server(sdev, table, heap, mode);
+  baseline::TwoSidedKvClient client(cdev, server);
+  sim::LatencyRecorder rec;
+  for (int i = 0; i < kOps; ++i) {
+    auto r = client.Get(42);
+    if (r.ok) rec.Add(r.latency);
+  }
+  return rec.MeanUs();
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Hash-lookup get latency vs value size", "Fig 10");
+  std::printf("  %8s %10s %10s %11s %14s %13s\n", "size", "Ideal", "RedN",
+              "One-sided", "2-sided poll", "2-sided evt");
+  double redn64 = 0, redn64k = 0, ideal64k = 0, os64 = 0, poll64k = 0,
+         evt64 = 0;
+  for (std::uint32_t len : kSizes) {
+    const double ideal = IdealUs(len);
+    const double redn = RednUs(len);
+    const double os = OneSidedUs(len);
+    const double poll = TwoSidedUs(len, baseline::TwoSidedKvServer::Mode::kPolling);
+    const double evt = TwoSidedUs(len, baseline::TwoSidedKvServer::Mode::kEvent);
+    std::printf("  %7uB %8.2fus %8.2fus %9.2fus %12.2fus %11.2fus\n", len,
+                ideal, redn, os, poll, evt);
+    if (len == 64) {
+      redn64 = redn;
+      os64 = os;
+      evt64 = evt;
+    }
+    if (len == 65536) {
+      redn64k = redn;
+      ideal64k = ideal;
+      poll64k = poll;
+    }
+  }
+  bench::Section("paper headline comparisons");
+  bench::Compare("RedN 64KB get", redn64k, 16.22, "us");
+  bench::Compare("RedN 64KB vs Ideal (x)", redn64k / ideal64k, 1.05, "x");
+  bench::Compare("one-sided vs RedN @64B (x)", os64 / redn64, 2.0, "x");
+  bench::Compare("2-sided poll vs RedN @64KB (x)", poll64k / redn64k, 2.0,
+                 "x");
+  bench::Compare("2-sided event vs RedN @64B (x)", evt64 / redn64, 3.8, "x");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig 11: hash-get latency when the key always lives in the second bucket
+// (worst-case collision): RedN-Seq vs RedN-Parallel vs baselines.
+#include <cstdio>
+
+#include "baseline/one_sided.h"
+#include "baseline/two_sided.h"
+#include "offloads/hash_harness.h"
+#include "report.h"
+#include "sim/simulator.h"
+
+using namespace redn;
+
+namespace {
+
+constexpr std::uint32_t kSizes[] = {64, 1024, 4096, 16384, 65536};
+constexpr int kOps = 200;
+
+double RednUs(std::uint32_t len, bool parallel) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  offloads::HashGetHarness h(
+      cdev, sdev,
+      {.buckets = 2, .parallel = parallel, .max_requests = kOps + 8});
+  h.PutPattern(42, len, /*force_second=*/true);
+  h.Arm(kOps + 4);
+  sim::LatencyRecorder rec;
+  for (int i = 0; i < kOps; ++i) {
+    auto r = h.Get(42, sim::Millis(2));
+    if (r.found) rec.Add(r.latency);
+  }
+  return rec.MeanUs();
+}
+
+double OneSidedUs(std::uint32_t len) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  kv::RdmaHashTable table(sdev, {.buckets = 1 << 14});
+  kv::ValueHeap heap(sdev, 256 << 20);
+  std::vector<std::byte> v(len, std::byte{0x42});
+  table.Insert(42, heap.Store(v.data(), len), len, /*force_second=*/true);
+  baseline::OneSidedKvClient client(cdev, sdev, table, heap);
+  sim::LatencyRecorder rec;
+  for (int i = 0; i < kOps; ++i) {
+    auto r = client.Get(42);
+    if (r.found) rec.Add(r.latency);
+  }
+  return rec.MeanUs();
+}
+
+double TwoSidedUs(std::uint32_t len) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  kv::RdmaHashTable table(sdev, {.buckets = 1 << 14});
+  kv::ValueHeap heap(sdev, 256 << 20);
+  std::vector<std::byte> v(len, std::byte{0x42});
+  table.Insert(42, heap.Store(v.data(), len), len, /*force_second=*/true);
+  baseline::TwoSidedKvServer server(sdev, table, heap,
+                                    baseline::TwoSidedKvServer::Mode::kPolling);
+  baseline::TwoSidedKvClient client(cdev, server);
+  sim::LatencyRecorder rec;
+  for (int i = 0; i < kOps; ++i) {
+    auto r = client.Get(42);
+    if (r.ok) rec.Add(r.latency);
+  }
+  return rec.MeanUs();
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Hash-get latency under collisions (key in 2nd bucket)",
+               "Fig 11");
+  std::printf("  %8s %12s %14s %11s %13s\n", "size", "RedN-Seq",
+              "RedN-Parallel", "One-sided", "2-sided poll");
+  double seq64 = 0, par64 = 0;
+  for (std::uint32_t len : kSizes) {
+    const double seq = RednUs(len, false);
+    const double par = RednUs(len, true);
+    const double os = OneSidedUs(len);
+    const double ts = TwoSidedUs(len);
+    std::printf("  %7uB %10.2fus %12.2fus %9.2fus %11.2fus\n", len, seq, par,
+                os, ts);
+    if (len == 64) {
+      seq64 = seq;
+      par64 = par;
+    }
+  }
+  bench::Section("paper headline comparisons");
+  bench::Compare("RedN-Seq penalty vs Parallel @64B", seq64 - par64, 3.0,
+                 "us");
+  bench::Note("parallel probing hides the second bucket lookup almost "
+              "entirely (two WQs on two PUs), matching Fig 11");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fig 7: average latencies of individual RDMA verbs (64 B IO), remote vs
+// local, plus the doorbell (MMIO) floor.
+#include <memory>
+
+#include "report.h"
+#include "rnic/device.h"
+#include "sim/simulator.h"
+#include "verbs/verbs.h"
+
+using namespace redn;
+
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  rnic::RnicDevice client{sim, rnic::NicConfig::ConnectX5(), {}, "client"};
+  rnic::RnicDevice server{sim, rnic::NicConfig::ConnectX5(), {}, "server"};
+  rnic::QueuePair* cqp = nullptr;
+  rnic::QueuePair* sqp = nullptr;
+  std::unique_ptr<std::byte[]> cbuf, sbuf;
+  rnic::MemoryRegion cmr, smr;
+
+  Rig() {
+    rnic::QpConfig c;
+    c.send_cq = client.CreateCq();
+    c.recv_cq = client.CreateCq();
+    cqp = client.CreateQp(c);
+    rnic::QpConfig s;
+    s.send_cq = server.CreateCq();
+    s.recv_cq = server.CreateCq();
+    sqp = server.CreateQp(s);
+    rnic::Connect(cqp, sqp, rnic::Calibration{}.net_one_way);
+    cbuf = std::make_unique<std::byte[]>(4096);
+    sbuf = std::make_unique<std::byte[]>(4096);
+    cmr = client.pd().Register(cbuf.get(), 4096, rnic::kAccessAll);
+    smr = server.pd().Register(sbuf.get(), 4096, rnic::kAccessAll);
+  }
+
+  // Average latency of `n` executions of `wr` (measured like the paper:
+  // post, await completion, repeat).
+  double AvgUs(const verbs::SendWr& wr, int n = 1000) {
+    sim::LatencyRecorder rec;
+    verbs::Cqe cqe;
+    for (int i = 0; i < n; ++i) {
+      const sim::Nanos t0 = sim.now();
+      verbs::PostSendNow(cqp, wr);
+      if (!verbs::AwaitCqe(sim, client, cqp->send_cq, &cqe)) break;
+      rec.Add(sim.now() - t0);
+    }
+    return rec.MeanUs();
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::Title("RDMA verb latencies (64 B IO)", "Fig 7");
+  Rig rig;
+
+  const double write_us = rig.AvgUs(verbs::MakeWrite(
+      rig.cmr.addr, 64, rig.cmr.lkey, rig.smr.addr, rig.smr.rkey));
+  const double read_us = rig.AvgUs(verbs::MakeRead(
+      rig.cmr.addr, 64, rig.cmr.lkey, rig.smr.addr, rig.smr.rkey));
+  const double cas_us = rig.AvgUs(verbs::MakeCas(
+      rig.smr.addr, rig.smr.rkey, 0, 0, rig.cmr.addr, rig.cmr.lkey));
+  const double add_us = rig.AvgUs(verbs::MakeFetchAdd(
+      rig.smr.addr + 64, rig.smr.rkey, 1, rig.cmr.addr, rig.cmr.lkey));
+  const double max_us =
+      rig.AvgUs(verbs::MakeCalcMax(rig.smr.addr + 128, rig.smr.rkey, 1));
+  const double noop_remote_us = rig.AvgUs(verbs::MakeNoop());
+
+  // Local loopback NOOP for the network-cost estimate.
+  rnic::QpConfig lc;
+  lc.send_cq = rig.client.CreateCq();
+  lc.recv_cq = rig.client.CreateCq();
+  rnic::QueuePair* lqp = rig.client.CreateQp(lc);
+  rnic::ConnectSelf(lqp);
+  sim::LatencyRecorder lrec;
+  verbs::Cqe cqe;
+  for (int i = 0; i < 1000; ++i) {
+    const sim::Nanos t0 = rig.sim.now();
+    verbs::PostSendNow(lqp, verbs::MakeNoop());
+    verbs::AwaitCqe(rig.sim, rig.client, lqp->send_cq, &cqe);
+    lrec.Add(rig.sim.now() - t0);
+  }
+  const double noop_local_us = lrec.MeanUs();
+
+  bench::Section("copy verbs");
+  bench::Compare("WRITE (posted PCIe)", write_us, 1.6, "us");
+  bench::Compare("READ (non-posted)", read_us, 1.81, "us");
+  bench::Section("atomic verbs");
+  bench::Compare("CAS", cas_us, 1.81, "us");
+  bench::Compare("ADD", add_us, 1.79, "us");
+  bench::Section("calc verbs (vendor)");
+  bench::Compare("MAX", max_us, 1.85, "us");
+  bench::Section("NOOP and derived costs");
+  bench::Compare("NOOP remote", noop_remote_us, 1.21, "us");
+  bench::Compare("NOOP local loopback", noop_local_us, 0.96, "us");
+  bench::Compare("network cost (remote-local)", noop_remote_us - noop_local_us,
+                 0.25, "us");
+  bench::Compare("doorbell MMIO floor",
+                 sim::ToMicros(rnic::Calibration{}.doorbell_mmio), 0.30, "us");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fig 8: execution latency of NOOP chains posted under the three ordering
+// modes (WQ order / completion order / doorbell order), 1..50 WRs.
+#include <cstdio>
+
+#include "report.h"
+#include "rnic/device.h"
+#include "sim/simulator.h"
+#include "verbs/verbs.h"
+
+using namespace redn;
+
+namespace {
+
+// Latency of an n-NOOP chain on a fresh remote-connected rig.
+double ChainUs(int n, int mode) {  // 0 = WQ, 1 = completion, 2 = doorbell
+  sim::Simulator sim;
+  rnic::RnicDevice client(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice server(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  rnic::QpConfig c;
+  c.sq_depth = 4096;
+  c.send_cq = client.CreateCq();
+  c.recv_cq = client.CreateCq();
+  rnic::QueuePair* qp = client.CreateQp(c);
+  rnic::QpConfig s;
+  s.send_cq = server.CreateCq();
+  s.recv_cq = server.CreateCq();
+  rnic::QueuePair* peer = server.CreateQp(s);
+  rnic::Connect(qp, peer, rnic::Calibration{}.net_one_way);
+
+  int signaled = 0;
+  if (mode == 0) {
+    for (int i = 0; i < n; ++i) verbs::PostSend(qp, verbs::MakeNoop());
+    signaled = n;
+    verbs::RingDoorbell(qp);
+  } else if (mode == 1) {
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) verbs::PostSend(qp, verbs::MakeWait(qp->send_cq, i));
+      verbs::PostSend(qp, verbs::MakeNoop());
+    }
+    signaled = n;
+    verbs::RingDoorbell(qp);
+  } else {
+    // Managed payload queue, WAIT+ENABLE per WR on a control queue.
+    rnic::QpConfig mc;
+    mc.sq_depth = 4096;
+    mc.managed = true;
+    mc.send_cq = client.CreateCq();
+    mc.recv_cq = client.CreateCq();
+    rnic::QueuePair* chain = client.CreateQp(mc);
+    rnic::Connect(chain, peer, rnic::Calibration{}.net_one_way);
+    for (int i = 0; i < n; ++i) verbs::PostSend(chain, verbs::MakeNoop());
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) verbs::PostSend(qp, verbs::MakeWait(chain->send_cq, i));
+      verbs::PostSend(qp, verbs::MakeEnable(chain, i + 1));
+    }
+    signaled = n;
+    verbs::RingDoorbell(qp);
+    qp = chain;  // completions of interest are on the payload queue
+  }
+
+  const sim::Nanos t0 = sim.now();
+  verbs::Cqe cqe;
+  verbs::AwaitCqes(sim, client, qp->send_cq, signaled, &cqe);
+  return sim::ToMicros(sim.now() - t0);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Chain latency under ordering modes", "Fig 8");
+  std::printf("  %6s %12s %18s %15s\n", "ops", "WQ order", "completion order",
+              "doorbell order");
+  const int counts[] = {1, 5, 10, 20, 30, 40, 50};
+  double prev[3] = {0, 0, 0};
+  double at50[3] = {0, 0, 0};
+  for (int n : counts) {
+    const double wq = ChainUs(n, 0);
+    const double comp = ChainUs(n, 1);
+    const double db = ChainUs(n, 2);
+    std::printf("  %6d %10.2f us %14.2f us %13.2f us\n", n, wq, comp, db);
+    if (n == 50) {
+      at50[0] = wq;
+      at50[1] = comp;
+      at50[2] = db;
+    }
+    prev[0] = wq;
+    prev[1] = comp;
+    prev[2] = db;
+  }
+  (void)prev;
+  bench::Section("per-WR slope (derived from the 50-op chain)");
+  bench::Compare("WQ order slope", (at50[0] - ChainUs(1, 0)) / 49, 0.17,
+                 "us/WR");
+  bench::Compare("completion order slope", (at50[1] - ChainUs(1, 1)) / 49,
+                 0.19, "us/WR");
+  bench::Compare("doorbell order slope", (at50[2] - ChainUs(1, 2)) / 49, 0.54,
+                 "us/WR");
+  bench::Compare("single NOOP", ChainUs(1, 0), 1.21, "us");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Wall-clock microbenchmarks of the simulator itself (google-benchmark).
+// These guard the tool's usability: the macro experiments replay millions
+// of events, so event dispatch and verb execution must stay cheap.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "rnic/device.h"
+#include "sim/simulator.h"
+#include "verbs/verbs.h"
+
+using namespace redn;
+
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) s.At(i, [] {});
+    s.Run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_RemoteWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    rnic::RnicDevice client(sim, rnic::NicConfig::ConnectX5(), {}, "c");
+    rnic::RnicDevice server(sim, rnic::NicConfig::ConnectX5(), {}, "s");
+    rnic::QpConfig c;
+    c.sq_depth = 2048;
+    c.send_cq = client.CreateCq();
+    c.recv_cq = client.CreateCq();
+    auto* cqp = client.CreateQp(c);
+    rnic::QpConfig s;
+    s.send_cq = server.CreateCq();
+    s.recv_cq = server.CreateCq();
+    auto* sqp = server.CreateQp(s);
+    rnic::Connect(cqp, sqp, 125);
+    auto buf = std::make_unique<std::byte[]>(4096);
+    auto cmr = client.pd().Register(buf.get(), 4096, rnic::kAccessAll);
+    auto sbuf = std::make_unique<std::byte[]>(4096);
+    auto smr = server.pd().Register(sbuf.get(), 4096, rnic::kAccessAll);
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      verbs::PostSend(cqp, verbs::MakeWrite(cmr.addr, 64, cmr.lkey, smr.addr,
+                                            smr.rkey, i + 1 == n));
+    }
+    verbs::RingDoorbell(cqp);
+    sim.Run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RemoteWrite)->Arg(1000);
+
+void BM_WqeLoadStore(benchmark::State& state) {
+  alignas(8) std::byte slot[rnic::kWqeSize] = {};
+  rnic::WqeView view(slot);
+  rnic::WqeImage img;
+  img.ctrl = rnic::PackCtrl(rnic::Opcode::kWrite, 42);
+  for (auto _ : state) {
+    view.Store(img);
+    benchmark::DoNotOptimize(view.Load());
+  }
+}
+BENCHMARK(BM_WqeLoadStore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Table 4: NIC throughput of offloaded hash lookups and the bottleneck at
+// each operating point (small IO: NIC processing; 64 KB single port: IB
+// bandwidth; 64 KB dual port: PCIe bandwidth).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "offloads/hash_harness.h"
+#include "report.h"
+#include "sim/simulator.h"
+
+using namespace redn;
+
+namespace {
+
+struct RunResult {
+  double kops;
+  const char* bottleneck;
+};
+
+RunResult Run(std::uint32_t value_len, int ports) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(ports), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(ports), {}, "server");
+
+  const int kClients = 16;
+  const int kOpsPerClient = value_len >= 65536 ? 60 : 250;
+  std::vector<std::unique_ptr<offloads::HashGetHarness>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<offloads::HashGetHarness>(
+        cdev, sdev,
+        offloads::HashGetOffload::Config{.buckets = 1,
+                                         .max_requests = kOpsPerClient + 8,
+                                         .port = i % ports},
+        kv::RdmaHashTable::Config{.buckets = 1 << 12},
+        /*heap_bytes=*/std::size_t{8} << 20,
+        /*max_value=*/value_len));
+    clients.back()->PutPattern(7, value_len);
+    clients.back()->Arm(kOpsPerClient + 4);
+  }
+  sim.Run();  // settle arming
+  std::uint64_t responses = 0;
+  for (auto& c : clients) {
+    offloads::HashGetHarness* h = c.get();
+    h->client_recv_cq()->SetHostNotify([&cdev, h, &responses] {
+      rnic::Cqe cqe;
+      while (cdev.PollCq(h->client_recv_cq(), 1, &cqe) == 1) {
+        h->NoteOpenLoopResponse(cqe.qp_id);
+        ++responses;
+      }
+    });
+  }
+  const sim::Nanos t0 = sim.now();
+  for (int op = 0; op < kOpsPerClient; ++op) {
+    for (auto& c : clients) c->SendTrigger(7);
+  }
+  sim.Run();
+  const sim::Nanos window = sim.now() - t0;
+  RunResult r;
+  r.kops = static_cast<double>(responses) / sim::ToSeconds(window) / 1e3;
+  r.bottleneck = sdev.BusiestResource(window);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Offloaded hash-lookup throughput and bottlenecks", "Table 4");
+  struct Case {
+    std::uint32_t len;
+    int ports;
+    double paper_kops;
+    const char* paper_bneck;
+  } cases[] = {
+      {64, 1, 500, "NIC PU"},
+      {64, 2, 1000, "NIC PU"},
+      {65536, 1, 180, "IB bw"},
+      {65536, 2, 190, "PCIe bw"},
+  };
+  std::printf("  %10s %6s %14s %12s %16s %12s\n", "IO size", "ports",
+              "measured", "paper", "bottleneck", "paper says");
+  for (const auto& c : cases) {
+    const RunResult r = Run(c.len, c.ports);
+    std::printf("  %9uB %6d %10.0f K/s %8.0f K/s %16s %12s\n", c.len, c.ports,
+                r.kops, c.paper_kops, r.bottleneck, c.paper_bneck);
+  }
+  bench::Note("small IO is bound by the serialized managed-WQE fetches (the "
+              "paper's 'NIC processing capacity due to doorbell ordering'); "
+              "64KB single-port saturates the ~92 Gbps IB link; dual-port "
+              "moves the bottleneck to the shared PCIe 3.0 x16");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 7 / Appendix A: mov addressing modes emulated with RDMA chains —
+// per-instruction latency and WR budget for each mode, plus the
+// nontermination demonstration (WQ recycling).
+#include <cstdio>
+
+#include "offloads/recycled_loop.h"
+#include "redn/mov.h"
+#include "report.h"
+#include "rnic/device.h"
+#include "sim/simulator.h"
+
+using namespace redn;
+
+namespace {
+
+template <typename Emit>
+double PerInstrUs(Emit emit, int n = 200) {
+  sim::Simulator sim;
+  rnic::RnicDevice dev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  core::MovMachine m(dev, 8, /*cells=*/8192);
+  const std::uint64_t cells = m.AllocCells(16);
+  for (int i = 0; i < 16; ++i) m.SetCell(cells + i * 8, i);
+  m.SetReg(1, cells);
+  m.SetReg(2, 8);
+  for (int i = 0; i < n; ++i) emit(m);
+  const sim::Nanos t = m.Run();
+  return sim::ToMicros(t) / n;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("x86 mov emulation over RDMA", "Table 7 / Appendix A");
+  std::printf("  %-26s %14s   RDMA implementation\n", "addressing mode",
+              "per-instr");
+  std::printf("  %-26s %11.2f us   WRITE from constant pool\n",
+              "immediate  mov R,C",
+              PerInstrUs([](core::MovMachine& m) { m.MovImmediate(0, 7); }));
+  std::printf("  %-26s %11.2f us   WRITE Rsrc->Rdst\n", "register   mov R,R",
+              PerInstrUs([](core::MovMachine& m) { m.MovReg(0, 2); }));
+  std::printf(
+      "  %-26s %11.2f us   WRITE patches src of WRITE (doorbell order)\n",
+      "indirect   mov R,[R]",
+      PerInstrUs([](core::MovMachine& m) { m.MovIndirectLoad(0, 1); }));
+  std::printf(
+      "  %-26s %11.2f us   + ADD patches the offset into the address\n",
+      "indexed    mov R,[R+R]",
+      PerInstrUs([](core::MovMachine& m) { m.MovIndexedLoad(0, 1, 2); }));
+  std::printf(
+      "  %-26s %11.2f us   WRITE patches dst of WRITE (doorbell order)\n",
+      "store      mov [R],R",
+      PerInstrUs([](core::MovMachine& m) { m.MovIndirectStore(1, 2); }));
+
+  bench::Section("nontermination (Appendix A.2)");
+  sim::Simulator sim;
+  rnic::RnicDevice dev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  offloads::RecycledAddLoop loop(dev);
+  loop.Start();
+  sim.RunUntil(sim::Millis(10));
+  std::printf("  WQ-recycled unconditional loop: %llu iterations in 10 ms "
+              "with zero CPU involvement\n",
+              static_cast<unsigned long long>(loop.iterations()));
+  bench::Note("together with conditionals this discharges requirements "
+              "T1-T3: RDMA emulates Dolan's mov machine");
+  return 0;
+}

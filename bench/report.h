@@ -1,0 +1,39 @@
+// Shared formatting for the paper-reproduction benches: every bench prints
+// the figure/table it regenerates, with paper-reported values side by side
+// so the shape comparison is immediate.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace redn::bench {
+
+inline void Title(const char* what, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n  (reproduces %s)\n", what, paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline void Section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+// "measured vs paper" row with a ratio column.
+inline void Compare(const char* label, double measured, double paper,
+                    const char* unit) {
+  const double ratio = paper != 0 ? measured / paper : 0;
+  std::printf("  %-34s measured %10.2f %-8s paper %10.2f   (x%.2f)\n", label,
+              measured, unit, paper, ratio);
+}
+
+inline void Note(const char* text) { std::printf("  note: %s\n", text); }
+
+// Simple ASCII bar for timeline plots (Fig 16).
+inline std::string Bar(double normalized, int width = 40) {
+  int n = static_cast<int>(normalized * width + 0.5);
+  if (n < 0) n = 0;
+  if (n > width) n = width;
+  return std::string(n, '#') + std::string(width - n, ' ');
+}
+
+}  // namespace redn::bench

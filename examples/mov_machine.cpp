@@ -1,0 +1,79 @@
+// The Turing-completeness demo (paper Appendix A): run programs written in
+// nothing but mov instructions — executed entirely by the NIC.
+//
+//   1. a pointer-chasing program (indirect addressing)
+//   2. a DFA over an input tape via table lookups (indexed addressing) —
+//      Dolan's construction in miniature
+//   3. nontermination: a WQ-recycled loop that runs with zero CPU
+#include <cstdio>
+
+#include "offloads/recycled_loop.h"
+#include "redn/mov.h"
+#include "sim/simulator.h"
+
+using namespace redn;
+
+int main() {
+  sim::Simulator sim;
+  rnic::RnicDevice dev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+
+  // --- 1. pointer chasing -------------------------------------------------
+  {
+    core::MovMachine m(dev, 8);
+    const std::uint64_t cells = m.AllocCells(3);
+    m.SetCell(cells + 0, cells + 8);   // c0 -> &c1
+    m.SetCell(cells + 8, cells + 16);  // c1 -> &c2
+    m.SetCell(cells + 16, 777);        // c2 = 777
+    m.SetReg(1, cells);
+    m.MovIndirectLoad(2, 1);  // R2 = [R1]   = &c1
+    m.MovIndirectLoad(3, 2);  // R3 = [R2]   = &c2
+    m.MovIndirectLoad(4, 3);  // R4 = [R3]   = 777
+    const sim::Nanos t = m.Run();
+    std::printf("pointer chase: [[[c0]]] = %llu (expect 777), %d instrs in "
+                "%.2f us\n",
+                static_cast<unsigned long long>(m.Reg(4)),
+                m.instruction_count(), sim::ToMicros(t));
+  }
+
+  // --- 2. a DFA in mov: parity of a bit string ----------------------------
+  {
+    core::MovMachine m(dev, 8);
+    // T[state][bit]: 2 states x 2 inputs.
+    const std::uint64_t table = m.AllocCells(4);
+    m.SetCell(table + 0, 0);
+    m.SetCell(table + 8, 1);
+    m.SetCell(table + 16, 1);
+    m.SetCell(table + 24, 0);
+    m.SetReg(0, 0);      // state
+    m.SetReg(1, table);  // base
+    const int tape[] = {1, 0, 1, 1, 1};
+    int expect = 0;
+    for (int bit : tape) {
+      expect ^= bit;
+      // offset register = state*16 + bit*8, staged between steps (the
+      // fully-NIC-resident scaling uses more lookup tables; see mov_test).
+      m.SetReg(2, m.Reg(0) * 16 + bit * 8);
+      m.MovIndexedLoad(0, 1, 2);
+      m.Run();
+    }
+    std::printf("mov-machine DFA over 10111: parity = %llu (expect %d)\n",
+                static_cast<unsigned long long>(m.Reg(0)), expect);
+  }
+
+  // --- 3. nontermination without a CPU ------------------------------------
+  {
+    offloads::RecycledAddLoop loop(dev);
+    loop.Start();
+    sim.RunUntil(sim.now() + sim::Millis(5));
+    const auto n1 = loop.iterations();
+    sim.RunUntil(sim.now() + sim::Millis(5));
+    std::printf("WQ-recycled loop: %llu then %llu iterations — the NIC keeps "
+                "going; only a rate limiter or teardown stops it\n",
+                static_cast<unsigned long long>(n1),
+                static_cast<unsigned long long>(loop.iterations()));
+    loop.Kill();
+  }
+  std::printf("T1 (memory) + T2 (conditionals) + T3 (loops) => RDMA is "
+              "Turing complete.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Calibration constants for the baseline systems (one-sided FaRM-KV-style
+// gets, two-sided RPC-over-RDMA in polling/event/VMA flavours).
+//
+// Like rnic/calibration.h, semantics are structural (RTT counts, CPU
+// involvement, copies, wakeups) and these constants only set magnitudes.
+// They are tuned once against the paper's reported baseline relationships:
+//   - one-sided gets ≈ 2x RedN latency at small values (Fig 10/11)
+//   - two-sided polling ≈ 1.4-2x RedN; event ≈ 3.8x (Fig 10)
+//   - Memcached-over-VMA ≈ 2.6x RedN; degrades with value size due to
+//     per-byte copies through the sockets API (Fig 14)
+//   - contention: with 16 writers the two-sided 99th percentile reaches
+//     ~35x RedN's (Fig 15)
+#pragma once
+
+#include "sim/time.h"
+
+namespace redn::baseline {
+
+struct BaselineCalibration {
+  // --- two-sided RPC server --------------------------------------------------
+  // Busy-poll sampling delay between a CQE becoming visible and the server
+  // noticing it (polling mode: a dedicated spinning core).
+  sim::Nanos poll_detect = 200;
+  // Event mode: block on a completion channel; wakeup adds this latency.
+  sim::Nanos event_wakeup = 14'000;
+  // CPU time to parse a get, look up the hash table, and post the response.
+  sim::Nanos get_service = 3'500;
+  // CPU time to handle a set (allocate + copy + insert + ack).
+  sim::Nanos set_service = 2'600;
+  // Response staging copy (value into the registered send buffer).
+  double memcpy_gbps = 96.0;  // 12 GB/s
+  // VMA flavour: user-space network stack cost per packet, each direction,
+  // plus a client-side receive copy through the sockets API.
+  sim::Nanos vma_stack = 3'800;
+
+  // --- contention model (Fig 15) ---------------------------------------------
+  // With W closed-loop writers hammering the server, every handler suffers
+  // an involuntary context switch with probability W * prob_per_writer,
+  // costing Exp(mean = W * mean_per_writer). This reproduces the paper's
+  // observation that CPU contention inflates tails far more than averages.
+  double ctx_prob_per_writer = 0.0015;
+  sim::Nanos ctx_mean_per_writer = 4'000;
+
+  // --- one-sided client -------------------------------------------------------
+  // Per dependent READ: post overhead + completion detection + parsing in
+  // the client's lookup loop (FaRM-KV-style framework costs).
+  sim::Nanos client_read_overhead = 3'600;
+};
+
+}  // namespace redn::baseline

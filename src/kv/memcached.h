@@ -1,0 +1,80 @@
+// A Memcached-like key-value server over the simulated RNIC (§5.4-5.6).
+//
+// Mirrors the paper's modified Memcached: a cuckoo/2-choice hash table and
+// the value heap are RDMA-registered so the RNIC can serve gets directly;
+// sets and the baseline gets go through the two-sided RPC front (the
+// "~700 LoC RDMA integration" of §5.4). Bucket value pointers are stored in
+// the WQE-attribute format (the paper's big-endian tweak) by construction,
+// since kv::RdmaHashTable's layout *is* the offload ABI.
+//
+// Failure model (§5.6): RDMA resources are owned either by the application
+// process or by an empty-hull parent process (the fork trick of [38]).
+// CrashProcess() kills the app: the OS reclaims its resources — which
+// terminates any RDMA program whose QPs it owned — and restarts Memcached,
+// which needs restart_time plus a pass over every item to rebuild its
+// table. With hull ownership, pre-posted chains keep serving throughout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "baseline/two_sided.h"
+#include "kv/table.h"
+#include "rnic/device.h"
+
+namespace redn::kv {
+
+class MemcachedServer {
+ public:
+  static constexpr int kHullPid = 1;
+  static constexpr int kAppPid = 7;
+
+  struct Config {
+    std::size_t buckets = 1 << 16;
+    std::size_t heap_bytes = 512 << 20;
+    baseline::TwoSidedKvServer::Mode rpc_mode =
+        baseline::TwoSidedKvServer::Mode::kVma;
+    baseline::BaselineCalibration rpc_cal = {};
+    // Own RDMA resources via an empty-hull parent (survives app crashes).
+    bool hull_parent = false;
+    // Vanilla restart cost: process bootstrap, then metadata/hash rebuild.
+    sim::Nanos restart_time = sim::Seconds(1.0);
+    sim::Nanos rebuild_per_item = sim::Micros(125);
+  };
+
+  MemcachedServer(rnic::RnicDevice& dev, Config cfg);
+
+  // Host-side store API.
+  void Set(std::uint64_t key, const void* value, std::uint32_t len);
+  void SetPattern(std::uint64_t key, std::uint32_t len);
+
+  RdmaHashTable& table() { return table_; }
+  ValueHeap& heap() { return heap_; }
+  rnic::RnicDevice& dev() { return dev_; }
+  baseline::TwoSidedKvServer& rpc() { return rpc_; }
+
+  // PID that should own RDMA resources created on behalf of this server.
+  int resource_owner_pid() const {
+    return cfg_.hull_parent ? kHullPid : kAppPid;
+  }
+
+  // --- failure injection (§5.6) --------------------------------------------
+  // Kills the Memcached process now. The RPC front goes dark until restart
+  // completes; resources owned by kAppPid are reclaimed by the OS.
+  void CrashProcess();
+  // Kernel panic: the host CPU freezes for `down_for`; NIC resources are
+  // untouched (no process exit, nothing reclaimed).
+  void CrashOs(sim::Nanos down_for);
+  bool process_alive() const { return process_alive_; }
+  std::uint64_t items() const { return table_.size(); }
+
+ private:
+  rnic::RnicDevice& dev_;
+  Config cfg_;
+  RdmaHashTable table_;
+  ValueHeap heap_;
+  baseline::TwoSidedKvServer rpc_;
+  bool process_alive_ = true;
+};
+
+}  // namespace redn::kv

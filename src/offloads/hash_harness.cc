@@ -1,0 +1,130 @@
+#include "offloads/hash_harness.h"
+
+#include <cstring>
+
+namespace redn::offloads {
+
+HashGetHarness::HashGetHarness(rnic::RnicDevice& client_dev,
+                               rnic::RnicDevice& server_dev,
+                               HashGetOffload::Config cfg,
+                               kv::RdmaHashTable::Config table_cfg,
+                               std::size_t heap_bytes, std::size_t max_value)
+    : cdev_(client_dev),
+      sdev_(server_dev),
+      table_(server_dev, table_cfg),
+      heap_(server_dev, heap_bytes),
+      cfg_(cfg) {
+  const sim::Nanos one_way = sdev_.cal().net_one_way;
+
+  const std::uint32_t resp_depth = 2u * cfg.max_requests + 64;
+  auto make_pair = [&](rnic::QueuePair*& srv, rnic::QueuePair*& cli) {
+    rnic::QpConfig s;
+    s.sq_depth = resp_depth;
+    s.rq_depth = resp_depth;
+    s.port = cfg.port;
+    s.managed = true;  // holds the pre-posted response WRs
+    s.send_cq = sdev_.CreateCq();
+    s.recv_cq = sdev_.CreateCq();
+    srv = sdev_.CreateQp(s);
+    rnic::QpConfig c;
+    c.sq_depth = 4096;
+    c.rq_depth = 16384;
+    c.send_cq = cdev_.CreateCq();
+    c.recv_cq = cli_recv_cq_ ? cli_recv_cq_ : (cli_recv_cq_ = cdev_.CreateCq());
+    cli = cdev_.CreateQp(c);
+    rnic::Connect(cli, srv, one_way);
+  };
+  make_pair(srv_qp1_, cli_qp1_);
+  if (cfg_.parallel) make_pair(srv_qp2_, cli_qp2_);
+
+  resp_buf_ = std::make_unique<std::byte[]>(max_value);
+  resp_mr_ = cdev_.pd().Register(resp_buf_.get(), max_value, rnic::kAccessAll);
+  msg_buf_ = std::make_unique<std::byte[]>(64);
+  msg_mr_ = cdev_.pd().Register(msg_buf_.get(), 64, rnic::kAccessAll);
+
+  offload_ = std::make_unique<HashGetOffload>(sdev_, table_, heap_, srv_qp1_,
+                                              srv_qp2_, cfg_);
+}
+
+void HashGetHarness::Put(std::uint64_t key, const void* value,
+                         std::uint32_t len, bool force_second) {
+  const std::uint64_t ptr = heap_.Store(value, len);
+  table_.Insert(key, ptr, len, force_second);
+}
+
+void HashGetHarness::PutPattern(std::uint64_t key, std::uint32_t len,
+                                bool force_second) {
+  std::vector<std::byte> v(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    v[i] = static_cast<std::byte>((key + i) & 0xff);
+  }
+  Put(key, v.data(), len, force_second);
+}
+
+bool HashGetHarness::ResponseMatchesPattern(std::uint64_t key,
+                                            std::uint32_t len) const {
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (resp_buf_[i] != static_cast<std::byte>((key + i) & 0xff)) return false;
+  }
+  return true;
+}
+
+void HashGetHarness::Arm(int n) {
+  offload_->Arm(n, resp_mr_.addr, resp_mr_.rkey);
+}
+
+void HashGetHarness::EnsureRecvs() {
+  // One response RECV per in-flight get (plus slack), on whichever client
+  // QP may answer — open-loop drivers can have hundreds outstanding.
+  const int target =
+      static_cast<int>(triggers_ - responses_) + 8;
+  while (recvs_outstanding_1_ < target) {
+    verbs::RecvWr rwr;
+    rwr.local_addr = 0;  // WRITE_IMM carries no SEND payload
+    rwr.length = 0;
+    verbs::PostRecv(cli_qp1_, rwr);
+    ++recvs_outstanding_1_;
+  }
+  while (cfg_.parallel && recvs_outstanding_2_ < target) {
+    verbs::RecvWr rwr;
+    verbs::PostRecv(cli_qp2_, rwr);
+    ++recvs_outstanding_2_;
+  }
+}
+
+bool HashGetHarness::SendTrigger(std::uint64_t key) {
+  if (!srv_qp1_->alive || cli_qp1_->sq.error) {
+    return false;  // connection torn down (e.g. §5.6 no-hull crash)
+  }
+  EnsureRecvs();
+  offload_->BuildTrigger(key, msg_buf_.get());
+  verbs::PostSendNow(cli_qp1_,
+                     verbs::MakeSend(msg_mr_.addr, offload_->TriggerBytes(),
+                                     msg_mr_.lkey, /*signaled=*/false));
+  ++triggers_;
+  return true;
+}
+
+HashGetHarness::Result HashGetHarness::Get(std::uint64_t key,
+                                           sim::Nanos timeout) {
+  auto& sim = cdev_.sim();
+  const sim::Nanos t0 = sim.now();
+  SendTrigger(key);
+  verbs::Cqe cqe;
+  if (!verbs::AwaitCqe(sim, cdev_, cli_recv_cq_, &cqe, t0 + timeout)) {
+    return Result{};  // miss: no response WRITE fired
+  }
+  ++responses_;
+  if (cqe.qp_id == cli_qp1_->id) {
+    --recvs_outstanding_1_;
+  } else {
+    --recvs_outstanding_2_;
+  }
+  Result r;
+  r.found = true;
+  r.latency = sim.now() - t0;
+  r.len = cqe.byte_len;
+  return r;
+}
+
+}  // namespace redn::offloads

@@ -1,0 +1,98 @@
+// End-to-end wiring for offloaded hash gets: server table + chains, client
+// trigger/response plumbing. Used by tests, benches, and examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "offloads/hash_lookup.h"
+#include "verbs/verbs.h"
+
+namespace redn::offloads {
+
+class HashGetHarness {
+ public:
+  struct Result {
+    bool found = false;
+    sim::Nanos latency = 0;
+    std::uint32_t len = 0;
+  };
+
+  HashGetHarness(rnic::RnicDevice& client_dev, rnic::RnicDevice& server_dev,
+                 HashGetOffload::Config cfg,
+                 kv::RdmaHashTable::Config table_cfg = {},
+                 std::size_t heap_bytes = 256 << 20,
+                 std::size_t max_value = 64 << 10);
+
+  // Stores a value under `key`; `force_second` plants it in the H2 bucket
+  // (the Fig 11 collision setup).
+  void Put(std::uint64_t key, const void* value, std::uint32_t len,
+           bool force_second = false);
+  // Convenience: value = `len` bytes of a repeating pattern derived from key.
+  void PutPattern(std::uint64_t key, std::uint32_t len,
+                  bool force_second = false);
+
+  // Pre-posts chains for `n` more requests.
+  void Arm(int n);
+
+  // Issues one offloaded get and runs the simulator until the response
+  // lands (or `timeout` of simulated time passes -> miss).
+  Result Get(std::uint64_t key, sim::Nanos timeout = sim::Micros(200));
+
+  // Fire-and-forget trigger for open-loop throughput runs; responses are
+  // counted by the caller via response_count(). Returns false when the
+  // connection is dead (server QPs reclaimed, or the client QP flushed).
+  bool SendTrigger(std::uint64_t key);
+  std::uint64_t response_count() const { return responses_; }
+
+  kv::RdmaHashTable& table() { return table_; }
+  kv::ValueHeap& heap() { return heap_; }
+  HashGetOffload& offload() { return *offload_; }
+  std::uint64_t resp_buffer_addr() const { return resp_mr_.addr; }
+  // Client-side CQ where responses land (for open-loop notify hooks).
+  rnic::CompletionQueue* client_recv_cq() { return cli_recv_cq_; }
+  // Server-side resource ownership (§5.6 failure experiments).
+  void SetServerOwner(int pid) {
+    offload_->SetOwner(pid);
+    srv_qp1_->owner_pid = pid;
+    if (srv_qp2_ != nullptr) srv_qp2_->owner_pid = pid;
+  }
+  // Count a response consumed by an open-loop driver (keeps the client-side
+  // RECV accounting honest when Get() is not used).
+  void NoteOpenLoopResponse(std::uint32_t qp_id) {
+    if (qp_id == cli_qp1_->id) --recvs_outstanding_1_; else --recvs_outstanding_2_;
+    ++responses_;
+  }
+
+  // Checks the last response payload against the PutPattern for `key`.
+  bool ResponseMatchesPattern(std::uint64_t key, std::uint32_t len) const;
+
+ private:
+  void EnsureRecvs();
+
+  rnic::RnicDevice& cdev_;
+  rnic::RnicDevice& sdev_;
+  kv::RdmaHashTable table_;
+  kv::ValueHeap heap_;
+  HashGetOffload::Config cfg_;
+
+  rnic::QueuePair* srv_qp1_ = nullptr;
+  rnic::QueuePair* srv_qp2_ = nullptr;
+  rnic::QueuePair* cli_qp1_ = nullptr;
+  rnic::QueuePair* cli_qp2_ = nullptr;
+  rnic::CompletionQueue* cli_recv_cq_ = nullptr;  // shared by both client QPs
+
+  std::unique_ptr<std::byte[]> resp_buf_;
+  rnic::MemoryRegion resp_mr_;
+  std::unique_ptr<std::byte[]> msg_buf_;
+  rnic::MemoryRegion msg_mr_;
+
+  std::unique_ptr<HashGetOffload> offload_;
+  int recvs_outstanding_1_ = 0;
+  int recvs_outstanding_2_ = 0;
+  std::uint64_t responses_ = 0;
+  std::uint64_t triggers_ = 0;
+};
+
+}  // namespace redn::offloads

@@ -1,0 +1,138 @@
+#include "offloads/hash_lookup.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "verbs/verbs.h"
+
+namespace redn::offloads {
+
+using rnic::Opcode;
+using rnic::WqeField;
+
+HashGetOffload::HashGetOffload(rnic::RnicDevice& server,
+                               kv::RdmaHashTable& table, kv::ValueHeap& heap,
+                               QueuePair* client_qp, QueuePair* client_qp2,
+                               Config cfg)
+    : server_(server),
+      table_(table),
+      heap_(heap),
+      client_qp_(client_qp),
+      client_qp2_(client_qp2),
+      cfg_(cfg),
+      prog_(server, cfg.port, /*control_depth=*/16u * cfg.max_requests + 64),
+      prog2_(server, cfg.port, /*control_depth=*/16u * cfg.max_requests + 64) {
+  assert(client_qp_->sq.managed() && "response queue must be managed");
+  assert(cfg_.buckets == 1 || cfg_.buckets == 2);
+  const std::uint32_t chain_depth = 4u * cfg.max_requests + 16;
+  m1_ = prog_.NewChainQueue(chain_depth);
+  if (cfg_.parallel) {
+    assert(client_qp2_ != nullptr && client_qp2_->sq.managed());
+    m2_ = prog2_.NewChainQueue(chain_depth);
+  }
+}
+
+void HashGetOffload::ArmBucketChain(Program& prog, QueuePair* chain,
+                                    QueuePair* resp_qp,
+                                    rnic::CompletionQueue* trigger_cq,
+                                    std::uint64_t recv_seq,
+                                    std::uint64_t resp_addr,
+                                    std::uint32_t resp_rkey, std::uint32_t imm,
+                                    std::vector<rnic::Sge>& recv_sges) {
+  // R4: the response (posted first so READ/CAS can reference its fields).
+  verbs::SendWr r4;
+  r4.opcode = Opcode::kNoop;  // becomes kWriteImm on a hit
+  r4.signaled = false;        // misses stay invisible
+  r4.local_addr = 0;          // <- bucket.ptr via READ scatter
+  r4.length = 0;              // <- bucket.len via READ scatter
+  r4.lkey = heap_.lkey();
+  r4.remote_addr = resp_addr;
+  r4.rkey = resp_rkey;
+  r4.imm = imm;
+  WrRef resp = prog.Post(resp_qp, r4);
+
+  // READ: bucket -> response WQE fields. 20 bytes scatter as documented in
+  // kv/table.h. remote_addr is injected by the trigger RECV.
+  const rnic::Sge* read_sges = prog.MakeSgeTable({
+      {resp.FieldAddr(WqeField::kCtrl), 8, resp_qp->sq_mr.lkey},
+      {resp.FieldAddr(WqeField::kLocalAddr), 8, resp_qp->sq_mr.lkey},
+      {resp.FieldAddr(WqeField::kLength), 4, resp_qp->sq_mr.lkey},
+  });
+  verbs::SendWr read;
+  read.opcode = Opcode::kRead;
+  read.sge_table = read_sges;
+  read.sge_count = 3;
+  read.remote_addr = 0;  // <- bucket address via trigger RECV
+  read.rkey = table_.rkey();
+  read.length = 20;
+  WrRef rd = prog.Post(chain, read);
+
+  // CAS: {NOOP, bucket.key} vs {NOOP, x}; on match -> {WRITE_IMM, 0}.
+  verbs::SendWr cas = verbs::MakeCas(
+      resp.FieldAddr(WqeField::kCtrl), resp.CodeRkey(),
+      /*compare=*/0,  // <- PackCtrl(NOOP, x) via trigger RECV
+      /*swap=*/rnic::PackCtrl(Opcode::kWriteImm, 0));
+  WrRef cs = prog.Post(chain, cas);
+
+  // Trigger injection points for this bucket probe.
+  recv_sges.push_back({cs.FieldAddr(WqeField::kCompareAdd), 8,
+                       chain->sq_mr.lkey});
+  recv_sges.push_back({rd.FieldAddr(WqeField::kRemoteAddr), 8,
+                       chain->sq_mr.lkey});
+
+  // Control glue (doorbell ordering): trigger -> READ -> CAS -> response.
+  prog.Wait(trigger_cq, recv_seq);
+  prog.Enable(chain, rd.idx + 1);
+  prog.Wait(chain->send_cq, prog.SignalsPosted(chain->send_cq) - 1);
+  prog.Enable(chain, cs.idx + 1);
+  prog.Wait(chain->send_cq, prog.SignalsPosted(chain->send_cq));
+  prog.Enable(resp_qp, resp.idx + 1);
+}
+
+void HashGetOffload::Arm(int n, std::uint64_t resp_addr,
+                         std::uint32_t resp_rkey) {
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seq = ++armed_;
+    const int before = prog_.budget().total() + prog2_.budget().total();
+
+    std::vector<rnic::Sge> recv_sges;
+    // Bucket 1 probe rides prog_/m1_ and answers on client_qp_.
+    ArmBucketChain(prog_, m1_, client_qp_, client_qp_->recv_cq, seq,
+                   resp_addr, resp_rkey, static_cast<std::uint32_t>(seq),
+                   recv_sges);
+    if (cfg_.buckets == 2) {
+      if (cfg_.parallel) {
+        // Triggers arrive on client_qp_; the parallel probe answers on the
+        // second client-facing QP but gates on the same trigger CQ.
+        ArmBucketChain(prog2_, m2_, client_qp2_, client_qp_->recv_cq, seq,
+                       resp_addr, resp_rkey, static_cast<std::uint32_t>(seq),
+                       recv_sges);
+      } else {
+        ArmBucketChain(prog_, m1_, client_qp_, client_qp_->recv_cq, seq,
+                       resp_addr, resp_rkey, static_cast<std::uint32_t>(seq),
+                       recv_sges);
+      }
+    }
+
+    // One RECV consumes the trigger and feeds every probe in this request.
+    verbs::RecvWr rwr;
+    rwr.wr_id = seq;
+    rwr.sge_table = prog_.MakeSgeTable(std::move(recv_sges));
+    rwr.sge_count = static_cast<std::uint32_t>(cfg_.buckets * 2);
+    verbs::PostRecv(client_qp_, rwr);
+
+    wrs_per_request_ =
+        prog_.budget().total() + prog2_.budget().total() - before + 1;
+  }
+  prog_.Launch();
+  if (cfg_.parallel) prog2_.Launch();
+}
+
+void HashGetOffload::BuildTrigger(std::uint64_t key, std::byte* out) const {
+  const std::uint64_t packed = rnic::PackCtrl(Opcode::kNoop, key);
+  std::uint64_t words[4] = {packed, table_.BucketAddr1(key), packed,
+                            table_.BucketAddr2(key)};
+  std::memcpy(out, words, TriggerBytes());
+}
+
+}  // namespace redn::offloads

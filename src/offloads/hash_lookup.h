@@ -1,0 +1,102 @@
+// Offloaded key-value GET (paper §5.2, Fig 9).
+//
+// Per request instance the server pre-posts:
+//
+//   client QP RQ : RECV whose scatter list injects the client's inputs into
+//                  the chain: packed key -> CAS.compare, bucket addr ->
+//                  READ.remote_addr (per probed bucket).
+//   M (managed)  : READ  — fetches the bucket; its scatter list drops
+//                          bucket.key into the response WQE's ctrl word
+//                          (id = key, opcode reset to NOOP), bucket.ptr into
+//                          local_addr, bucket.len into length.
+//                  CAS   — compares the response ctrl {NOOP, key} against
+//                          {NOOP, x}; on match swaps in {WRITE_IMM, 0}.
+//   client QP SQ : R4    — the response itself: fires as a WRITE_IMM of the
+//   (managed)              value to the client on a hit, or execs as a
+//                          harmless unsignaled NOOP on a miss.
+//   control      : WAIT/ENABLE glue serializing RECV -> READ -> CAS -> R4
+//                  (doorbell ordering for every self-modified WQE).
+//
+// Variants: 1 bucket (no-collision experiments), 2 buckets sequential
+// (RedN-Seq), 2 buckets parallel across two managed queues, two control
+// queues and two client-facing QPs (RedN-Parallel) — §5.2.2 / Fig 11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/table.h"
+#include "redn/program.h"
+
+namespace redn::offloads {
+
+using core::Program;
+using core::WrRef;
+using rnic::QueuePair;
+
+class HashGetOffload {
+ public:
+  struct Config {
+    // Number of buckets probed per get (1 or 2).
+    int buckets = 2;
+    // Probe the two buckets on parallel queues/PUs instead of sequentially.
+    bool parallel = false;
+    // Upper bound on Arm()-ed requests over the offload's lifetime; sizes
+    // the chain and control rings.
+    int max_requests = 4096;
+    // Server NIC port carrying this offload's queues (Table 4 dual-port).
+    int port = 0;
+  };
+
+  // `client_qp` (and `client_qp2` iff parallel) are server-side QPs already
+  // connected to the client; their send queues MUST be managed.
+  HashGetOffload(rnic::RnicDevice& server, kv::RdmaHashTable& table,
+                 kv::ValueHeap& heap, QueuePair* client_qp,
+                 QueuePair* client_qp2, Config cfg);
+
+  // Pre-posts chains for `n` further get requests. The response for request
+  // r is written to (resp_addr, resp_rkey) on the client and announced with
+  // immediate = the request's sequence number.
+  void Arm(int n, std::uint64_t resp_addr, std::uint32_t resp_rkey);
+
+  // Total WRs posted per armed request (for the WR-budget reports).
+  int WrsPerRequest() const { return wrs_per_request_; }
+
+  // Size of the trigger message a client must SEND (bytes).
+  std::uint32_t TriggerBytes() const { return cfg_.buckets * 16u; }
+
+  // Fills `out` (TriggerBytes() long) with the trigger for `key`:
+  // per probed bucket: [PackCtrl(NOOP, key), bucket_addr].
+  void BuildTrigger(std::uint64_t key, std::byte* out) const;
+
+  std::uint64_t armed() const { return armed_; }
+
+  // Tags the offload's chain/control queues with an owner pid (§5.6).
+  void SetOwner(int pid) {
+    prog_.SetOwner(pid);
+    prog2_.SetOwner(pid);
+  }
+
+ private:
+  void ArmBucketChain(Program& prog, QueuePair* chain, QueuePair* resp_qp,
+                      rnic::CompletionQueue* trigger_cq,
+                      std::uint64_t recv_seq, std::uint64_t resp_addr,
+                      std::uint32_t resp_rkey, std::uint32_t imm,
+                      std::vector<rnic::Sge>& recv_sges);
+
+  rnic::RnicDevice& server_;
+  kv::RdmaHashTable& table_;
+  kv::ValueHeap& heap_;
+  QueuePair* client_qp_;
+  QueuePair* client_qp2_;
+  Config cfg_;
+
+  Program prog_;        // control queue #1 + chain queue M1
+  Program prog2_;       // control queue #2 + chain queue M2 (parallel only)
+  QueuePair* m1_;
+  QueuePair* m2_ = nullptr;
+  std::uint64_t armed_ = 0;
+  int wrs_per_request_ = 0;
+};
+
+}  // namespace redn::offloads

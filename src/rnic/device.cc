@@ -1,0 +1,730 @@
+#include "rnic/device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace redn::rnic {
+
+RnicDevice::RnicDevice(sim::Simulator& sim, NicConfig cfg, Calibration cal,
+                       std::string name)
+    : sim_(sim),
+      cfg_(cfg),
+      cal_(cal),
+      name_(std::move(name)),
+      pcie_(cal.pcie_gbps),
+      membw_(cal.mem_gbps) {
+  ports_.reserve(cfg_.ports);
+  for (int p = 0; p < cfg_.ports; ++p) {
+    ports_.emplace_back(cfg_.pus_per_port, cal_.link_gbps);
+  }
+  next_pu_per_port_.assign(cfg_.ports, 0);
+}
+
+RnicDevice::~RnicDevice() = default;
+
+CompletionQueue* RnicDevice::CreateCq() {
+  cqs_.push_back(std::make_unique<CompletionQueue>(
+      static_cast<std::uint32_t>(cqs_.size())));
+  return cqs_.back().get();
+}
+
+QueuePair* RnicDevice::CreateQp(const QpConfig& qcfg) {
+  assert(qcfg.send_cq && qcfg.recv_cq && "QPs require send and recv CQs");
+  assert(qcfg.port >= 0 && qcfg.port < cfg_.ports);
+  auto qp = std::make_unique<QueuePair>();
+  qp->id = static_cast<std::uint32_t>(qps_.size());
+  qp->device = this;
+  qp->send_cq = qcfg.send_cq;
+  qp->recv_cq = qcfg.recv_cq;
+  qp->port = qcfg.port;
+  qp->owner_pid = qcfg.owner_pid;
+  if (qcfg.rate_ops_per_sec > 0) {
+    qp->rate_gap = static_cast<sim::Nanos>(1e9 / qcfg.rate_ops_per_sec);
+  }
+
+  const std::size_t sq_bytes = qcfg.sq_depth * kWqeSize;
+  const std::size_t rq_bytes = qcfg.rq_depth * kWqeSize;
+  qp->sq_buf = std::make_unique<std::byte[]>(sq_bytes);
+  qp->rq_buf = std::make_unique<std::byte[]>(rq_bytes);
+  std::fill_n(qp->sq_buf.get(), sq_bytes, std::byte{0});
+  std::fill_n(qp->rq_buf.get(), rq_bytes, std::byte{0});
+  // The WQ rings are the "code region": registered so RDMA verbs (including
+  // loopback CAS/WRITE/RECV-scatter) can rewrite posted WQEs.
+  qp->sq_mr = pd_.Register(qp->sq_buf.get(), sq_bytes, kAccessAll);
+  qp->rq_mr = pd_.Register(qp->rq_buf.get(), rq_bytes, kAccessAll);
+
+  int& rr = next_pu_per_port_[qcfg.port];
+  const int pu = rr;
+  rr = (rr + 1) % cfg_.pus_per_port;
+  qp->sq.Init(qp.get(), /*is_send=*/true, qp->sq_buf.get(), qcfg.sq_depth,
+              qcfg.managed, qcfg.send_cq, pu);
+  qp->rq.Init(qp.get(), /*is_send=*/false, qp->rq_buf.get(), qcfg.rq_depth,
+              /*managed=*/false, qcfg.recv_cq, pu);
+  qps_.push_back(std::move(qp));
+  return qps_.back().get();
+}
+
+CompletionQueue* RnicDevice::GetCq(std::uint32_t id) {
+  return id < cqs_.size() ? cqs_[id].get() : nullptr;
+}
+
+QueuePair* RnicDevice::GetQp(std::uint32_t id) {
+  return id < qps_.size() ? qps_[id].get() : nullptr;
+}
+
+void RnicDevice::RingDoorbell(QueuePair* qp) {
+  WorkQueue& wq = qp->sq;
+  if (wq.managed()) return;  // managed queues advance only via ENABLE
+  ++counters_.doorbells;
+  const std::uint64_t new_limit = wq.posted;
+  if (new_limit <= wq.exec_limit) return;
+  const sim::Nanos delay = cal_.doorbell_mmio + cal_.first_fetch;
+  sim_.After(delay, [this, &wq, new_limit] {
+    if (wq.error) return;
+    SnapshotRange(wq, new_limit);
+    wq.exec_limit = std::max(wq.exec_limit, new_limit);
+    Advance(wq);
+  });
+}
+
+void RnicDevice::NotifyRecvPosted(QueuePair* qp) { ++qp->rq.posted; }
+
+int RnicDevice::PollCq(CompletionQueue* cq, int max, Cqe* out) {
+  return cq->Poll(sim_.now(), max, out);
+}
+
+void RnicDevice::HostEnable(QueuePair* qp, std::uint64_t limit) {
+  WorkQueue& wq = qp->sq;
+  sim_.After(cal_.doorbell_mmio, [this, &wq, limit] {
+    if (wq.error) return;
+    wq.exec_limit = std::max(wq.exec_limit, limit);
+    Advance(wq);
+  });
+}
+
+void RnicDevice::KillProcessResources(int pid) {
+  for (auto& qp : qps_) {
+    if (qp->owner_pid == pid && qp->alive) {
+      qp->alive = false;
+      qp->sq.error = true;
+      qp->rq.error = true;
+    }
+  }
+}
+
+bool RnicDevice::HasLiveQps() const {
+  for (const auto& qp : qps_) {
+    if (qp->alive) return true;
+  }
+  return false;
+}
+
+void RnicDevice::SnapshotRange(WorkQueue& wq, std::uint64_t upto) {
+  for (std::uint64_t i = wq.fetch_horizon; i < upto; ++i) {
+    wq.ImageAt(i) = wq.Slot(i).Load();
+  }
+  wq.fetch_horizon = std::max(wq.fetch_horizon, upto);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+void RnicDevice::Advance(WorkQueue& wq) {
+  if (wq.busy || wq.waiting || wq.error || !wq.qp()->alive) return;
+  if (wq.next_exec >= wq.exec_limit) return;
+  wq.busy = true;
+  const std::uint64_t idx = wq.next_exec;
+  if (idx >= wq.fetch_horizon) {
+    if (wq.managed()) {
+      // Doorbell order: one serialized WQE fetch through the port's fetch
+      // unit. The snapshot is taken when the DMA completes, so modifications
+      // made before that point are honoured — the essence of self-modifying
+      // chains.
+      auto& port = ports_[wq.qp()->port];
+      const sim::Nanos done =
+          port.fetch_unit.Reserve(sim_.now(), cal_.managed_fetch);
+      ++counters_.managed_fetches;
+      sim_.At(done, [this, &wq, idx] {
+        if (wq.error || !wq.qp()->alive) {
+          wq.busy = false;
+          return;
+        }
+        wq.ImageAt(idx) = wq.Slot(idx).Load();
+        wq.fetch_horizon = std::max(wq.fetch_horizon, idx + 1);
+        Issue(wq, idx);
+      });
+      return;
+    }
+    // Non-managed queue executing beyond its snapshot (recycling a plain
+    // queue): fetch now, batch-granular.
+    SnapshotRange(wq, idx + cfg_.prefetch_batch);
+  }
+  Issue(wq, idx);
+}
+
+void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
+  // Precondition: wq.busy == true, snapshot available.
+  const WqeImage img = wq.ImageAt(idx);  // copy: ring slot may be recycled
+  QueuePair* qp = wq.qp();
+  auto& port = ports_[qp->port];
+  auto& pu = port.pus[wq.pu_index()];
+  const Opcode op = img.opcode();
+
+  switch (op) {
+    case Opcode::kWait: {
+      CompletionQueue* cq = GetCq(img.target_id);
+      if (cq == nullptr) {
+        FailWr(wq, img, sim_.now(), WcStatus::kBadOpcode);
+        return;
+      }
+      if (cq->hw_count() >= img.compare_add) {
+        const sim::Nanos done = pu.Reserve(sim_.now(), cal_.pu_wait);
+        sim_.At(done, [this, &wq, idx, img] { FinishControlVerb(wq, idx, img); });
+      } else {
+        // Block; the CQ will wake us when the threshold is reached.
+        wq.busy = false;
+        wq.waiting = true;
+        cq->AddWaiter(&wq, img.compare_add);
+      }
+      return;
+    }
+    case Opcode::kEnable: {
+      const sim::Nanos done = pu.Reserve(sim_.now(), cal_.pu_enable);
+      sim_.At(done, [this, &wq, idx, img] {
+        QueuePair* target = GetQp(img.target_id);
+        if (target != nullptr && target->alive) {
+          WorkQueue& tq = target->sq;
+          tq.exec_limit = std::max(tq.exec_limit, img.compare_add);
+          if (!tq.managed()) SnapshotRange(tq, tq.exec_limit);
+          Advance(tq);
+        }
+        FinishControlVerb(wq, idx, img);
+      });
+      return;
+    }
+    case Opcode::kRecv:
+      FailWr(wq, img, sim_.now(), WcStatus::kBadOpcode);
+      return;
+    default: {
+      if (static_cast<std::uint16_t>(op) >=
+          static_cast<std::uint16_t>(Opcode::kOpcodeCount)) {
+        FailWr(wq, img, sim_.now(), WcStatus::kBadOpcode);
+        return;
+      }
+      // Data verb: pipelined issue through the PU, subject to the QP rate
+      // limiter (§3.5 Isolation).
+      sim::Nanos start = sim_.now();
+      if (qp->rate_gap > 0) {
+        start = std::max(start, qp->next_rate_slot);
+        qp->next_rate_slot = start + qp->rate_gap;
+      }
+      const sim::Nanos service =
+          wq.managed() ? cal_.pu_managed_issue : PuService(op);
+      const sim::Nanos t_issue = pu.Reserve(start, service);
+      sim_.At(t_issue, [this, &wq, idx, img] {
+        if (wq.error || !wq.qp()->alive) {
+          wq.busy = false;
+          return;
+        }
+        ++counters_.executed_by_opcode[static_cast<int>(img.opcode())];
+        ExecuteData(wq, idx, img, sim_.now());
+        // Pipelining: the next WQE may issue without waiting for this one's
+        // completion (WQ order).
+        wq.next_exec = idx + 1;
+        wq.busy = false;
+        Advance(wq);
+      });
+      return;
+    }
+  }
+}
+
+void RnicDevice::FinishControlVerb(WorkQueue& wq, std::uint64_t idx,
+                                   const WqeImage& img) {
+  if (wq.error || !wq.qp()->alive) {
+    wq.busy = false;
+    return;
+  }
+  ++counters_.executed_by_opcode[static_cast<int>(img.opcode())];
+  wq.next_exec = idx + 1;
+  wq.busy = false;
+  if (img.signaled()) {
+    CompleteWr(wq.qp(), wq.cq(), img, sim_.now(), WcStatus::kSuccess, 0);
+  }
+  Advance(wq);
+}
+
+std::vector<Sge> RnicDevice::ResolveSges(const WqeImage& img) const {
+  std::vector<Sge> sges;
+  if (img.uses_sge_table()) {
+    int count = static_cast<int>(img.length);
+    if (count > kMaxSges) count = kMaxSges;
+    sges.resize(count);
+    dma::Read(sges.data(), img.local_addr, sizeof(Sge) * count);
+  } else {
+    sges.push_back(Sge{img.local_addr, img.length, img.lkey});
+  }
+  return sges;
+}
+
+bool RnicDevice::GatherLocal(QueuePair* qp, const WqeImage& img,
+                             std::vector<std::byte>& out, WcStatus* err) {
+  for (const Sge& sge : ResolveSges(img)) {
+    if (sge.length == 0) continue;
+    const MemCheck mc =
+        qp->device->pd_.CheckLocal(sge.addr, sge.length, sge.lkey, kLocalRead);
+    if (mc != MemCheck::kOk) {
+      *err = WcStatus::kLocalAccessError;
+      return false;
+    }
+    const std::size_t off = out.size();
+    out.resize(off + sge.length);
+    dma::Read(out.data() + off, sge.addr, sge.length);
+  }
+  return true;
+}
+
+bool RnicDevice::ScatterList(QueuePair* qp, const WqeImage& img,
+                             const std::byte* data, std::size_t len,
+                             WcStatus* err) {
+  std::size_t consumed = 0;
+  for (const Sge& sge : ResolveSges(img)) {
+    if (consumed >= len) break;
+    const std::size_t chunk =
+        std::min<std::size_t>(sge.length, len - consumed);
+    if (chunk == 0) continue;
+    const MemCheck mc =
+        qp->device->pd_.CheckLocal(sge.addr, chunk, sge.lkey, kLocalWrite);
+    if (mc != MemCheck::kOk) {
+      *err = WcStatus::kLocalAccessError;
+      return false;
+    }
+    dma::Write(sge.addr, data + consumed, chunk);
+    consumed += chunk;
+  }
+  if (consumed < len) {
+    // Payload larger than the scatter list.
+    *err = WcStatus::kLocalAccessError;
+    return false;
+  }
+  return true;
+}
+
+void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
+                             sim::Nanos t_issue) {
+  (void)idx;
+  QueuePair* qp = wq.qp();
+  QueuePair* peer = qp->peer;
+  const sim::Nanos ow = qp->net_one_way;
+  const bool wire = ow > 0;
+  const Opcode op = img.opcode();
+  auto& port = ports_[qp->port];
+
+  switch (op) {
+    case Opcode::kNoop: {
+      // NOP executes inside the NIC: WAIT verbs observe its completion
+      // immediately (Fig 8's cheap completion ordering), but on a
+      // wire-connected QP the host-visible CQE still pays the RC ack round
+      // trip (Fig 7's remote-vs-local NOOP delta).
+      CompleteWr(qp, qp->send_cq, img, t_issue + cal_.exec_noop,
+                 WcStatus::kSuccess, 0,
+                 /*force_cqe=*/false, /*host_extra=*/wire ? 2 * ow : 0);
+      return;
+    }
+    case Opcode::kWrite:
+    case Opcode::kWriteImm:
+    case Opcode::kSend:
+    case Opcode::kSendImm: {
+      if (peer == nullptr || !peer->alive) {
+        FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
+        return;
+      }
+      auto payload = std::make_shared<std::vector<std::byte>>();
+      WcStatus err = WcStatus::kSuccess;
+      if (!GatherLocal(qp, img, *payload, &err)) {
+        FailWr(wq, img, t_issue, err);
+        return;
+      }
+      const std::uint64_t len = payload->size();
+      const sim::Nanos pcie_done = pcie_.Reserve(t_issue, len);
+      const sim::Nanos mem_done = membw_.Reserve(t_issue, len);
+      const sim::Nanos link_done =
+          wire ? port.link.Reserve(t_issue, len) : t_issue;
+      const sim::Nanos t_arrive =
+          std::max({t_issue + ExecCost(op) + DataDelay(len, wire), pcie_done,
+                    mem_done, link_done}) +
+          ow;
+      sim_.At(t_arrive, [this, &wq, qp, peer, img, payload, op, ow, len] {
+        if (wq.error) return;  // QP flushed after an earlier failure
+        WcStatus st = WcStatus::kSuccess;
+        if (!peer->alive) {
+          st = WcStatus::kRemoteAccessError;
+        } else if (op == Opcode::kWrite || op == Opcode::kWriteImm) {
+          st = peer->device->AcceptWrite(peer, img.remote_addr, img.rkey,
+                                         payload->data(), len);
+          if (st == WcStatus::kSuccess && op == Opcode::kWriteImm) {
+            st = peer->device->AcceptSend(peer, nullptr, 0, img.imm,
+                                          /*has_imm=*/true, len);
+          }
+        } else {
+          st = peer->device->AcceptSend(
+              peer, payload->data(), len, img.imm,
+              /*has_imm=*/op == Opcode::kSendImm, len);
+        }
+        if (!qp->alive) return;
+        const sim::Nanos ack = ow > 0 ? ow + cal_.remote_ack_extra : 0;
+        if (st != WcStatus::kSuccess && st != WcStatus::kRnrError) {
+          // Remote failure: the QP enters error state immediately at the
+          // responder (NAK); later-arriving WRs of this QP are flushed.
+          wq.error = true;
+          ++counters_.error_completions;
+        }
+        CompleteWr(qp, qp->send_cq, img, sim_.now() + ack, st,
+                   static_cast<std::uint32_t>(len));
+      });
+      return;
+    }
+    case Opcode::kRead: {
+      if (peer == nullptr || !peer->alive) {
+        FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
+        return;
+      }
+      const sim::Nanos t_req = t_issue + ow;
+      sim_.At(t_req, [this, &wq, qp, peer, img, ow, wire] {
+        if (!peer->alive || !qp->alive) return;
+        RnicDevice* rdev = peer->device;
+        // Remote read length: with a scatter table, the WQE length field
+        // holds the SGE count, so the byte count is the sum of the entries.
+        std::uint64_t len = img.length;
+        if (img.uses_sge_table()) {
+          len = 0;
+          for (const Sge& sge : ResolveSges(img)) len += sge.length;
+        }
+        const MemCheck mc = rdev->pd_.CheckRemote(img.remote_addr, len,
+                                                  img.rkey, kRemoteRead);
+        if (mc != MemCheck::kOk) {
+          FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
+          return;
+        }
+        // Data is captured at the remote memory *now* (request arrival).
+        auto data = std::make_shared<std::vector<std::byte>>(len);
+        if (len > 0) dma::Read(data->data(), img.remote_addr, len);
+        const sim::Nanos t_req_now = sim_.now();
+        const sim::Nanos link_done =
+            wire ? rdev->ports_[peer->port].link.Reserve(t_req_now, len)
+                 : t_req_now;
+        const sim::Nanos pcie_done = pcie_.Reserve(t_req_now, len);
+        const sim::Nanos mem_done = membw_.Reserve(t_req_now, len);
+        const sim::Nanos t_done =
+            std::max({t_req_now + ExecCost(Opcode::kRead) + DataDelay(len, wire),
+                      link_done, pcie_done, mem_done}) +
+            (wire ? ow + cal_.remote_ack_extra : 0);
+        sim_.At(t_done, [this, &wq, qp, img, data, len] {
+          if (!qp->alive) return;
+          WcStatus st = WcStatus::kSuccess;
+          if (!ScatterList(qp, img, data->data(), data->size(), &st)) {
+            FailWr(wq, img, sim_.now(), st);
+            return;
+          }
+          CompleteWr(qp, qp->send_cq, img, sim_.now(), WcStatus::kSuccess,
+                     static_cast<std::uint32_t>(len));
+        });
+      });
+      return;
+    }
+    case Opcode::kCompSwap:
+    case Opcode::kFetchAdd:
+    case Opcode::kCalcMax:
+    case Opcode::kCalcMin: {
+      if (peer == nullptr || !peer->alive) {
+        FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
+        return;
+      }
+      const sim::Nanos t_req = t_issue + ow;
+      sim_.At(t_req, [this, &wq, qp, peer, img, op, ow] {
+        if (!peer->alive || !qp->alive) return;
+        RnicDevice* rdev = peer->device;
+        const MemCheck mc =
+            rdev->pd_.CheckRemote(img.remote_addr, 8, img.rkey, kRemoteAtomic);
+        if (mc != MemCheck::kOk) {
+          FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
+          return;
+        }
+        if (img.remote_addr % 8 != 0) {
+          FailWr(wq, img, sim_.now() + ow, WcStatus::kAlignmentError);
+          return;
+        }
+        // True atomics (CAS/ADD) serialize on the responder port's atomic
+        // unit (PCIe concurrency control) — this is what limits CAS to
+        // 8.4M/s. Vendor calc verbs (MAX/MIN) are not atomic RMWs on the
+        // host bus and run at copy-verb rates (Table 3: MAX 63M/s).
+        const bool true_atomic =
+            op == Opcode::kCompSwap || op == Opcode::kFetchAdd;
+        auto& unit = rdev->ports_[peer->port].atomic_unit;
+        const sim::Nanos unit_done =
+            true_atomic
+                ? unit.Reserve(sim_.now(), rdev->cal_.atomic_unit_service)
+                : sim_.now() + rdev->cal_.atomic_unit_service;
+        auto old_value = std::make_shared<std::uint64_t>(0);
+        sim_.At(unit_done, [img, op, old_value, peer] {
+          if (!peer->alive) return;
+          const std::uint64_t cur = dma::ReadU64(img.remote_addr);
+          *old_value = cur;
+          std::uint64_t next = cur;
+          switch (op) {
+            case Opcode::kCompSwap:
+              if (cur == img.compare_add) next = img.swap;
+              break;
+            case Opcode::kFetchAdd:
+              next = cur + img.compare_add;
+              break;
+            case Opcode::kCalcMax:
+              next = std::max(cur, img.compare_add);
+              break;
+            case Opcode::kCalcMin:
+              next = std::min(cur, img.compare_add);
+              break;
+            default:
+              break;
+          }
+          dma::WriteU64(img.remote_addr, next);
+        });
+        const sim::Nanos t_done =
+            unit_done + ExecCost(op) + (ow > 0 ? ow + cal_.remote_ack_extra : 0);
+        sim_.At(t_done, [this, &wq, qp, img, old_value] {
+          if (!qp->alive) return;
+          // Return the old value into the local sge, if one was given.
+          if (img.local_addr != 0) {
+            WcStatus st = WcStatus::kSuccess;
+            const std::byte* bytes =
+                reinterpret_cast<const std::byte*>(old_value.get());
+            WqeImage resp = img;
+            resp.length = 8;
+            resp.flags &= ~kFlagSgeTable;
+            if (!ScatterList(qp, resp, bytes, 8, &st)) {
+              FailWr(wq, img, sim_.now(), st);
+              return;
+            }
+          }
+          CompleteWr(qp, qp->send_cq, img, sim_.now(), WcStatus::kSuccess, 8);
+        });
+      });
+      return;
+    }
+    default:
+      FailWr(wq, img, t_issue, WcStatus::kBadOpcode);
+      return;
+  }
+}
+
+WcStatus RnicDevice::AcceptWrite(QueuePair* dst_qp, std::uint64_t addr,
+                                 std::uint32_t rkey, const std::byte* data,
+                                 std::size_t len) {
+  const MemCheck mc = pd_.CheckRemote(addr, len, rkey, kRemoteWrite);
+  if (mc != MemCheck::kOk) return WcStatus::kRemoteAccessError;
+  if (len > 0) dma::Write(addr, data, len);
+  (void)dst_qp;
+  return WcStatus::kSuccess;
+}
+
+WcStatus RnicDevice::AcceptSend(QueuePair* dst_qp, const std::byte* data,
+                                std::size_t len, std::uint32_t imm,
+                                bool has_imm, std::size_t reported_len) {
+  WorkQueue& rq = dst_qp->rq;
+  if (rq.consumed >= rq.posted) {
+    ++counters_.rnr_drops;
+    return WcStatus::kRnrError;
+  }
+  const std::uint64_t ridx = rq.consumed++;
+  // RQ WQEs are read at consumption time: current memory contents.
+  const WqeImage rimg = rq.Slot(ridx).Load();
+  WcStatus st = WcStatus::kSuccess;
+  int sges_written = 0;
+  if (data != nullptr && len > 0) {
+    if (!ScatterList(dst_qp, rimg, data, len, &st)) {
+      // fallthrough: deliver an error CQE for the RECV
+    } else {
+      sges_written = rimg.uses_sge_table() ? static_cast<int>(rimg.length) : 1;
+    }
+  }
+  Cqe cqe;
+  cqe.qp_id = dst_qp->id;
+  cqe.wr_id = rimg.wr_id();
+  cqe.opcode = Opcode::kRecv;
+  cqe.status = st;
+  cqe.byte_len = static_cast<std::uint32_t>(reported_len);
+  cqe.imm = imm;
+  cqe.has_imm = has_imm;
+  const sim::Nanos t_hw = sim_.now() + cal_.recv_processing +
+                          sges_written * cal_.recv_scatter_per_sge +
+                          cal_.cq_internal;
+  DeliverCqe(dst_qp->recv_cq, cqe, t_hw);
+  return st;
+}
+
+void RnicDevice::CompleteWr(QueuePair* qp, CompletionQueue* cq,
+                            const WqeImage& img, sim::Nanos t_done,
+                            WcStatus status, std::uint32_t byte_len,
+                            bool force_cqe, sim::Nanos host_extra) {
+  if (status == WcStatus::kSuccess && !img.signaled() && !force_cqe) {
+    // Unsignaled: no CQE, and — critically for RedN's `break` — no bump of
+    // the CQ count that WAIT verbs observe.
+    return;
+  }
+  Cqe cqe;
+  cqe.qp_id = qp->id;
+  cqe.wr_id = img.wr_id();
+  cqe.opcode = img.opcode();
+  cqe.status = status;
+  cqe.byte_len = byte_len;
+  DeliverCqe(cq, cqe, t_done + cal_.cq_internal, host_extra);
+}
+
+void RnicDevice::DeliverCqe(CompletionQueue* cq, const Cqe& cqe,
+                            sim::Nanos t_hw, sim::Nanos host_extra) {
+  sim_.At(t_hw, [this, cq, cqe, host_extra] {
+    ++counters_.cqes;
+    Cqe stamped = cqe;
+    stamped.completed_at = sim_.now();
+    // NIC-internal count first: WAIT verbs see completions before the host.
+    for (WorkQueue* wq : cq->BumpHwCount()) {
+      wq->waiting = false;
+      sim_.After(cal_.wait_resume, [this, wq] { Advance(*wq); });
+    }
+    const sim::Nanos visible_at = sim_.now() + cal_.completion_write + host_extra;
+    cq->PushHostEntry(visible_at, stamped);
+    // Keep simulated time flowing to the visibility instant so pollers that
+    // drive the sim by stepping observe the CQE, and fire the host-notify
+    // hook for event-driven actors.
+    sim_.At(visible_at, [cq] {
+      if (cq->host_notify()) cq->host_notify()();
+    });
+  });
+}
+
+void RnicDevice::FailWr(WorkQueue& wq, const WqeImage& img, sim::Nanos t,
+                        WcStatus status) {
+  ++counters_.error_completions;
+  wq.error = true;
+  wq.busy = false;
+  Cqe cqe;
+  cqe.qp_id = wq.qp()->id;
+  cqe.wr_id = img.wr_id();
+  cqe.opcode = img.opcode();
+  cqe.status = status;
+  DeliverCqe(wq.cq(), cqe, t + cal_.cq_internal);
+}
+
+sim::Nanos RnicDevice::PuService(Opcode op) const {
+  switch (op) {
+    case Opcode::kNoop: return cal_.pu_noop;
+    case Opcode::kWrite:
+    case Opcode::kWriteImm: return cal_.pu_write;
+    case Opcode::kRead: return cal_.pu_read;
+    case Opcode::kSend:
+    case Opcode::kSendImm: return cal_.pu_send;
+    case Opcode::kCompSwap:
+    case Opcode::kFetchAdd: return cal_.pu_atomic;
+    case Opcode::kCalcMax:
+    case Opcode::kCalcMin: return cal_.pu_calc;
+    case Opcode::kWait: return cal_.pu_wait;
+    case Opcode::kEnable: return cal_.pu_enable;
+    default: return cal_.pu_noop;
+  }
+}
+
+sim::Nanos RnicDevice::ExecExtra(Opcode op) const {
+  switch (op) {
+    case Opcode::kNoop: return cal_.exec_noop;
+    case Opcode::kWrite:
+    case Opcode::kWriteImm: return cal_.exec_write;
+    case Opcode::kSend:
+    case Opcode::kSendImm: return cal_.exec_send;
+    case Opcode::kRead: return cal_.exec_read;
+    case Opcode::kCompSwap: return cal_.exec_cas;
+    case Opcode::kFetchAdd: return cal_.exec_add;
+    case Opcode::kCalcMax:
+    case Opcode::kCalcMin: return cal_.exec_calc;
+    default: return 0;
+  }
+}
+
+sim::Nanos RnicDevice::ExecCost(Opcode op) {
+  const sim::Nanos base = ExecExtra(op);
+  if (cal_.jitter_frac <= 0.0) return base;
+  const double f = 1.0 + cal_.jitter_frac * (2.0 * jitter_rng_.NextDouble() - 1.0);
+  return static_cast<sim::Nanos>(static_cast<double>(base) * f);
+}
+
+sim::Nanos RnicDevice::DataDelay(std::uint64_t bytes, bool crosses_wire) const {
+  if (bytes == 0) return 0;
+  sim::Nanos d = pcie_.SerializationDelay(bytes) + membw_.SerializationDelay(bytes);
+  if (crosses_wire) {
+    d += ports_[0].link.SerializationDelay(bytes);
+  } else {
+    d += pcie_.SerializationDelay(bytes);  // loopback crosses PCIe twice
+  }
+  return d;
+}
+
+double RnicDevice::PuUtilisation(int port, sim::Nanos window) const {
+  sim::Nanos busy = 0;
+  for (const auto& pu : ports_[port].pus) busy += pu.busy_time();
+  return static_cast<double>(busy) /
+         (static_cast<double>(window) * ports_[port].pus.size());
+}
+
+double RnicDevice::FetchUnitUtilisation(int port, sim::Nanos window) const {
+  return static_cast<double>(ports_[port].fetch_unit.busy_time()) /
+         static_cast<double>(window);
+}
+
+double RnicDevice::LinkUtilisation(int port, sim::Nanos window) const {
+  return static_cast<double>(ports_[port].link.busy_time()) /
+         static_cast<double>(window);
+}
+
+double RnicDevice::PcieUtilisation(sim::Nanos window) const {
+  return static_cast<double>(pcie_.busy_time()) / static_cast<double>(window);
+}
+
+const char* RnicDevice::BusiestResource(sim::Nanos window) const {
+  double best = 0.0;
+  const char* who = "idle";
+  for (int p = 0; p < cfg_.ports; ++p) {
+    if (PuUtilisation(p, window) > best) {
+      best = PuUtilisation(p, window);
+      who = "NIC PU";
+    }
+    if (FetchUnitUtilisation(p, window) > best) {
+      best = FetchUnitUtilisation(p, window);
+      who = "NIC PU";  // managed fetch is NIC processing (paper's term)
+    }
+    if (LinkUtilisation(p, window) > best) {
+      best = LinkUtilisation(p, window);
+      who = "IB bw";
+    }
+  }
+  if (PcieUtilisation(window) > best) {
+    best = PcieUtilisation(window);
+    who = "PCIe bw";
+  }
+  return who;
+}
+
+void Connect(QueuePair* a, QueuePair* b, sim::Nanos one_way) {
+  a->peer = b;
+  b->peer = a;
+  a->net_one_way = one_way;
+  b->net_one_way = one_way;
+}
+
+void ConnectSelf(QueuePair* qp) {
+  qp->peer = qp;
+  qp->net_one_way = 0;
+}
+
+}  // namespace redn::rnic

@@ -1,0 +1,221 @@
+// The simulated RDMA NIC: queue pairs, verb execution, ordering semantics,
+// and the contended-resource timing model.
+//
+// Execution model (mirrors §3.1 of the paper):
+//  - Every WQ is pinned to one processing unit (PU) on its port; WQEs in a
+//    WQ issue strictly in order, pipelined (issue of n+1 does not wait for
+//    completion of n) — this is "WQ order".
+//  - WAIT blocks a WQ until a target CQ's NIC-internal completion count
+//    reaches a threshold — "completion order".
+//  - Managed queues never prefetch: the NIC fetches (and snapshots) each WQE
+//    one-by-one through a serialized per-port fetch unit, and only up to the
+//    limit raised by ENABLE verbs — "doorbell order". A WQE modified before
+//    its (late) fetch is executed in its *modified* form; a WQE in a
+//    non-managed queue is snapshotted at doorbell time and later
+//    modifications are invisible. This asymmetry is exactly why RedN needs
+//    doorbell ordering for self-modifying code.
+//  - Execution limits are monotonic and may exceed the posted count: that is
+//    WQ recycling (§3.4) — the NIC wraps the ring and re-executes slots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rnic/calibration.h"
+#include "rnic/memory.h"
+#include "rnic/queues.h"
+#include "rnic/wqe.h"
+#include "sim/resource.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace redn::rnic {
+
+class RnicDevice;
+
+// Queue pair: a send queue + receive queue bound to CQs and a port.
+struct QueuePair {
+  std::uint32_t id = 0;
+  RnicDevice* device = nullptr;
+  WorkQueue sq;
+  WorkQueue rq;
+  CompletionQueue* send_cq = nullptr;
+  CompletionQueue* recv_cq = nullptr;
+  QueuePair* peer = nullptr;     // connected remote (or loopback) QP
+  sim::Nanos net_one_way = 0;    // 0 for loopback
+  int port = 0;
+  bool alive = true;             // false once the owning process died
+  int owner_pid = 0;             // resource-ownership for failure experiments
+
+  // WQ rate limiter (ibv_modify_qp_rate_limit analogue): minimum gap
+  // between issued WQEs. 0 = unlimited.
+  sim::Nanos rate_gap = 0;
+  sim::Nanos next_rate_slot = 0;
+
+  std::unique_ptr<std::byte[]> sq_buf;
+  std::unique_ptr<std::byte[]> rq_buf;
+  MemoryRegion sq_mr;  // the registered "code region" (self-modification)
+  MemoryRegion rq_mr;
+
+  std::uint64_t SqWqeAddr(std::uint64_t idx, WqeField f) const {
+    return sq.SlotAddr(idx, f);
+  }
+};
+
+struct QpConfig {
+  std::uint32_t sq_depth = 256;
+  std::uint32_t rq_depth = 256;
+  bool managed = false;  // doorbell-order (no prefetch) send queue
+  int port = 0;
+  CompletionQueue* send_cq = nullptr;  // required
+  CompletionQueue* recv_cq = nullptr;  // required
+  int owner_pid = 0;
+  // Ops/sec cap (0 = unlimited). See §3.5 "Isolation".
+  double rate_ops_per_sec = 0.0;
+};
+
+// Execution counters, used both for reporting and for the paper's WR-budget
+// claims (Table 2, Fig 13's "~30 vs ~50 WRs").
+struct DeviceCounters {
+  std::uint64_t executed_by_opcode[static_cast<int>(Opcode::kOpcodeCount)] = {};
+  std::uint64_t managed_fetches = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t cqes = 0;
+  std::uint64_t rnr_drops = 0;
+  std::uint64_t error_completions = 0;
+
+  std::uint64_t TotalExecuted() const {
+    std::uint64_t t = 0;
+    for (auto v : executed_by_opcode) t += v;
+    return t;
+  }
+};
+
+class RnicDevice {
+ public:
+  RnicDevice(sim::Simulator& sim, NicConfig cfg, Calibration cal,
+             std::string name = "rnic");
+  ~RnicDevice();
+
+  RnicDevice(const RnicDevice&) = delete;
+  RnicDevice& operator=(const RnicDevice&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  const NicConfig& config() const { return cfg_; }
+  const Calibration& cal() const { return cal_; }
+  const std::string& name() const { return name_; }
+  ProtectionDomain& pd() { return pd_; }
+  const DeviceCounters& counters() const { return counters_; }
+
+  // --- Resource setup -------------------------------------------------------
+  CompletionQueue* CreateCq();
+  QueuePair* CreateQp(const QpConfig& cfg);
+  CompletionQueue* GetCq(std::uint32_t id);
+  QueuePair* GetQp(std::uint32_t id);
+
+  // --- Driver-side operations (the "verbs" layer calls these) --------------
+  // Rings the doorbell on a non-managed SQ: the NIC fetches and snapshots
+  // everything posted so far, then starts executing. Managed SQs ignore
+  // doorbells; they advance only via ENABLE.
+  void RingDoorbell(QueuePair* qp);
+  // Notifies the NIC that RECVs were appended (no doorbell latency; RQ WQEs
+  // are read at message arrival).
+  void NotifyRecvPosted(QueuePair* qp);
+  int PollCq(CompletionQueue* cq, int max, Cqe* out);
+  // Host-side ENABLE fallback: lets tests drive managed queues directly.
+  void HostEnable(QueuePair* qp, std::uint64_t limit);
+
+  // --- Failure injection ----------------------------------------------------
+  // Kills every QP owned by `pid` (the OS reclaiming a dead process's
+  // memory); in-flight and future work on those QPs stops, mid-chain.
+  void KillProcessResources(int pid);
+  bool HasLiveQps() const;
+
+  // --- Utilisation introspection (bottleneck reporting for Table 4) --------
+  double PuUtilisation(int port, sim::Nanos window) const;
+  double FetchUnitUtilisation(int port, sim::Nanos window) const;
+  double LinkUtilisation(int port, sim::Nanos window) const;
+  double PcieUtilisation(sim::Nanos window) const;
+  const char* BusiestResource(sim::Nanos window) const;
+
+ private:
+  friend struct QueuePair;
+  struct PortResources {
+    std::vector<sim::FifoResource> pus;
+    sim::FifoResource fetch_unit;   // serialized managed-mode WQE fetches
+    sim::FifoResource atomic_unit;  // PCIe atomic concurrency control
+    sim::BandwidthResource link;
+    explicit PortResources(int pus_count, double link_gbps)
+        : pus(pus_count), link(link_gbps) {}
+  };
+
+  // Engine.
+  void Advance(WorkQueue& wq);
+  void Issue(WorkQueue& wq, std::uint64_t idx);
+  void FinishControlVerb(WorkQueue& wq, std::uint64_t idx, const WqeImage& img);
+  void ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
+                   sim::Nanos t_issue);
+  void CompleteWr(QueuePair* qp, CompletionQueue* cq, const WqeImage& img,
+                  sim::Nanos t_done, WcStatus status, std::uint32_t byte_len,
+                  bool force_cqe = false, sim::Nanos host_extra = 0);
+  // `host_extra` delays only host visibility (e.g. the RC ack a NOP's CQE
+  // waits for), not the NIC-internal count WAIT verbs observe.
+  void DeliverCqe(CompletionQueue* cq, const Cqe& cqe, sim::Nanos t_hw,
+                  sim::Nanos host_extra = 0);
+  void FailWr(WorkQueue& wq, const WqeImage& img, sim::Nanos t, WcStatus status);
+
+  // Incoming traffic from a peer device (or loopback), executed at arrival
+  // time on the responder device.
+  WcStatus AcceptWrite(QueuePair* dst_qp, std::uint64_t addr,
+                       std::uint32_t rkey, const std::byte* data,
+                       std::size_t len);
+  WcStatus AcceptSend(QueuePair* dst_qp, const std::byte* data,
+                      std::size_t len, std::uint32_t imm, bool has_imm,
+                      std::size_t reported_len);
+
+  // Gather/scatter helpers with protection checks.
+  bool GatherLocal(QueuePair* qp, const WqeImage& img,
+                   std::vector<std::byte>& out, WcStatus* err);
+  bool ScatterList(QueuePair* qp, const WqeImage& img, const std::byte* data,
+                   std::size_t len, WcStatus* err);
+  std::vector<Sge> ResolveSges(const WqeImage& img) const;
+
+  sim::Nanos PuService(Opcode op) const;
+  sim::Nanos ExecExtra(Opcode op) const;
+  // ExecExtra with the calibration's jitter applied.
+  sim::Nanos ExecCost(Opcode op);
+  // Store-and-forward serial delay for `bytes` of payload.
+  sim::Nanos DataDelay(std::uint64_t bytes, bool crosses_wire) const;
+
+  std::uint64_t ExecLimitOf(const WorkQueue& wq) const { return wq.exec_limit; }
+  void SnapshotRange(WorkQueue& wq, std::uint64_t upto);
+
+  sim::Simulator& sim_;
+  NicConfig cfg_;
+  Calibration cal_;
+  std::string name_;
+  ProtectionDomain pd_;
+  std::vector<PortResources> ports_;
+  sim::BandwidthResource pcie_;
+  sim::BandwidthResource membw_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::vector<int> next_pu_per_port_;
+  sim::Rng jitter_rng_{0x7e57ab1e};
+  DeviceCounters counters_;
+};
+
+// Connects two QPs as an RC pair with the given one-way wire latency.
+// Pass one_way = 0 and the same device for a loopback connection (the
+// pattern RedN uses for server-local self-modifying chains).
+void Connect(QueuePair* a, QueuePair* b, sim::Nanos one_way);
+
+// Connects a QP to itself — the tightest loopback; SENDs would consume the
+// QP's own RECVs.
+void ConnectSelf(QueuePair* qp);
+
+}  // namespace redn::rnic

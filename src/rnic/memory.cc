@@ -1,0 +1,88 @@
+#include "rnic/memory.h"
+
+#include <cstring>
+
+namespace redn::rnic {
+
+const MemoryRegion& ProtectionDomain::Register(void* ptr, std::size_t len,
+                                               std::uint32_t access) {
+  MemoryRegion mr;
+  mr.addr = dma::AddrOf(ptr);
+  mr.length = len;
+  mr.lkey = next_key_++;
+  mr.rkey = next_key_++;
+  mr.access = access;
+  rkey_to_lkey_[mr.rkey] = mr.lkey;
+  auto [it, inserted] = by_lkey_.emplace(mr.lkey, mr);
+  (void)inserted;
+  return it->second;
+}
+
+bool ProtectionDomain::Deregister(std::uint32_t lkey) {
+  auto it = by_lkey_.find(lkey);
+  if (it == by_lkey_.end()) return false;
+  rkey_to_lkey_.erase(it->second.rkey);
+  by_lkey_.erase(it);
+  return true;
+}
+
+MemCheck ProtectionDomain::CheckLocal(std::uint64_t addr, std::size_t len,
+                                      std::uint32_t lkey,
+                                      std::uint32_t required_access) const {
+  auto it = by_lkey_.find(lkey);
+  if (it == by_lkey_.end()) return MemCheck::kBadKey;
+  const MemoryRegion& mr = it->second;
+  if ((mr.access & required_access) != required_access) return MemCheck::kNoPermission;
+  if (!mr.Contains(addr, len)) return MemCheck::kOutOfBounds;
+  return MemCheck::kOk;
+}
+
+MemCheck ProtectionDomain::CheckRemote(std::uint64_t addr, std::size_t len,
+                                       std::uint32_t rkey,
+                                       std::uint32_t required_access) const {
+  auto it = rkey_to_lkey_.find(rkey);
+  if (it == rkey_to_lkey_.end()) return MemCheck::kBadKey;
+  const MemoryRegion& mr = by_lkey_.at(it->second);
+  if ((mr.access & required_access) != required_access) return MemCheck::kNoPermission;
+  if (!mr.Contains(addr, len)) return MemCheck::kOutOfBounds;
+  return MemCheck::kOk;
+}
+
+namespace dma {
+
+void Copy(std::uint64_t dst, std::uint64_t src, std::size_t len) {
+  std::memmove(reinterpret_cast<void*>(dst), reinterpret_cast<const void*>(src), len);
+}
+
+void Write(std::uint64_t dst, const void* src, std::size_t len) {
+  std::memcpy(reinterpret_cast<void*>(dst), src, len);
+}
+
+void Read(void* dst, std::uint64_t src, std::size_t len) {
+  std::memcpy(dst, reinterpret_cast<const void*>(src), len);
+}
+
+std::uint64_t ReadU64(std::uint64_t addr) {
+  std::uint64_t v;
+  Read(&v, addr, sizeof(v));
+  return v;
+}
+
+void WriteU64(std::uint64_t addr, std::uint64_t value) {
+  Write(addr, &value, sizeof(value));
+}
+
+std::uint32_t ReadU32(std::uint64_t addr) {
+  std::uint32_t v;
+  Read(&v, addr, sizeof(v));
+  return v;
+}
+
+void WriteU32(std::uint64_t addr, std::uint32_t value) {
+  Write(addr, &value, sizeof(value));
+}
+
+std::uint64_t AddrOf(const void* p) { return reinterpret_cast<std::uint64_t>(p); }
+
+}  // namespace dma
+}  // namespace redn::rnic

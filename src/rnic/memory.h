@@ -1,0 +1,85 @@
+// Registered memory: protection domains, memory regions, key checks, DMA.
+//
+// Simulated RDMA targets *real process memory*: an address in a WQE is a
+// reinterpret_cast of a host pointer. Registration attaches lkey/rkey
+// capability tokens and access rights; every NIC access is checked the way
+// the hardware's MTT/MPT would check it. This is what makes self-modifying
+// chains honest — the "code region" is the WQ ring buffer itself, registered
+// like any other memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace redn::rnic {
+
+// Access rights for a memory region (bitmask).
+enum Access : std::uint32_t {
+  kLocalRead = 1u << 0,   // usable as a gather source
+  kLocalWrite = 1u << 1,  // usable as a scatter target
+  kRemoteRead = 1u << 2,
+  kRemoteWrite = 1u << 3,
+  kRemoteAtomic = 1u << 4,
+  kAccessAll = kLocalRead | kLocalWrite | kRemoteRead | kRemoteWrite | kRemoteAtomic,
+};
+
+struct MemoryRegion {
+  std::uint64_t addr = 0;  // start address (host pointer value)
+  std::size_t length = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t access = 0;
+
+  bool Contains(std::uint64_t a, std::size_t len) const {
+    return a >= addr && a + len <= addr + length && a + len >= a;
+  }
+};
+
+// Why an access check failed (surfaces as a CQE error status).
+enum class MemCheck {
+  kOk,
+  kBadKey,
+  kOutOfBounds,
+  kNoPermission,
+};
+
+class ProtectionDomain {
+ public:
+  // Registers [ptr, ptr+len) and returns the region descriptor.
+  const MemoryRegion& Register(void* ptr, std::size_t len, std::uint32_t access);
+
+  // Removes a region; accesses with its keys fail afterwards.
+  bool Deregister(std::uint32_t lkey);
+
+  // Validates a local (lkey) access.
+  MemCheck CheckLocal(std::uint64_t addr, std::size_t len, std::uint32_t lkey,
+                      std::uint32_t required_access) const;
+
+  // Validates a remote (rkey) access.
+  MemCheck CheckRemote(std::uint64_t addr, std::size_t len, std::uint32_t rkey,
+                       std::uint32_t required_access) const;
+
+  std::size_t region_count() const { return by_lkey_.size(); }
+
+ private:
+  std::uint32_t next_key_ = 0x1000;
+  std::unordered_map<std::uint32_t, MemoryRegion> by_lkey_;
+  std::unordered_map<std::uint32_t, std::uint32_t> rkey_to_lkey_;
+};
+
+// DMA helpers: all NIC memory traffic funnels through these, so tests can
+// rely on memcpy semantics (no strict-aliasing surprises).
+namespace dma {
+void Copy(std::uint64_t dst, std::uint64_t src, std::size_t len);
+void Write(std::uint64_t dst, const void* src, std::size_t len);
+void Read(void* dst, std::uint64_t src, std::size_t len);
+std::uint64_t ReadU64(std::uint64_t addr);
+void WriteU64(std::uint64_t addr, std::uint64_t value);
+std::uint32_t ReadU32(std::uint64_t addr);
+void WriteU32(std::uint64_t addr, std::uint32_t value);
+std::uint64_t AddrOf(const void* p);
+}  // namespace dma
+
+}  // namespace redn::rnic

@@ -1,0 +1,64 @@
+#include "rnic/queues.h"
+
+#include <algorithm>
+
+namespace redn::rnic {
+
+const char* WcStatusName(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess: return "SUCCESS";
+    case WcStatus::kLocalAccessError: return "LOCAL_ACCESS_ERROR";
+    case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRnrError: return "RNR_ERROR";
+    case WcStatus::kAlignmentError: return "ALIGNMENT_ERROR";
+    case WcStatus::kBadOpcode: return "BAD_OPCODE";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<WorkQueue*> CompletionQueue::BumpHwCount() {
+  ++hw_count_;
+  std::vector<WorkQueue*> ready;
+  auto it = waiters_.begin();
+  while (it != waiters_.end()) {
+    if (it->threshold <= hw_count_) {
+      ready.push_back(it->wq);
+      it = waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return ready;
+}
+
+int CompletionQueue::Poll(sim::Nanos now, int max, Cqe* out) {
+  int n = 0;
+  while (n < max && !host_entries_.empty() && host_entries_.front().first <= now) {
+    out[n++] = host_entries_.front().second;
+    host_entries_.pop_front();
+  }
+  return n;
+}
+
+std::size_t CompletionQueue::HostDepth(sim::Nanos now) const {
+  std::size_t n = 0;
+  for (const auto& [t, cqe] : host_entries_) {
+    if (t <= now) ++n;
+  }
+  return n;
+}
+
+void WorkQueue::Init(QueuePair* qp, bool is_send, std::byte* slots,
+                     std::uint32_t capacity, bool managed, CompletionQueue* cq,
+                     int pu_index) {
+  qp_ = qp;
+  is_send_ = is_send;
+  slots_ = slots;
+  capacity_ = capacity;
+  managed_ = managed;
+  cq_ = cq;
+  pu_index_ = pu_index;
+  images_.assign(capacity, WqeImage{});
+}
+
+}  // namespace redn::rnic

@@ -1,0 +1,140 @@
+// Work queues and completion queues.
+//
+// A WorkQueue is a circular buffer of 64-byte WQE slots living in registered
+// host memory. All progress counters are *monotonic absolute indices* (never
+// reset on wrap) — this mirrors ConnectX behaviour and is load-bearing for
+// RedN: WQ recycling re-executes old slots by pushing the execution limit
+// past the number of posted WQEs, and WAIT/ENABLE thresholds must keep
+// increasing (the paper's ADD-on-wqe_count trick, §3.4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rnic/wqe.h"
+#include "sim/time.h"
+
+namespace redn::rnic {
+
+class RnicDevice;
+class WorkQueue;
+struct QueuePair;
+
+// Completion status carried in a CQE.
+enum class WcStatus {
+  kSuccess,
+  kLocalAccessError,   // lkey / bounds / permission on the local side
+  kRemoteAccessError,  // rkey / bounds / permission on the remote side
+  kRnrError,           // SEND arrived with no RECV posted
+  kAlignmentError,     // atomic target not 8-byte aligned
+  kBadOpcode,          // malformed WQE (e.g. RECV opcode in a send queue)
+};
+
+const char* WcStatusName(WcStatus s);
+
+struct Cqe {
+  std::uint32_t qp_id = 0;
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kNoop;
+  WcStatus status = WcStatus::kSuccess;
+  std::uint32_t byte_len = 0;
+  std::uint32_t imm = 0;
+  bool has_imm = false;
+  sim::Nanos completed_at = 0;  // NIC-internal completion time
+};
+
+// Completion queue. Two notions of visibility:
+//  - hw_count: cumulative number of CQEs as seen *inside* the NIC; WAIT
+//    verbs compare their threshold against this.
+//  - host entries: CQEs become pollable only after the CQE DMA delay.
+class CompletionQueue {
+ public:
+  CompletionQueue(std::uint32_t id) : id_(id) {}
+
+  std::uint32_t id() const { return id_; }
+  std::uint64_t hw_count() const { return hw_count_; }
+
+  // --- engine side ---
+  struct Waiter {
+    WorkQueue* wq;
+    std::uint64_t threshold;
+  };
+  void AddWaiter(WorkQueue* wq, std::uint64_t threshold) {
+    waiters_.push_back(Waiter{wq, threshold});
+  }
+  // Bumps the NIC-internal count; returns waiters whose threshold is now met
+  // (removed from the wait list).
+  std::vector<WorkQueue*> BumpHwCount();
+  void PushHostEntry(sim::Nanos visible_at, const Cqe& cqe) {
+    host_entries_.push_back({visible_at, cqe});
+  }
+
+  // --- host side ---
+  // Pops up to `max` CQEs visible at time `now`.
+  int Poll(sim::Nanos now, int max, Cqe* out);
+  std::size_t HostDepth(sim::Nanos now) const;
+
+  // Host notification hook: invoked (in simulation context) whenever a CQE
+  // becomes host-visible. Models an interrupt / busy-poll observation point;
+  // actors add their own poll-interval or event-wakeup delay on top.
+  void SetHostNotify(std::function<void()> fn) { host_notify_ = std::move(fn); }
+  const std::function<void()>& host_notify() const { return host_notify_; }
+
+ private:
+  std::uint32_t id_;
+  std::function<void()> host_notify_;
+  std::uint64_t hw_count_ = 0;
+  std::vector<Waiter> waiters_;
+  std::deque<std::pair<sim::Nanos, Cqe>> host_entries_;
+};
+
+// One direction of a queue pair (send queue or receive queue).
+class WorkQueue {
+ public:
+  void Init(QueuePair* qp, bool is_send, std::byte* slots, std::uint32_t capacity,
+            bool managed, CompletionQueue* cq, int pu_index);
+
+  QueuePair* qp() const { return qp_; }
+  bool is_send() const { return is_send_; }
+  bool managed() const { return managed_; }
+  std::uint32_t capacity() const { return capacity_; }
+  CompletionQueue* cq() const { return cq_; }
+  int pu_index() const { return pu_index_; }
+
+  // Raw slot view for absolute index `idx` (wraps modulo capacity).
+  WqeView Slot(std::uint64_t idx) const {
+    return WqeView(slots_ + (idx % capacity_) * kWqeSize);
+  }
+  std::uint64_t SlotAddr(std::uint64_t idx, WqeField f) const {
+    return Slot(idx).FieldAddr(f);
+  }
+
+  // Fetched snapshot for absolute index `idx`.
+  WqeImage& ImageAt(std::uint64_t idx) { return images_[idx % capacity_]; }
+
+  // --- progress counters (all monotonic) ---
+  std::uint64_t posted = 0;         // WQEs written by the driver
+  std::uint64_t exec_limit = 0;     // doorbell (non-managed) / enable (managed)
+  std::uint64_t fetch_horizon = 0;  // WQEs snapshotted by the NIC
+  std::uint64_t next_exec = 0;      // next WQE to issue
+  std::uint64_t consumed = 0;       // RQ only: RECVs consumed by arrivals
+
+  // --- engine state ---
+  bool busy = false;     // a fetch/issue is in flight for this queue
+  bool waiting = false;  // blocked in a WAIT verb
+  bool error = false;    // QP moved to error state; no further processing
+
+ private:
+  QueuePair* qp_ = nullptr;
+  bool is_send_ = true;
+  std::byte* slots_ = nullptr;
+  std::uint32_t capacity_ = 0;
+  bool managed_ = false;
+  CompletionQueue* cq_ = nullptr;
+  int pu_index_ = 0;
+  std::vector<WqeImage> images_;
+};
+
+}  // namespace redn::rnic

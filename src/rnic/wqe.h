@@ -1,0 +1,147 @@
+// Work Queue Entry (WQE) binary layout.
+//
+// WQEs live as raw bytes inside work-queue ring buffers in (simulated) host
+// memory, exactly like mlx5 WQEs live in a memory-mapped send queue. RedN's
+// entire trick depends on this: a CAS/WRITE/RECV-scatter that targets the
+// *address of a WQE field* rewrites the program the NIC will execute.
+//
+// Layout (64 bytes, little-endian words):
+//
+//   offset 0  : u64 ctrl         [63:48] opcode | [47:0] wr_id ("id" field)
+//   offset 8  : u64 remote_addr
+//   offset 16 : u32 rkey
+//   offset 20 : u32 flags        bit0 SIGNALED, bit1 SGE_TABLE
+//   offset 24 : u64 local_addr   (or SGE-table pointer when SGE_TABLE)
+//   offset 32 : u32 length       (or SGE count when SGE_TABLE)
+//   offset 36 : u32 lkey
+//   offset 40 : u64 compare_add  CAS compare / ADD operand / WAIT+ENABLE count
+//   offset 48 : u64 swap         CAS swap / CALC operand
+//   offset 56 : u32 target_id    WAIT: CQ id / ENABLE: QP id
+//   offset 60 : u32 imm
+//
+// The ctrl word packs the opcode into the top 16 bits and the 48-bit wr_id
+// below it. This is why RedN conditionals carry 48-bit operands (§3.5): one
+// 64-bit CAS on the ctrl word compares {opcode, id} against {NOOP, x} and can
+// swap in {WRITE, x}, flipping a no-op into an enabled instruction exactly
+// when the ids match.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "rnic/memory.h"
+
+namespace redn::rnic {
+
+inline constexpr std::size_t kWqeSize = 64;
+inline constexpr std::uint64_t kWrIdMask = (1ULL << 48) - 1;
+
+enum class Opcode : std::uint16_t {
+  kNoop = 0,  // must be 0 so a bare 48-bit key compares equal to a NOOP ctrl
+  kWrite = 1,
+  kWriteImm = 2,
+  kRead = 3,
+  kSend = 4,
+  kSendImm = 5,
+  kRecv = 6,
+  kCompSwap = 7,   // CAS
+  kFetchAdd = 8,   // ADD
+  kCalcMax = 9,    // vendor Calc verb (ConnectX)
+  kCalcMin = 10,
+  kWait = 11,      // cross-channel: block until CQ count reaches threshold
+  kEnable = 12,    // cross-channel: raise a managed queue's fetch limit
+  kOpcodeCount = 13,
+};
+
+const char* OpcodeName(Opcode op);
+
+enum WqeFlags : std::uint32_t {
+  kFlagSignaled = 1u << 0,  // produce a CQE (and count toward WAIT)
+  kFlagSgeTable = 1u << 1,  // local_addr points to an Sge[length] table
+};
+
+// Scatter/gather element for multi-entry lists (RECV scatter, READ response
+// scatter). A RECV can scatter into at most kMaxSges entries (§5.3: "RECVs
+// can only perform 16 scatters").
+struct Sge {
+  std::uint64_t addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+};
+inline constexpr int kMaxSges = 16;
+
+// Field identifiers used to compute self-modification target addresses.
+enum class WqeField : std::uint32_t {
+  kCtrl = 0,         // the {opcode, wr_id} word — CAS target for conditionals
+  kRemoteAddr = 8,
+  kRkey = 16,
+  kFlags = 20,
+  kLocalAddr = 24,
+  kLength = 32,
+  kLkey = 36,
+  kCompareAdd = 40,
+  kSwap = 48,
+  kTargetId = 56,
+  kImm = 60,
+};
+
+constexpr std::size_t FieldOffset(WqeField f) { return static_cast<std::size_t>(f); }
+
+// Packs {opcode, id} into a ctrl word.
+constexpr std::uint64_t PackCtrl(Opcode op, std::uint64_t wr_id) {
+  return (static_cast<std::uint64_t>(op) << 48) | (wr_id & kWrIdMask);
+}
+constexpr Opcode CtrlOpcode(std::uint64_t ctrl) {
+  return static_cast<Opcode>(ctrl >> 48);
+}
+constexpr std::uint64_t CtrlWrId(std::uint64_t ctrl) { return ctrl & kWrIdMask; }
+
+// A decoded, value-semantics snapshot of one WQE. The NIC operates on
+// snapshots taken at *fetch* time — this is what makes prefetch staleness
+// observable and doorbell ordering necessary.
+struct WqeImage {
+  std::uint64_t ctrl = 0;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t local_addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+  std::uint64_t compare_add = 0;
+  std::uint64_t swap = 0;
+  std::uint32_t target_id = 0;
+  std::uint32_t imm = 0;
+
+  Opcode opcode() const { return CtrlOpcode(ctrl); }
+  std::uint64_t wr_id() const { return CtrlWrId(ctrl); }
+  bool signaled() const { return flags & kFlagSignaled; }
+  bool uses_sge_table() const { return flags & kFlagSgeTable; }
+};
+
+// Mutable view over 64 raw WQE bytes in host memory. The driver (verbs
+// layer) uses it to post WRs; RDMA verbs modify the same bytes via dma::*.
+class WqeView {
+ public:
+  explicit WqeView(std::byte* base) : base_(base) {}
+
+  std::uint64_t addr() const { return dma::AddrOf(base_); }
+  std::uint64_t FieldAddr(WqeField f) const { return addr() + FieldOffset(f); }
+
+  WqeImage Load() const;
+  void Store(const WqeImage& img);
+  void Clear();
+
+  // Typed field accessors (reads/writes through dma helpers).
+  std::uint64_t ctrl() const { return dma::ReadU64(FieldAddr(WqeField::kCtrl)); }
+  void set_ctrl(std::uint64_t v) { dma::WriteU64(FieldAddr(WqeField::kCtrl), v); }
+  Opcode opcode() const { return CtrlOpcode(ctrl()); }
+  void set_opcode(Opcode op) { set_ctrl(PackCtrl(op, CtrlWrId(ctrl()))); }
+  std::uint64_t wr_id() const { return CtrlWrId(ctrl()); }
+  void set_wr_id(std::uint64_t id) { set_ctrl(PackCtrl(opcode(), id)); }
+
+ private:
+  std::byte* base_;
+};
+
+}  // namespace redn::rnic

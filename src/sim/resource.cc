@@ -1,0 +1,22 @@
+#include "sim/resource.h"
+
+namespace redn::sim {
+
+Nanos FifoResource::Reserve(Nanos now, Nanos service) {
+  const Nanos start = free_at_ > now ? free_at_ : now;
+  free_at_ = start + service;
+  busy_time_ += service;
+  ++jobs_;
+  return free_at_;
+}
+
+Nanos BandwidthResource::Reserve(Nanos now, std::uint64_t bytes) {
+  const Nanos service = SerializationDelay(bytes);
+  const Nanos start = free_at_ > now ? free_at_ : now;
+  free_at_ = start + service;
+  busy_time_ += service;
+  bytes_moved_ += bytes;
+  return free_at_;
+}
+
+}  // namespace redn::sim

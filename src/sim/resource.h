@@ -1,0 +1,82 @@
+// Contended hardware resources for the timing model.
+//
+// Two shapes cover everything the RNIC model needs:
+//  - FifoResource: a serial server (a processing unit, the WQE fetch engine,
+//    the PCIe atomic unit, a CPU core). Work items occupy it back-to-back.
+//  - BandwidthResource: a pipe with a byte rate (IB link, PCIe, memory bus).
+//    Transfers occupy it for size/rate.
+//
+// Both are *reservation* models: callers ask "if I submit work of this size
+// now, when does it finish?" and the resource advances its horizon. This is
+// exact for FIFO service and keeps the event count low (one event per
+// completion, none for queue churn).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace redn::sim {
+
+// A serial FIFO server. `Reserve(now, service)` returns the completion time
+// of a work item of duration `service` submitted at `now`.
+class FifoResource {
+ public:
+  FifoResource() = default;
+
+  // Reserves the resource; returns completion time.
+  Nanos Reserve(Nanos now, Nanos service);
+
+  // Start time the next reservation would get.
+  Nanos NextFree(Nanos now) const { return free_at_ > now ? free_at_ : now; }
+
+  // Total busy time accumulated (for utilisation reporting).
+  Nanos busy_time() const { return busy_time_; }
+  std::uint64_t jobs() const { return jobs_; }
+
+  void Reset() {
+    free_at_ = 0;
+    busy_time_ = 0;
+    jobs_ = 0;
+  }
+
+ private:
+  Nanos free_at_ = 0;
+  Nanos busy_time_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+// A shared pipe with a fixed byte rate. `Reserve(now, bytes)` returns the
+// time at which the last byte has passed through.
+class BandwidthResource {
+ public:
+  // `gbits_per_sec` is the effective data rate of the pipe.
+  explicit BandwidthResource(double gbits_per_sec)
+      : ns_per_byte_(8.0 / gbits_per_sec) {}
+
+  Nanos Reserve(Nanos now, std::uint64_t bytes);
+
+  // Pure serialization delay of `bytes` through this pipe, ignoring queueing.
+  // Used for store-and-forward latency terms.
+  Nanos SerializationDelay(std::uint64_t bytes) const {
+    return static_cast<Nanos>(ns_per_byte_ * static_cast<double>(bytes));
+  }
+
+  double gbps() const { return 8.0 / ns_per_byte_; }
+  Nanos busy_time() const { return busy_time_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+  void Reset() {
+    free_at_ = 0;
+    busy_time_ = 0;
+    bytes_moved_ = 0;
+  }
+
+ private:
+  double ns_per_byte_;
+  Nanos free_at_ = 0;
+  Nanos busy_time_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace redn::sim

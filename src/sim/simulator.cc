@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace redn::sim {
+
+void Simulator::At(Nanos t, Action action) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns a const ref; move out via const_cast is
+  // UB-prone, so copy the action handle (std::function copy) then pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++events_processed_;
+  ev.action();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Nanos t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::Reset() {
+  queue_ = {};
+  now_ = 0;
+  next_seq_ = 0;
+}
+
+}  // namespace redn::sim

@@ -1,0 +1,68 @@
+// Deterministic discrete-event simulator.
+//
+// The whole RNIC model is single-threaded and event-driven: hardware units,
+// host CPUs, and clients are all actors that schedule closures at absolute
+// simulated times. Events scheduled for the same instant run in FIFO order
+// of scheduling, which makes runs bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace redn::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  // Current simulated time.
+  Nanos now() const { return now_; }
+
+  // Schedules `action` to run at absolute time `t`. Scheduling into the past
+  // clamps to `now()` (the action runs as the next event at current time).
+  void At(Nanos t, Action action);
+
+  // Schedules `action` to run `delay` ns from now.
+  void After(Nanos delay, Action action) { At(now_ + delay, std::move(action)); }
+
+  // Runs a single event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs until the event queue drains.
+  void Run();
+
+  // Runs until the queue drains or simulated time would exceed `t`.
+  // Events scheduled exactly at `t` are executed.
+  void RunUntil(Nanos t);
+
+  // Drops all pending events and resets the clock to zero. Statistics
+  // (events_processed) are kept; they are cumulative per Simulator.
+  void Reset();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Nanos time;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace redn::sim

@@ -1,0 +1,31 @@
+// Simulated time primitives.
+//
+// All simulated time in this project is carried as signed 64-bit
+// nanoseconds. Helpers below convert to/from the microsecond values the
+// paper reports.
+#pragma once
+
+#include <cstdint>
+
+namespace redn::sim {
+
+// Nanoseconds of simulated time. Signed so durations can be subtracted
+// without surprises; the simulator never schedules into the past.
+using Nanos = std::int64_t;
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+// Converts a nanosecond count to (fractional) microseconds for reporting.
+constexpr double ToMicros(Nanos ns) { return static_cast<double>(ns) / 1e3; }
+
+// Converts a nanosecond count to (fractional) seconds for reporting.
+constexpr double ToSeconds(Nanos ns) { return static_cast<double>(ns) / 1e9; }
+
+// Convenience literals used throughout the calibration tables.
+constexpr Nanos Micros(double us) { return static_cast<Nanos>(us * 1e3); }
+constexpr Nanos Millis(double ms) { return static_cast<Nanos>(ms * 1e6); }
+constexpr Nanos Seconds(double s) { return static_cast<Nanos>(s * 1e9); }
+
+}  // namespace redn::sim

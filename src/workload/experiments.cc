@@ -1,0 +1,210 @@
+#include "workload/experiments.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "baseline/two_sided.h"
+#include "kv/memcached.h"
+#include "offloads/hash_harness.h"
+#include "rnic/device.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "verbs/verbs.h"
+
+namespace redn::workload {
+namespace {
+
+using baseline::TwoSidedKvClient;
+using baseline::TwoSidedKvServer;
+
+// Starts `writers` closed-loop set clients against `server`. Each writer
+// owns a distinct 10K-key range and walks it sequentially (the paper's
+// §5.5 setup). Returns the clients (caller keeps them alive).
+std::vector<std::unique_ptr<TwoSidedKvClient>> StartWriters(
+    rnic::RnicDevice& cdev, TwoSidedKvServer& server, int writers) {
+  server.set_writers(writers);
+  std::vector<std::unique_ptr<TwoSidedKvClient>> out;
+  for (int w = 0; w < writers; ++w) {
+    out.push_back(std::make_unique<TwoSidedKvClient>(cdev, server, 4096));
+    TwoSidedKvClient* c = out.back().get();
+    const std::uint64_t base = 1'000'000ULL * (w + 1);
+    auto next = std::make_shared<std::uint64_t>(0);
+    // Closed loop: the ack callback immediately issues the next set.
+    auto loop = std::make_shared<std::function<void(sim::Nanos)>>();
+    *loop = [c, base, next, loop](sim::Nanos) {
+      const std::uint64_t key = base + (*next)++ % 10'000;
+      c->SendSet(key, 64, *loop);
+    };
+    (*loop)(0);
+  }
+  return out;
+}
+
+}  // namespace
+
+ContentionResult RunTwoSidedContention(int writers, int n_gets,
+                                       std::uint64_t seed) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  kv::RdmaHashTable table(sdev, {.buckets = 1 << 16});
+  kv::ValueHeap heap(sdev, 256 << 20);
+  TwoSidedKvServer server(sdev, table, heap, TwoSidedKvServer::Mode::kPolling);
+
+  // Reader's keys.
+  sim::Rng rng(seed);
+  std::vector<std::byte> v(64, std::byte{0x5a});
+  for (std::uint64_t k = 1; k <= 10'000; ++k) {
+    table.Insert(k, heap.Store(v.data(), 64), 64);
+  }
+
+  auto writers_alive = StartWriters(cdev, server, writers);
+  TwoSidedKvClient reader(cdev, server, 4096);
+
+  sim::LatencyRecorder rec;
+  for (int i = 0; i < n_gets; ++i) {
+    const std::uint64_t key = 1 + rng.NextBelow(10'000);
+    auto r = reader.Get(key, sim::Millis(50));
+    if (r.ok) rec.Add(r.latency);
+  }
+  return ContentionResult{rec.MeanUs(), rec.PercentileUs(99), rec.count()};
+}
+
+ContentionResult RunRedNContention(int writers, int n_gets,
+                                   std::uint64_t seed) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+
+  // Writers hammer the CPU through a two-sided server sharing the device.
+  kv::RdmaHashTable wtable(sdev, {.buckets = 1 << 16});
+  kv::ValueHeap wheap(sdev, 256 << 20);
+  TwoSidedKvServer wserver(sdev, wtable, wheap,
+                           TwoSidedKvServer::Mode::kPolling);
+  auto writers_alive = StartWriters(cdev, wserver, writers);
+
+  // The reader's gets are NIC-served; the contended CPU is not involved.
+  offloads::HashGetHarness harness(cdev, sdev,
+                                   {.buckets = 1, .max_requests = n_gets + 16});
+  sim::Rng rng(seed);
+  for (std::uint64_t k = 1; k <= 1'000; ++k) harness.PutPattern(k, 64);
+  harness.Arm(n_gets + 8);
+
+  sim::LatencyRecorder rec;
+  for (int i = 0; i < n_gets; ++i) {
+    const std::uint64_t key = 1 + rng.NextBelow(1'000);
+    auto r = harness.Get(key, sim::Millis(5));
+    if (r.found) rec.Add(r.latency);
+  }
+  return ContentionResult{rec.MeanUs(), rec.PercentileUs(99), rec.count()};
+}
+
+FailoverResult RunFailover(const FailoverConfig& cfg) {
+  sim::Simulator sim;
+  rnic::RnicDevice cdev(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+
+  sim::ThroughputTimeline timeline(cfg.bucket, cfg.horizon);
+  std::uint64_t sent = 0;
+  auto served = std::make_shared<std::uint64_t>(0);
+  const std::uint64_t total_ops = static_cast<std::uint64_t>(
+      cfg.rate_per_sec * sim::ToSeconds(cfg.horizon));
+  const sim::Nanos gap =
+      static_cast<sim::Nanos>(1e9 / cfg.rate_per_sec);
+
+  std::unique_ptr<kv::MemcachedServer> mc;
+  std::unique_ptr<offloads::HashGetHarness> harness;
+  std::unique_ptr<TwoSidedKvClient> client;
+
+  if (cfg.redn) {
+    harness = std::make_unique<offloads::HashGetHarness>(
+        cdev, sdev,
+        offloads::HashGetOffload::Config{
+            .buckets = 2,  // keys displaced to their H2 bucket stay visible
+            .max_requests = static_cast<int>(total_ops) + 32},
+        kv::RdmaHashTable::Config{.buckets = 1 << 16});
+    for (int k = 1; k <= cfg.keys; ++k) {
+      harness->PutPattern(static_cast<std::uint64_t>(k), cfg.value_len);
+    }
+    harness->SetServerOwner(cfg.hull_parent ? kv::MemcachedServer::kHullPid
+                                            : kv::MemcachedServer::kAppPid);
+    harness->Arm(static_cast<int>(total_ops) + 16);
+    // Count responses as they land.
+    harness->client_recv_cq()->SetHostNotify([&sim, &cdev, h = harness.get(),
+                                              served, &timeline] {
+      rnic::Cqe cqe;
+      while (cdev.PollCq(h->client_recv_cq(), 1, &cqe) == 1) {
+        h->NoteOpenLoopResponse(cqe.qp_id);
+        ++*served;
+        timeline.Record(sim.now());
+      }
+    });
+  } else {
+    kv::MemcachedServer::Config mcfg;
+    mcfg.rpc_mode = TwoSidedKvServer::Mode::kPolling;
+    mcfg.hull_parent = cfg.hull_parent;
+    mc = std::make_unique<kv::MemcachedServer>(sdev, mcfg);
+    for (int k = 1; k <= cfg.keys; ++k) {
+      mc->SetPattern(static_cast<std::uint64_t>(k), cfg.value_len);
+    }
+    client = std::make_unique<TwoSidedKvClient>(cdev, mc->rpc(), 4096);
+  }
+
+  // Open-loop get stream.
+  sim::Rng rng(99);
+  std::function<void()> tick = [&] {
+    if (sim.now() >= cfg.horizon) return;
+    const std::uint64_t key = 1 + rng.NextBelow(cfg.keys);
+    if (cfg.redn) {
+      harness->SendTrigger(key);
+    } else {
+      client->SendGet(key, [&sim, served, &timeline](sim::Nanos) {
+        ++*served;
+        timeline.Record(sim.now());
+      });
+    }
+    ++sent;
+    sim.After(gap, tick);
+  };
+  sim.After(gap, tick);
+
+  // The crash.
+  sim.At(cfg.crash_at, [&] {
+    if (cfg.redn) {
+      // The Memcached process dies; the OS reclaims resources owned by the
+      // app pid. With the hull parent, the armed chains are untouched.
+      if (!cfg.hull_parent) {
+        sdev.KillProcessResources(kv::MemcachedServer::kAppPid);
+      }
+    } else {
+      mc->CrashProcess();
+    }
+  });
+
+  sim.RunUntil(cfg.horizon + sim::Seconds(1));
+
+  FailoverResult out;
+  out.sent = sent;
+  out.served = *served;
+  // Normalize against the pre-crash plateau.
+  double plateau = 1.0;
+  const std::size_t crash_bucket =
+      static_cast<std::size_t>(cfg.crash_at / cfg.bucket);
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t b = 1; b + 1 < crash_bucket && b < timeline.buckets(); ++b) {
+    sum += static_cast<double>(timeline.count(b));
+    ++n;
+  }
+  plateau = n > 0 ? sum / static_cast<double>(n) : 1.0;
+  if (plateau <= 0) plateau = 1.0;
+  for (std::size_t b = 0; b < timeline.buckets(); ++b) {
+    const double norm =
+        std::min(1.25, static_cast<double>(timeline.count(b)) / plateau);
+    out.normalized.push_back(norm);
+    if (b > 0 && norm < 0.05) out.outage_seconds += sim::ToSeconds(cfg.bucket);
+  }
+  return out;
+}
+
+}  // namespace redn::workload

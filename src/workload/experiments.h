@@ -1,0 +1,59 @@
+// End-to-end experiment drivers for the evaluation's macro figures.
+//
+// Each function builds a fresh two-node topology (client(s) + server),
+// runs the workload, and returns the measurements the paper plots. Both the
+// benches and the integration tests call these, so figure generation is a
+// thin formatting layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace redn::workload {
+
+// --- Fig 15: performance isolation under CPU contention ---------------------
+//
+// One reader issues gets while `writers` closed-loop clients hammer the
+// server with set RPCs (distinct 10K-key ranges, accessed sequentially).
+// Baseline gets go through the two-sided CPU path; RedN gets are NIC-served.
+struct ContentionResult {
+  double avg_us = 0;
+  double p99_us = 0;
+  std::uint64_t gets = 0;
+};
+
+ContentionResult RunTwoSidedContention(int writers, int n_gets,
+                                       std::uint64_t seed = 1);
+ContentionResult RunRedNContention(int writers, int n_gets,
+                                   std::uint64_t seed = 1);
+
+// --- Fig 16: failure resiliency ---------------------------------------------
+//
+// An open-loop client issues gets at `rate_per_sec` for `horizon`; the
+// Memcached process is killed at `crash_at`. Returns per-bucket served
+// throughput, normalized to the pre-crash plateau.
+struct FailoverConfig {
+  bool redn = false;        // NIC-served gets vs two-sided vanilla Memcached
+  bool hull_parent = true;  // RDMA resources owned by the empty-hull parent
+  double rate_per_sec = 2000;
+  sim::Nanos horizon = sim::Seconds(12);
+  sim::Nanos crash_at = sim::Seconds(5);
+  sim::Nanos bucket = sim::Seconds(0.25);
+  std::uint32_t value_len = 64;
+  int keys = 10'000;
+};
+
+struct FailoverResult {
+  std::vector<double> normalized;  // served-throughput per bucket, 0..1
+  std::uint64_t served = 0;
+  std::uint64_t sent = 0;
+  // Seconds of wall time with (near-)zero service.
+  double outage_seconds = 0;
+};
+
+FailoverResult RunFailover(const FailoverConfig& cfg);
+
+}  // namespace redn::workload

@@ -1,0 +1,281 @@
+// Edge cases and failure-injection tests for the RNIC engine: zero-length
+// ops, scatter-list limits, waiter bookkeeping, rate-limiter precision,
+// mid-chain teardown, and utilisation accounting.
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+#include "testbed.h"
+
+namespace redn::test {
+namespace {
+
+using verbs::AwaitCqe;
+using verbs::AwaitCqes;
+using verbs::Cqe;
+using verbs::MakeEnable;
+using verbs::MakeNoop;
+using verbs::MakeWait;
+using verbs::MakeWrite;
+using verbs::PostSend;
+using verbs::PostSendNow;
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  TestBed bed;
+};
+
+TEST_F(EdgeTest, ZeroLengthWriteCompletes) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, 8);
+  Buffer dst = bed.Alloc(bed.server, 8);
+  dst.SetU64(0, 0x55);
+  PostSendNow(cqp, MakeWrite(src.addr(), 0, src.lkey(), dst.addr(), dst.rkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(dst.U64(0), 0x55u);  // untouched
+}
+
+TEST_F(EdgeTest, ZeroLengthSendConsumesRecv) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, 8);
+  verbs::RecvWr rwr;
+  rwr.wr_id = 5;
+  verbs::PostRecv(sqp, rwr);
+  PostSendNow(cqp, verbs::MakeSend(src.addr(), 0, src.lkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.server, sqp->recv_cq, &cqe));
+  EXPECT_EQ(cqe.wr_id, 5u);
+  EXPECT_EQ(cqe.byte_len, 0u);
+}
+
+TEST_F(EdgeTest, SendLargerThanScatterListFailsRecv) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.server, 8);
+  verbs::RecvWr rwr;
+  rwr.local_addr = dst.addr();
+  rwr.length = 8;  // too small for a 64-byte send
+  rwr.lkey = dst.lkey();
+  verbs::PostRecv(sqp, rwr);
+  PostSendNow(cqp, verbs::MakeSend(src.addr(), 64, src.lkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.server, sqp->recv_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kLocalAccessError);
+}
+
+TEST_F(EdgeTest, SixteenScatterEntriesWork) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, 16 * 8);
+  Buffer dst = bed.Alloc(bed.server, 16 * 8);
+  for (int i = 0; i < 16; ++i) src.SetU64(i, 100 + i);
+  std::vector<rnic::Sge> sges;
+  for (int i = 0; i < 16; ++i) {
+    // reverse order so scatter targets are distinguishable
+    sges.push_back({dst.addr() + (15 - i) * 8, 8, dst.lkey()});
+  }
+  verbs::RecvWr rwr;
+  rwr.sge_table = sges.data();
+  rwr.sge_count = 16;
+  verbs::PostRecv(sqp, rwr);
+  PostSendNow(cqp, verbs::MakeSend(src.addr(), 16 * 8, src.lkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.server, sqp->recv_cq, &cqe));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(dst.U64(15 - i), 100u + i);
+}
+
+TEST_F(EdgeTest, MultipleWaitersOnOneCqAllWake) {
+  rnic::QueuePair* worker = bed.Loopback(bed.client);
+  Buffer flags = bed.Alloc(bed.client, 32);
+  Buffer one = bed.Alloc(bed.client, 8);
+  one.SetU64(0, 1);
+  std::vector<rnic::QueuePair*> waiters;
+  for (int w = 0; w < 4; ++w) {
+    rnic::QueuePair* qp = bed.Loopback(bed.client);
+    PostSend(qp, MakeWait(worker->send_cq, 1));
+    PostSend(qp, MakeWrite(one.addr(), 8, one.lkey(), flags.addr() + w * 8,
+                           flags.rkey()));
+    verbs::RingDoorbell(qp);
+    waiters.push_back(qp);
+  }
+  bed.sim.RunUntil(sim::Micros(30));
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(flags.U64(w), 0u);
+  PostSendNow(worker, MakeNoop());
+  bed.sim.Run();
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(flags.U64(w), 1u);
+}
+
+TEST_F(EdgeTest, WaitThresholdsFarAheadStayBlocked) {
+  rnic::QueuePair* worker = bed.Loopback(bed.client);
+  rnic::QueuePair* waiter = bed.Loopback(bed.client);
+  PostSend(waiter, MakeWait(worker->send_cq, 100));
+  PostSend(waiter, MakeNoop());
+  verbs::RingDoorbell(waiter);
+  for (int i = 0; i < 99; ++i) PostSend(worker, MakeNoop());
+  verbs::RingDoorbell(worker);
+  bed.sim.Run();
+  Cqe cqe;
+  EXPECT_EQ(bed.client.PollCq(waiter->send_cq, 1, &cqe), 0);
+  PostSendNow(worker, MakeNoop());  // the 100th
+  bed.sim.Run();
+  EXPECT_EQ(bed.client.PollCq(waiter->send_cq, 1, &cqe), 1);
+}
+
+TEST_F(EdgeTest, EnableIsMonotonicNotResettable) {
+  rnic::QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true);
+  rnic::QueuePair* ctrl = bed.Loopback(bed.client);
+  for (int i = 0; i < 4; ++i) PostSend(chain, MakeNoop());
+  PostSend(ctrl, MakeEnable(chain, 3));
+  PostSend(ctrl, MakeEnable(chain, 1));  // lower limit must not regress
+  verbs::RingDoorbell(ctrl);
+  bed.sim.Run();
+  Cqe cqe;
+  int n = 0;
+  while (bed.client.PollCq(chain->send_cq, 1, &cqe) == 1) ++n;
+  EXPECT_EQ(n, 3);
+}
+
+TEST_F(EdgeTest, RateLimitedQueueKeepsExactRate) {
+  rnic::QpConfig c;
+  c.sq_depth = 512;
+  c.send_cq = bed.client.CreateCq();
+  c.recv_cq = bed.client.CreateCq();
+  c.rate_ops_per_sec = 100'000;  // 10 us gap
+  rnic::QueuePair* qp = bed.client.CreateQp(c);
+  rnic::ConnectSelf(qp);
+  const int n = 50;
+  for (int i = 0; i < n; ++i) PostSend(qp, MakeNoop());
+  verbs::RingDoorbell(qp);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, qp->send_cq, n, &cqe));
+  const double us = sim::ToMicros(bed.sim.now());
+  EXPECT_GE(us, (n - 1) * 10.0);
+  EXPECT_LE(us, n * 10.0 + 20.0);
+}
+
+TEST_F(EdgeTest, KilledQpStopsMidChain) {
+  rnic::QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true);
+  rnic::QueuePair* ctrl = bed.Loopback(bed.client);
+  Buffer counter = bed.Alloc(bed.client, 8);
+  chain->owner_pid = 42;
+  ctrl->owner_pid = 42;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    PostSend(chain, verbs::MakeFetchAdd(counter.addr(), counter.rkey(), 1));
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) PostSend(ctrl, MakeWait(chain->send_cq, i));
+    PostSend(ctrl, MakeEnable(chain, i + 1));
+  }
+  verbs::RingDoorbell(ctrl);
+  bed.sim.RunUntil(sim::Micros(20));  // let a few iterations run
+  bed.client.KillProcessResources(42);
+  bed.sim.Run();
+  const std::uint64_t at_kill = counter.U64(0);
+  EXPECT_GT(at_kill, 0u);
+  EXPECT_LT(at_kill, static_cast<std::uint64_t>(n));
+  bed.sim.RunUntil(bed.sim.now() + sim::Millis(1));
+  EXPECT_EQ(counter.U64(0), at_kill);  // no further progress, ever
+}
+
+TEST_F(EdgeTest, DeadPeerFailsNewOps) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, 8);
+  Buffer dst = bed.Alloc(bed.server, 8);
+  sqp->owner_pid = 7;
+  bed.server.KillProcessResources(7);
+  PostSendNow(cqp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kRemoteAccessError);
+}
+
+TEST_F(EdgeTest, HasLiveQpsTracksKills) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  (void)cqp;
+  EXPECT_TRUE(bed.server.HasLiveQps());
+  sqp->owner_pid = 3;
+  bed.server.KillProcessResources(3);
+  EXPECT_FALSE(bed.server.HasLiveQps());
+}
+
+TEST_F(EdgeTest, UtilisationAccountingIsSane) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, 64 * 1024);
+  Buffer dst = bed.Alloc(bed.server, 64 * 1024);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    PostSend(cqp, MakeWrite(src.addr(), 64 * 1024, src.lkey(), dst.addr(),
+                            dst.rkey(), i + 1 == n));
+  }
+  verbs::RingDoorbell(cqp);
+  bed.sim.Run();
+  const sim::Nanos window = bed.sim.now();
+  // 20 x 64 KiB over the link: utilisation must be meaningful and <= 1.
+  const double link = bed.client.LinkUtilisation(0, window);
+  EXPECT_GT(link, 0.3);
+  EXPECT_LE(link, 1.0);
+  EXPECT_STREQ(bed.client.BusiestResource(window), "IB bw");
+}
+
+TEST_F(EdgeTest, CountersTallyExecutedWork) {
+  rnic::QueuePair* qp = bed.Loopback(bed.client);
+  Buffer b = bed.Alloc(bed.client, 64);
+  PostSend(qp, MakeNoop());
+  PostSend(qp, MakeWrite(b.addr(), 8, b.lkey(), b.addr() + 8, b.rkey()));
+  PostSend(qp, verbs::MakeFetchAdd(b.addr() + 16, b.rkey(), 1));
+  verbs::RingDoorbell(qp);
+  bed.sim.Run();
+  const auto& c = bed.client.counters();
+  EXPECT_EQ(c.executed_by_opcode[int(rnic::Opcode::kNoop)], 1u);
+  EXPECT_EQ(c.executed_by_opcode[int(rnic::Opcode::kWrite)], 1u);
+  EXPECT_EQ(c.executed_by_opcode[int(rnic::Opcode::kFetchAdd)], 1u);
+  EXPECT_EQ(c.TotalExecuted(), 3u);
+  EXPECT_EQ(c.doorbells, 1u);
+}
+
+TEST_F(EdgeTest, PostSendOverflowThrows) {
+  rnic::QpConfig c;
+  c.sq_depth = 4;
+  c.send_cq = bed.client.CreateCq();
+  c.recv_cq = bed.client.CreateCq();
+  rnic::QueuePair* qp = bed.client.CreateQp(c);
+  rnic::ConnectSelf(qp);
+  for (int i = 0; i < 4; ++i) PostSend(qp, MakeNoop());
+  EXPECT_THROW(PostSend(qp, MakeNoop()), std::runtime_error);
+}
+
+TEST_F(EdgeTest, JitterPreservesMeanRoughly) {
+  rnic::Calibration cal;
+  cal.jitter_frac = 0.2;
+  sim::Simulator sim;
+  rnic::RnicDevice client(sim, rnic::NicConfig::ConnectX5(), cal, "c");
+  rnic::RnicDevice server(sim, rnic::NicConfig::ConnectX5(), cal, "s");
+  rnic::QpConfig cc;
+  cc.sq_depth = 4096;
+  cc.send_cq = client.CreateCq();
+  cc.recv_cq = client.CreateCq();
+  rnic::QueuePair* cqp = client.CreateQp(cc);
+  rnic::QpConfig sc;
+  sc.send_cq = server.CreateCq();
+  sc.recv_cq = server.CreateCq();
+  rnic::QueuePair* sqp = server.CreateQp(sc);
+  rnic::Connect(cqp, sqp, cal.net_one_way);
+  auto buf = std::make_unique<std::byte[]>(64);
+  auto cmr = client.pd().Register(buf.get(), 64, rnic::kAccessAll);
+  auto sbuf = std::make_unique<std::byte[]>(64);
+  auto smr = server.pd().Register(sbuf.get(), 64, rnic::kAccessAll);
+  sim::LatencyRecorder rec;
+  Cqe cqe;
+  for (int i = 0; i < 400; ++i) {
+    const sim::Nanos t0 = sim.now();
+    PostSendNow(cqp, MakeWrite(cmr.addr, 64, cmr.lkey, smr.addr, smr.rkey));
+    ASSERT_TRUE(AwaitCqe(sim, client, cqp->send_cq, &cqe));
+    rec.Add(sim.now() - t0);
+  }
+  EXPECT_NEAR(rec.MeanUs(), 1.6, 0.1);            // mean preserved
+  EXPECT_GT(rec.MaxNs() - rec.MinNs(), 20);       // but samples vary
+}
+
+}  // namespace
+}  // namespace redn::test

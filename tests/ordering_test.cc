@@ -1,0 +1,270 @@
+// Tests for the three ordering modes of §3.1 and the semantics RedN's
+// self-modifying programs depend on: prefetch staleness, WAIT/ENABLE
+// gating, managed-queue late fetch, and WQ recycling.
+#include <gtest/gtest.h>
+
+#include "testbed.h"
+
+namespace redn::test {
+namespace {
+
+using verbs::AwaitCqe;
+using verbs::AwaitCqes;
+using verbs::Cqe;
+using verbs::MakeEnable;
+using verbs::MakeNoop;
+using verbs::MakeWait;
+using verbs::MakeWrite;
+using verbs::PostSend;
+using verbs::PostSendNow;
+
+class OrderingTest : public ::testing::Test {
+ protected:
+  TestBed bed;
+};
+
+TEST_F(OrderingTest, WqOrderExecutesInOrder) {
+  QueuePair* qp = bed.Loopback(bed.client);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  src.SetU64(0, 1);
+  src.SetU64(1, 2);
+  // Two writes to the same destination word: the later one must win.
+  PostSend(qp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey()));
+  PostSend(qp, MakeWrite(src.addr() + 8, 8, src.lkey(), dst.addr(), dst.rkey()));
+  verbs::RingDoorbell(qp);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, qp->send_cq, 2, &cqe));
+  EXPECT_EQ(dst.U64(0), 2u);
+}
+
+TEST_F(OrderingTest, PrefetchStalenessOnPlainQueue) {
+  // The core hazard motivating doorbell ordering (§3.1): on a non-managed
+  // queue the NIC snapshots WQEs at doorbell time, so modifying a posted
+  // WQE afterwards has NO effect on execution.
+  QueuePair* qp = bed.Loopback(bed.client);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  src.SetU64(0, 0xAA);
+
+  const std::uint64_t idx = PostSend(
+      qp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey()));
+  verbs::RingDoorbell(qp);
+  // Let the doorbell+fetch happen, then flip the WQE to target dst+8.
+  bed.sim.RunUntil(bed.sim.now() + sim::Micros(0.7));
+  rnic::dma::WriteU64(verbs::WqeFieldAddr(qp, idx, rnic::WqeField::kRemoteAddr),
+                      dst.addr() + 8);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, qp->send_cq, &cqe));
+  EXPECT_EQ(dst.U64(0), 0xAAu);  // stale (fetched) version executed
+  EXPECT_EQ(dst.U64(1), 0u);     // the modification was invisible
+}
+
+TEST_F(OrderingTest, ManagedQueueHonoursLateModification) {
+  // Same experiment on a managed queue: the WQE is fetched one-by-one at
+  // ENABLE time, so the modification IS honoured. This asymmetry is what
+  // makes self-modifying RDMA programs possible.
+  QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true);
+  QueuePair* ctrl = bed.Loopback(bed.client);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  src.SetU64(0, 0xBB);
+
+  const std::uint64_t idx = PostSend(
+      chain, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey()));
+  // Modify BEFORE enabling: target dst+8 instead.
+  rnic::dma::WriteU64(
+      verbs::WqeFieldAddr(chain, idx, rnic::WqeField::kRemoteAddr),
+      dst.addr() + 8);
+  PostSendNow(ctrl, MakeEnable(chain, 1));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, chain->send_cq, &cqe));
+  EXPECT_EQ(dst.U64(0), 0u);
+  EXPECT_EQ(dst.U64(1), 0xBBu);  // modified version executed
+}
+
+TEST_F(OrderingTest, ManagedQueueIgnoresDoorbell) {
+  QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true);
+  PostSend(chain, MakeNoop());
+  verbs::RingDoorbell(chain);
+  bed.sim.Run();
+  Cqe cqe;
+  EXPECT_EQ(bed.client.PollCq(chain->send_cq, 1, &cqe), 0);
+}
+
+TEST_F(OrderingTest, EnableReleasesExactlyUpToLimit) {
+  QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true);
+  QueuePair* ctrl = bed.Loopback(bed.client);
+  for (int i = 0; i < 3; ++i) PostSend(chain, MakeNoop());
+  PostSendNow(ctrl, MakeEnable(chain, 2));
+  bed.sim.Run();
+  Cqe cqe;
+  EXPECT_EQ(bed.client.PollCq(chain->send_cq, 1, &cqe), 1);
+  EXPECT_EQ(bed.client.PollCq(chain->send_cq, 1, &cqe), 1);
+  EXPECT_EQ(bed.client.PollCq(chain->send_cq, 1, &cqe), 0);  // third gated
+  PostSendNow(ctrl, MakeEnable(chain, 3));
+  bed.sim.Run();
+  EXPECT_EQ(bed.client.PollCq(chain->send_cq, 1, &cqe), 1);
+}
+
+TEST_F(OrderingTest, WaitBlocksUntilCqThreshold) {
+  QueuePair* worker = bed.Loopback(bed.client);
+  QueuePair* waiter = bed.Loopback(bed.client);
+  Buffer flag = bed.Alloc(bed.client, 8);
+  Buffer one = bed.Alloc(bed.client, 8);
+  one.SetU64(0, 1);
+
+  // waiter: WAIT(worker_cq >= 1) then WRITE flag=1.
+  PostSend(waiter, MakeWait(worker->send_cq, 1));
+  PostSend(waiter,
+           MakeWrite(one.addr(), 8, one.lkey(), flag.addr(), flag.rkey()));
+  verbs::RingDoorbell(waiter);
+  bed.sim.RunUntil(sim::Micros(50));
+  EXPECT_EQ(flag.U64(0), 0u);  // still blocked
+
+  PostSendNow(worker, MakeNoop());
+  bed.sim.Run();
+  EXPECT_EQ(flag.U64(0), 1u);
+}
+
+TEST_F(OrderingTest, WaitAlreadySatisfiedPassesImmediately) {
+  QueuePair* worker = bed.Loopback(bed.client);
+  QueuePair* waiter = bed.Loopback(bed.client);
+  PostSendNow(worker, MakeNoop());
+  bed.sim.Run();
+  PostSend(waiter, MakeWait(worker->send_cq, 1));
+  PostSend(waiter, MakeNoop());
+  verbs::RingDoorbell(waiter);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, waiter->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+}
+
+TEST_F(OrderingTest, UnsignaledCompletionInvisibleToWait) {
+  // RedN's `break` trick (§3.4): clearing a WR's signaled flag makes the
+  // next iteration's WAIT never fire.
+  QueuePair* worker = bed.Loopback(bed.client);
+  QueuePair* waiter = bed.Loopback(bed.client);
+  PostSend(waiter, MakeWait(worker->send_cq, 1));
+  PostSend(waiter, MakeNoop());
+  verbs::RingDoorbell(waiter);
+
+  PostSendNow(worker, MakeNoop(/*signaled=*/false));
+  bed.sim.Run();
+  Cqe cqe;
+  EXPECT_EQ(bed.client.PollCq(waiter->send_cq, 1, &cqe), 0);  // still blocked
+
+  PostSendNow(worker, MakeNoop(/*signaled=*/true));
+  bed.sim.Run();
+  EXPECT_EQ(bed.client.PollCq(waiter->send_cq, 1, &cqe), 1);
+}
+
+TEST_F(OrderingTest, CompletionOrderChainSlopeMatchesPaper) {
+  // Fig 8: completion ordering costs ~0.19 us per additional WR.
+  QueuePair* qp = bed.Loopback(bed.client);
+  const int kOps = 40;
+  for (int i = 0; i < kOps; ++i) {
+    if (i > 0) PostSend(qp, MakeWait(qp->send_cq, i));
+    PostSend(qp, MakeNoop());
+  }
+  const sim::Nanos t0 = bed.sim.now();
+  verbs::RingDoorbell(qp);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, qp->send_cq, kOps, &cqe));
+  const double us = sim::ToMicros(bed.sim.now() - t0);
+  const double slope = (us - 0.96) / (kOps - 1);
+  EXPECT_NEAR(slope, 0.19, 0.03);
+}
+
+TEST_F(OrderingTest, WqRecyclingReexecutesSlots) {
+  // §3.4: execution limits may exceed the posted count; the ring wraps and
+  // old slots re-execute (index modulo capacity). With a depth-1 ring the
+  // single ADD slot re-executes every round: k rounds accumulate k times.
+  QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true, /*depth=*/1);
+  QueuePair* ctrl = bed.Loopback(bed.client);
+  Buffer counter = bed.Alloc(bed.client, 8);
+
+  PostSend(chain, verbs::MakeFetchAdd(counter.addr(), counter.rkey(), 1));
+  // Release the single posted slot 5 times: limit 5 > posted 1.
+  for (int round = 1; round <= 5; ++round) {
+    if (round > 1) PostSend(ctrl, MakeWait(chain->send_cq, round - 1));
+    PostSend(ctrl, MakeEnable(chain, round));
+  }
+  verbs::RingDoorbell(ctrl);
+  bed.sim.Run();
+  EXPECT_EQ(counter.U64(0), 5u);
+}
+
+TEST_F(OrderingTest, RecycledManagedSlotSeesRewrittenContent) {
+  // Recycling + managed fetch: rewriting the slot between rounds changes
+  // what the next round executes (the basis of CPU-free unbounded loops).
+  QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true, /*depth=*/1);
+  QueuePair* ctrl = bed.Loopback(bed.client);
+  // Both counters share one MR: the recycled WQE keeps its original rkey.
+  Buffer words = bed.Alloc(bed.client, 16);
+  struct View {
+    Buffer* buf;
+    std::size_t word;
+    std::uint64_t addr() const { return buf->addr() + word * 8; }
+    std::uint64_t U64(int) const { return buf->U64(word); }
+  } a{&words, 0}, b{&words, 1};
+
+  const std::uint64_t idx =
+      PostSend(chain, verbs::MakeFetchAdd(a.addr(), words.rkey(), 1));
+  PostSend(ctrl, MakeEnable(chain, 1));
+  PostSend(ctrl, MakeWait(chain->send_cq, 1));
+  // Rewrite the slot's target to `b` using a WRITE in the control chain.
+  Buffer baddr = bed.Alloc(bed.client, 8);
+  baddr.SetU64(0, b.addr());
+  PostSend(ctrl, MakeWrite(baddr.addr(), 8, baddr.lkey(),
+                           verbs::WqeFieldAddr(chain, idx,
+                                               rnic::WqeField::kRemoteAddr),
+                           chain->sq_mr.rkey));
+  PostSend(ctrl, MakeWait(ctrl->send_cq, 1));
+  PostSend(ctrl, MakeEnable(chain, 2));  // recycle the same slot
+  verbs::RingDoorbell(ctrl);
+  bed.sim.Run();
+  EXPECT_EQ(a.U64(0), 1u);
+  EXPECT_EQ(b.U64(0), 1u);
+}
+
+TEST_F(OrderingTest, DoorbellOrderSlopeMatchesPaper) {
+  // Fig 8: doorbell ordering costs ~0.54 us per WR — the serialized fetch.
+  QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true, 128);
+  QueuePair* ctrl = bed.Loopback(bed.client);
+  const int kOps = 40;
+  for (int i = 0; i < kOps; ++i) PostSend(chain, MakeNoop());
+  for (int i = 0; i < kOps; ++i) {
+    if (i > 0) PostSend(ctrl, MakeWait(chain->send_cq, i));
+    PostSend(ctrl, MakeEnable(chain, i + 1));
+  }
+  const sim::Nanos t0 = bed.sim.now();
+  verbs::RingDoorbell(ctrl);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, chain->send_cq, kOps, &cqe));
+  const double us = sim::ToMicros(bed.sim.now() - t0);
+  const double slope = us / kOps;
+  EXPECT_NEAR(slope, 0.54, 0.08);
+}
+
+TEST_F(OrderingTest, RatesDontDependOnPostOrderAcrossQueues) {
+  // Two independent loopback queues on different PUs run concurrently:
+  // total time must be far less than the serial sum (parallelism, §3.5).
+  QueuePair* q1 = bed.Loopback(bed.client);
+  QueuePair* q2 = bed.Loopback(bed.client);
+  const int kOps = 100;
+  for (int i = 0; i < kOps; ++i) {
+    PostSend(q1, MakeNoop());
+    PostSend(q2, MakeNoop());
+  }
+  verbs::RingDoorbell(q1);
+  verbs::RingDoorbell(q2);
+  const sim::Nanos t0 = bed.sim.now();
+  bed.sim.Run();
+  const double us = sim::ToMicros(bed.sim.now() - t0);
+  const double serial_us = 2 * kOps * 0.17;
+  EXPECT_LT(us, serial_us * 0.75);
+}
+
+}  // namespace
+}  // namespace redn::test

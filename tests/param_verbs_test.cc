@@ -1,0 +1,274 @@
+// Parameterized sweeps: data integrity and timing monotonicity across
+// payload sizes, opcodes, NIC generations, and ports.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "testbed.h"
+
+namespace redn::test {
+namespace {
+
+using verbs::AwaitCqe;
+using verbs::Cqe;
+
+// ---------------------------------------------------------------------------
+// Payload-size sweep for WRITE / READ / SEND
+// ---------------------------------------------------------------------------
+
+class SizeSweep : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {
+ protected:
+  TestBed bed;
+};
+
+TEST_P(SizeSweep, DataIntegrityAcrossSizes) {
+  const auto [op, len] = GetParam();
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, len);
+  Buffer dst = bed.Alloc(bed.server, len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    src.data[i] = static_cast<std::byte>((i * 7 + 3) & 0xff);
+  }
+
+  Cqe cqe;
+  if (op == 0) {  // WRITE
+    verbs::PostSendNow(cqp, verbs::MakeWrite(src.addr(), len, src.lkey(),
+                                             dst.addr(), dst.rkey()));
+    ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+    EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+    EXPECT_EQ(std::memcmp(src.data.get(), dst.data.get(), len), 0);
+  } else if (op == 1) {  // READ (server holds the pattern)
+    std::memcpy(dst.data.get(), src.data.get(), len);
+    std::memset(src.data.get(), 0, len);
+    verbs::PostSendNow(cqp, verbs::MakeRead(src.addr(), len, src.lkey(),
+                                            dst.addr(), dst.rkey()));
+    ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+    EXPECT_EQ(cqe.byte_len, len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      ASSERT_EQ(src.data[i], static_cast<std::byte>((i * 7 + 3) & 0xff));
+    }
+  } else {  // SEND
+    verbs::RecvWr rwr;
+    rwr.local_addr = dst.addr();
+    rwr.length = len;
+    rwr.lkey = dst.lkey();
+    verbs::PostRecv(sqp, rwr);
+    verbs::PostSendNow(cqp, verbs::MakeSend(src.addr(), len, src.lkey()));
+    ASSERT_TRUE(AwaitCqe(bed.sim, bed.server, sqp->recv_cq, &cqe));
+    EXPECT_EQ(cqe.byte_len, len);
+    EXPECT_EQ(std::memcmp(src.data.get(), dst.data.get(), len), 0);
+  }
+}
+
+std::string SizeSweepName(
+    const ::testing::TestParamInfo<std::tuple<int, std::uint32_t>>& info) {
+  static const char* kOps[3] = {"Write", "Read", "Send"};
+  return std::string(kOps[std::get<0>(info.param)]) + "_" +
+         std::to_string(std::get<1>(info.param)) + "B";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WriteReadSend, SizeSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 8u, 64u, 333u, 1024u, 4096u,
+                                         65536u)),
+    SizeSweepName);
+
+// ---------------------------------------------------------------------------
+// Latency grows monotonically with payload size
+// ---------------------------------------------------------------------------
+
+TEST(SizeLatency, WriteLatencyMonotonic) {
+  sim::Nanos prev = 0;
+  for (std::uint32_t len : {64u, 1024u, 16384u, 65536u}) {
+    TestBed bed;
+    auto [cqp, sqp] = bed.ConnectedPair();
+    Buffer src = bed.Alloc(bed.client, len);
+    Buffer dst = bed.Alloc(bed.server, len);
+    const sim::Nanos t0 = bed.sim.now();
+    verbs::PostSendNow(cqp, verbs::MakeWrite(src.addr(), len, src.lkey(),
+                                             dst.addr(), dst.rkey()));
+    Cqe cqe;
+    ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+    const sim::Nanos lat = bed.sim.now() - t0;
+    EXPECT_GT(lat, prev);
+    prev = lat;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generation sweep: PU scaling is visible in pipelined chains
+// ---------------------------------------------------------------------------
+
+class GenerationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenerationSweep, MoreQueuesMorePusMoreParallelism) {
+  const int gen = GetParam();
+  rnic::NicConfig cfg = gen == 3   ? rnic::NicConfig::ConnectX3()
+                        : gen == 5 ? rnic::NicConfig::ConnectX5()
+                                   : rnic::NicConfig::ConnectX6();
+  sim::Simulator sim;
+  rnic::RnicDevice dev(sim, cfg, cfg.Calibrated(), "dev");
+  // One loopback queue per PU, 64 NOOPs each: wall time should be ~one
+  // queue's worth regardless of PU count (queues run on distinct PUs).
+  std::vector<rnic::QueuePair*> qps;
+  for (int q = 0; q < cfg.pus_per_port; ++q) {
+    rnic::QpConfig c;
+    c.sq_depth = 128;
+    c.send_cq = dev.CreateCq();
+    c.recv_cq = dev.CreateCq();
+    rnic::QueuePair* qp = dev.CreateQp(c);
+    rnic::ConnectSelf(qp);
+    qps.push_back(qp);
+  }
+  for (auto* qp : qps) {
+    for (int i = 0; i < 64; ++i) verbs::PostSend(qp, verbs::MakeNoop());
+    verbs::RingDoorbell(qp);
+  }
+  sim.Run();
+  const double us = sim::ToMicros(sim.now());
+  const double one_queue_us = 0.96 + 63 * 0.17;
+  EXPECT_LT(us, one_queue_us * 1.5) << "queues must run in parallel on PUs";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerations, GenerationSweep,
+                         ::testing::Values(3, 5, 6));
+
+// ---------------------------------------------------------------------------
+// Dual-port isolation: traffic on port 0 does not slow port 1
+// ---------------------------------------------------------------------------
+
+TEST(DualPort, PortsHaveIndependentResources) {
+  sim::Simulator sim;
+  rnic::RnicDevice dev(sim, rnic::NicConfig::ConnectX5(/*ports=*/2), {}, "d");
+  auto run_chain = [&](int port) {
+    rnic::QpConfig c;
+    c.sq_depth = 4096;
+    c.port = port;
+    c.managed = true;
+    c.send_cq = dev.CreateCq();
+    c.recv_cq = dev.CreateCq();
+    rnic::QueuePair* chain = dev.CreateQp(c);
+    rnic::ConnectSelf(chain);
+    rnic::QpConfig cc;
+    cc.sq_depth = 4096;
+    cc.port = port;
+    cc.send_cq = dev.CreateCq();
+    cc.recv_cq = dev.CreateCq();
+    rnic::QueuePair* ctrl = dev.CreateQp(cc);
+    rnic::ConnectSelf(ctrl);
+    const int n = 200;
+    for (int i = 0; i < n; ++i) verbs::PostSend(chain, verbs::MakeNoop());
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) verbs::PostSend(ctrl, verbs::MakeWait(chain->send_cq, i));
+      verbs::PostSend(ctrl, verbs::MakeEnable(chain, i + 1));
+    }
+    verbs::RingDoorbell(ctrl);
+  };
+  // Port 0 alone.
+  run_chain(0);
+  sim.Run();
+  const sim::Nanos solo = sim.now();
+  // Both ports together, fresh device.
+  sim::Simulator sim2;
+  rnic::RnicDevice dev2(sim2, rnic::NicConfig::ConnectX5(2), {}, "d2");
+  {
+    auto run2 = [&](int port) {
+      rnic::QpConfig c;
+      c.sq_depth = 4096;
+      c.port = port;
+      c.managed = true;
+      c.send_cq = dev2.CreateCq();
+      c.recv_cq = dev2.CreateCq();
+      rnic::QueuePair* chain = dev2.CreateQp(c);
+      rnic::ConnectSelf(chain);
+      rnic::QpConfig cc;
+      cc.sq_depth = 4096;
+      cc.port = port;
+      cc.send_cq = dev2.CreateCq();
+      cc.recv_cq = dev2.CreateCq();
+      rnic::QueuePair* ctrl = dev2.CreateQp(cc);
+      rnic::ConnectSelf(ctrl);
+      const int n = 200;
+      for (int i = 0; i < n; ++i) verbs::PostSend(chain, verbs::MakeNoop());
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) verbs::PostSend(ctrl, verbs::MakeWait(chain->send_cq, i));
+        verbs::PostSend(ctrl, verbs::MakeEnable(chain, i + 1));
+      }
+      verbs::RingDoorbell(ctrl);
+    };
+    run2(0);
+    run2(1);
+    sim2.Run();
+  }
+  // Dual-port run should take about as long as solo (fetch units per port),
+  // not 2x.
+  EXPECT_LT(sim2.now(), solo * 3 / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic sweep: ADD accumulates correctly for many operand patterns
+// ---------------------------------------------------------------------------
+
+class AtomicSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  TestBed bed;
+};
+
+TEST_P(AtomicSweep, FetchAddWrapsModulo64) {
+  const std::uint64_t addend = GetParam();
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer word = bed.Alloc(bed.server, 8);
+  word.SetU64(0, ~std::uint64_t{0} - 2);  // near wrap
+  verbs::PostSendNow(cqp, verbs::MakeFetchAdd(word.addr(), word.rkey(),
+                                              addend));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(word.U64(0), (~std::uint64_t{0} - 2) + addend);  // mod 2^64
+}
+
+INSTANTIATE_TEST_SUITE_P(Addends, AtomicSweep,
+                         ::testing::Values(0u, 1u, 3u, 0xffffffffull,
+                                           ~std::uint64_t{0}));
+
+// ---------------------------------------------------------------------------
+// CAS truth table across operand patterns
+// ---------------------------------------------------------------------------
+
+struct CasCase {
+  std::uint64_t initial, compare, swap;
+};
+
+class CasSweep : public ::testing::TestWithParam<CasCase> {
+ protected:
+  TestBed bed;
+};
+
+TEST_P(CasSweep, SwapsExactlyOnEquality) {
+  const CasCase c = GetParam();
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer word = bed.Alloc(bed.server, 8);
+  Buffer result = bed.Alloc(bed.client, 8);
+  word.SetU64(0, c.initial);
+  verbs::PostSendNow(cqp, verbs::MakeCas(word.addr(), word.rkey(), c.compare,
+                                         c.swap, result.addr(), result.lkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(result.U64(0), c.initial);  // old value always returned
+  if (c.initial == c.compare) {
+    EXPECT_EQ(word.U64(0), c.swap);
+  } else {
+    EXPECT_EQ(word.U64(0), c.initial);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TruthTable, CasSweep,
+    ::testing::Values(CasCase{0, 0, 1}, CasCase{5, 5, 9}, CasCase{5, 6, 9},
+                      CasCase{~0ull, ~0ull, 0}, CasCase{1ull << 63, 0, 7},
+                      CasCase{rnic::PackCtrl(rnic::Opcode::kNoop, 42),
+                              rnic::PackCtrl(rnic::Opcode::kNoop, 42),
+                              rnic::PackCtrl(rnic::Opcode::kWrite, 42)}));
+
+}  // namespace
+}  // namespace redn::test

@@ -1,0 +1,269 @@
+// Property-based tests: randomized inputs checked against host-side
+// reference implementations. Each property runs many trials with a
+// deterministic seed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "offloads/hash_harness.h"
+#include "offloads/recycled_loop.h"
+#include "offloads/list_traversal.h"
+#include "redn/mov.h"
+#include "redn/program.h"
+#include "sim/rng.h"
+#include "testbed.h"
+
+namespace redn::test {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: the NIC `if` agrees with the host `==` for random operands
+// ---------------------------------------------------------------------------
+
+std::uint64_t NicEqualIf(TestBed& bed, std::uint64_t x, std::uint64_t y) {
+  core::Program prog(bed.server);
+  rnic::QueuePair* chain = prog.NewChainQueue();
+  Buffer data = bed.Alloc(bed.server, 16);
+  data.SetU64(0, 1);
+  verbs::SendWr cond = verbs::MakeWrite(data.addr(), 8, data.lkey(),
+                                        data.addr() + 8, data.rkey());
+  cond.opcode = rnic::Opcode::kNoop;
+  cond.wr_id = x;
+  core::WrRef t = prog.Post(chain, cond);
+  rnic::QueuePair* trig = prog.NewPlainQueue();
+  verbs::PostSend(trig, verbs::MakeNoop());
+  prog.EmitEqualIf(trig->send_cq, 1, t, y, rnic::Opcode::kWrite);
+  prog.Launch();
+  verbs::RingDoorbell(trig);
+  bed.sim.Run();
+  return data.U64(1);
+}
+
+TEST(IfProperty, AgreesWithHostEqualityOnRandomOperands) {
+  sim::Rng rng(2024);
+  TestBed bed;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::uint64_t x = rng.Next() & rnic::kWrIdMask;
+    std::uint64_t y =
+        rng.NextBool(0.5) ? x : (rng.Next() & rnic::kWrIdMask);
+    const std::uint64_t got = NicEqualIf(bed, x, y);
+    EXPECT_EQ(got, x == y ? 1u : 0u) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(IfProperty, AdjacentOperandsNeverConfused) {
+  // Off-by-one operands are the classic encoding failure; sweep a window.
+  TestBed bed;
+  for (std::uint64_t y = 1000; y < 1010; ++y) {
+    EXPECT_EQ(NicEqualIf(bed, y, y), 1u);
+    EXPECT_EQ(NicEqualIf(bed, y + 1, y), 0u);
+    EXPECT_EQ(NicEqualIf(bed, y - 1, y), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: random mov programs match a host interpreter
+// ---------------------------------------------------------------------------
+
+TEST(MovProperty, RandomProgramsMatchInterpreter) {
+  sim::Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    TestBed bed;
+    core::MovMachine m(bed.server, 6);
+    constexpr int kCells = 16;
+    const std::uint64_t cells = m.AllocCells(kCells);
+    std::uint64_t ref_mem[kCells];
+    std::uint64_t ref_reg[6] = {};
+    for (int i = 0; i < kCells; ++i) {
+      ref_mem[i] = rng.NextBelow(1000);
+      m.SetCell(cells + i * 8, ref_mem[i]);
+    }
+    // r0..r2 data registers; r3 holds a cell pointer; r4 an offset.
+    auto cell_addr = [&](int i) { return cells + i * 8; };
+    ref_reg[3] = cell_addr(static_cast<int>(rng.NextBelow(kCells)));
+    m.SetReg(3, ref_reg[3]);
+    ref_reg[4] = 8 * rng.NextBelow(4);
+    m.SetReg(4, ref_reg[4]);
+
+    const int steps = 6;
+    for (int s = 0; s < steps; ++s) {
+      switch (rng.NextBelow(5)) {
+        case 0: {  // immediate
+          const std::uint64_t c = rng.NextBelow(500);
+          const int rd = static_cast<int>(rng.NextBelow(3));
+          m.MovImmediate(rd, c);
+          ref_reg[rd] = c;
+          break;
+        }
+        case 1: {  // reg-to-reg
+          const int rd = static_cast<int>(rng.NextBelow(3));
+          const int rs = static_cast<int>(rng.NextBelow(3));
+          m.MovReg(rd, rs);
+          ref_reg[rd] = ref_reg[rs];
+          break;
+        }
+        case 2: {  // indirect load through r3
+          const int rd = static_cast<int>(rng.NextBelow(3));
+          m.MovIndirectLoad(rd, 3);
+          ref_reg[rd] = ref_mem[(ref_reg[3] - cells) / 8];
+          break;
+        }
+        case 3: {  // indexed load through r3 + r4
+          const int rd = static_cast<int>(rng.NextBelow(3));
+          // keep base + offset inside the cell array
+          if ((ref_reg[3] - cells) / 8 + ref_reg[4] / 8 >= kCells) break;
+          m.MovIndexedLoad(rd, 3, 4);
+          ref_reg[rd] = ref_mem[(ref_reg[3] - cells + ref_reg[4]) / 8];
+          break;
+        }
+        default: {  // store through r3
+          const int rs = static_cast<int>(rng.NextBelow(3));
+          m.MovIndirectStore(3, rs);
+          ref_mem[(ref_reg[3] - cells) / 8] = ref_reg[rs];
+          break;
+        }
+      }
+    }
+    m.Run();
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_EQ(m.Reg(r), ref_reg[r]) << "trial " << trial << " reg " << r;
+    }
+    for (int i = 0; i < kCells; ++i) {
+      ASSERT_EQ(m.Cell(cells + i * 8), ref_mem[i])
+          << "trial " << trial << " cell " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: offloaded hash gets agree with std::unordered_map
+// ---------------------------------------------------------------------------
+
+TEST(HashProperty, RandomWorkloadMatchesReferenceMap) {
+  sim::Rng rng(4242);
+  TestBed bed;
+  offloads::HashGetHarness h(bed.client, bed.server,
+                             {.buckets = 2, .max_requests = 300});
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;  // key -> len
+  // Random inserts with varying sizes.
+  for (int i = 0; i < 120; ++i) {
+    const std::uint64_t key = 1 + rng.NextBelow(200);
+    const std::uint32_t len = static_cast<std::uint32_t>(8 + rng.NextBelow(120));
+    if (ref.count(key)) continue;  // harness Put has no in-place resize
+    h.PutPattern(key, len);
+    ref[key] = len;
+  }
+  h.Arm(260);
+  // Random gets, present and absent keys.
+  int hits = 0, misses = 0;
+  for (int i = 0; i < 250; ++i) {
+    const std::uint64_t key = 1 + rng.NextBelow(260);
+    auto r = h.Get(key, sim::Micros(80));
+    const auto it = ref.find(key);
+    if (it != ref.end()) {
+      ASSERT_TRUE(r.found) << "key " << key;
+      EXPECT_EQ(r.len, it->second);
+      EXPECT_TRUE(h.ResponseMatchesPattern(key, it->second));
+      ++hits;
+    } else {
+      EXPECT_FALSE(r.found) << "key " << key;
+      ++misses;
+    }
+  }
+  EXPECT_GT(hits, 50);
+  EXPECT_GT(misses, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Property: list traversal finds exactly the keys that are present
+// ---------------------------------------------------------------------------
+
+TEST(ListProperty, RandomListsAndProbes) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    TestBed bed;
+    const int nodes = 2 + static_cast<int>(rng.NextBelow(7));  // 2..8
+    offloads::ListStore list(bed.server, nodes + 1, 32);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < nodes; ++i) {
+      const std::uint64_t key = 500 + rng.NextBelow(100);
+      if (std::find(keys.begin(), keys.end(), key) != keys.end()) {
+        list.AppendPattern(1000 + i);  // keep sizes aligned; unique key
+        keys.push_back(1000 + i);
+      } else {
+        list.AppendPattern(key);
+        keys.push_back(key);
+      }
+    }
+    rnic::QpConfig s;
+    s.sq_depth = 1 << 12;
+    s.rq_depth = 256;
+    s.managed = true;
+    s.send_cq = bed.server.CreateCq();
+    s.recv_cq = bed.server.CreateCq();
+    rnic::QueuePair* srv = bed.server.CreateQp(s);
+    rnic::QpConfig c;
+    c.send_cq = bed.client.CreateCq();
+    c.recv_cq = bed.client.CreateCq();
+    rnic::QueuePair* cli = bed.client.CreateQp(c);
+    rnic::Connect(cli, srv, rnic::Calibration{}.net_one_way);
+    Buffer resp = bed.Alloc(bed.client, 32);
+    Buffer msg = bed.Alloc(bed.client, 16 * 8);
+
+    auto probe = [&](std::uint64_t key, bool use_break) {
+      offloads::ListTraversalOffload off(
+          bed.server, list, srv,
+          {.iterations = nodes, .use_break = use_break}, resp.addr(),
+          resp.rkey());
+      verbs::RecvWr rwr;
+      verbs::PostRecv(cli, rwr);
+      off.BuildTrigger(key, msg.bytes());
+      verbs::PostSendNow(cli, verbs::MakeSend(msg.addr(), off.TriggerBytes(),
+                                              msg.lkey(), false));
+      verbs::Cqe cqe;
+      const bool found = verbs::AwaitCqe(bed.sim, bed.client, cli->recv_cq,
+                                         &cqe,
+                                         bed.sim.now() + sim::Micros(300));
+      bed.sim.Run();
+      return found;
+    };
+
+    for (int p = 0; p < 6; ++p) {
+      const bool pick_present = rng.NextBool(0.6);
+      const bool use_break = rng.NextBool(0.5);
+      if (pick_present) {
+        const std::uint64_t key = keys[rng.NextBelow(keys.size())];
+        EXPECT_TRUE(probe(key, use_break)) << "trial " << trial;
+      } else {
+        EXPECT_FALSE(probe(77777, use_break)) << "trial " << trial;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: recycled loops progress linearly in time
+// ---------------------------------------------------------------------------
+
+TEST(RecycleProperty, ProgressIsLinear) {
+  TestBed bed;
+  offloads::RecycledAddLoop loop(bed.server);
+  loop.Start();
+  std::uint64_t prev = 0;
+  std::uint64_t first_delta = 0;
+  for (int window = 1; window <= 5; ++window) {
+    bed.sim.RunUntil(sim::Millis(window));
+    const std::uint64_t now = loop.iterations();
+    const std::uint64_t delta = now - prev;
+    if (window == 1) {
+      first_delta = delta;
+    } else {
+      EXPECT_NEAR(static_cast<double>(delta), static_cast<double>(first_delta),
+                  first_delta * 0.2 + 2.0);
+    }
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace redn::test

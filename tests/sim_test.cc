@@ -1,0 +1,181 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace redn::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.At(30, [&] { order.push_back(3); });
+  s.At(10, [&] { order.push_back(1); });
+  s.At(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.At(5, [&, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator s;
+  Nanos seen = -1;
+  s.At(100, [&] { s.After(50, [&] { seen = s.now(); }); });
+  s.Run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator s;
+  Nanos seen = -1;
+  s.At(100, [&] { s.At(10, [&] { seen = s.now(); }); });
+  s.Run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.At(10, [&] { ++fired; });
+  s.At(20, [&] { ++fired; });
+  s.At(30, [&] { ++fired; });
+  s.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20);
+  s.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, NestedSchedulingDuringRun) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.After(1, recurse);
+  };
+  s.At(0, recurse);
+  s.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 4);
+}
+
+TEST(Simulator, ResetClearsQueueAndClock) {
+  Simulator s;
+  s.At(10, [] {});
+  s.Reset();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(FifoResource, BackToBackReservations) {
+  FifoResource r;
+  EXPECT_EQ(r.Reserve(0, 100), 100);
+  EXPECT_EQ(r.Reserve(0, 100), 200);   // queues behind the first
+  EXPECT_EQ(r.Reserve(500, 100), 600); // idle gap, starts at request time
+  EXPECT_EQ(r.busy_time(), 300);
+  EXPECT_EQ(r.jobs(), 3u);
+}
+
+TEST(FifoResource, NextFreeReflectsBacklog) {
+  FifoResource r;
+  r.Reserve(0, 1000);
+  EXPECT_EQ(r.NextFree(0), 1000);
+  EXPECT_EQ(r.NextFree(2000), 2000);
+}
+
+TEST(BandwidthResource, SerializationDelayMatchesRate) {
+  BandwidthResource link(/*gbits_per_sec=*/100.0);
+  // 100 Gb/s = 12.5 bytes/ns; 1250 bytes -> 100 ns.
+  EXPECT_EQ(link.SerializationDelay(1250), 100);
+  EXPECT_EQ(link.Reserve(0, 1250), 100);
+  EXPECT_EQ(link.Reserve(0, 1250), 200);
+}
+
+TEST(BandwidthResource, SixtyFourKbAtLinkRate) {
+  BandwidthResource link(92.0);
+  const Nanos d = link.SerializationDelay(64 * 1024);
+  // 64 KiB at 92 Gb/s is ~5.7 us (the paper's IB-bandwidth regime).
+  EXPECT_NEAR(static_cast<double>(d), 5700.0, 120.0);
+}
+
+TEST(LatencyRecorder, PercentilesAndMean) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.Add(i * 10);
+  EXPECT_DOUBLE_EQ(r.MeanNs(), 505.0);
+  EXPECT_EQ(r.PercentileNs(50), 500);
+  EXPECT_EQ(r.PercentileNs(99), 990);
+  EXPECT_EQ(r.PercentileNs(100), 1000);
+  EXPECT_EQ(r.MinNs(), 10);
+  EXPECT_EQ(r.MaxNs(), 1000);
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.PercentileNs(99), 0);
+  EXPECT_DOUBLE_EQ(r.MeanNs(), 0.0);
+}
+
+TEST(ThroughputTimeline, BucketsCounts) {
+  ThroughputTimeline t(Seconds(0.25), Seconds(2));
+  t.Record(Seconds(0.1));
+  t.Record(Seconds(0.2));
+  t.Record(Seconds(1.9));
+  EXPECT_EQ(t.buckets(), 8u);
+  EXPECT_EQ(t.count(0), 2u);
+  EXPECT_EQ(t.count(7), 1u);
+  EXPECT_DOUBLE_EQ(t.Rate(0), 8.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BoundedValuesStayInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.NextInRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.NextExponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+}  // namespace
+}  // namespace redn::sim
