@@ -3,6 +3,7 @@
 // so the shape comparison is immediate.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -35,5 +36,34 @@ inline std::string Bar(double normalized, int width = 40) {
   if (n > width) n = width;
   return std::string(n, '#') + std::string(width - n, ' ');
 }
+
+// Machine-readable output: accumulates key/value pairs and prints one JSON
+// object per record. Used by bench_simcore (and CI thresholds) so perf
+// numbers can be parsed without scraping the human-readable report.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string name) {
+    body_ = "{\"bench\":\"" + std::move(name) + "\"";
+  }
+  JsonWriter& Field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    body_ += std::string(",\"") + key + "\":" + buf;
+    return *this;
+  }
+  JsonWriter& Field(const char* key, std::uint64_t value) {
+    body_ += std::string(",\"") + key + "\":" + std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Field(const char* key, const char* value) {
+    body_ += std::string(",\"") + key + "\":\"" + value + "\"";
+    return *this;
+  }
+  // Prints `JSON {...}` on its own line; the prefix keeps grep trivial.
+  void Emit() const { std::printf("JSON %s}\n", body_.c_str()); }
+
+ private:
+  std::string body_;
+};
 
 }  // namespace redn::bench

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# CI entry point: build Release + Debug, run the test suite in both, then
+# run bench_simcore (Release) and enforce perf floors so engine regressions
+# fail loudly instead of rotting silently.
+#
+# Usage: scripts/ci.sh [--skip-debug]
+#
+# Perf floors are deliberately conservative (~25% of the numbers in
+# docs/PERF.md) so they trip on algorithmic regressions — an accidental
+# heap allocation per event, a broken calendar cascade — not on machine
+# noise or slow CI hardware. Override via MIN_CHAIN_EPS / MIN_BURST_EPS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_DEBUG=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-debug) SKIP_DEBUG=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+MIN_CHAIN_EPS="${MIN_CHAIN_EPS:-10000000}"   # dispatch_chain events/sec floor
+MIN_BURST_EPS="${MIN_BURST_EPS:-1500000}"    # dispatch_burst events/sec floor
+
+build_and_test() {
+  local type="$1" dir="$2"
+  echo "=== ${type} build ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE="${type}" >/dev/null
+  cmake --build "${dir}" -j"$(nproc)"
+  (cd "${dir}" && ctest --output-on-failure -j"$(nproc)")
+}
+
+build_and_test Release build-release
+if [[ "${SKIP_DEBUG}" -eq 0 ]]; then
+  build_and_test Debug build-debug
+fi
+
+echo "=== bench_simcore perf floors ==="
+bench_out="$(./build-release/bench_simcore --quick)"
+echo "${bench_out}"
+
+# Each scenario emits one `JSON {...}` record (bench/report.h).
+get_field() {  # get_field <bench-name> <field>
+  echo "${bench_out}" | grep "\"bench\":\"$1\"" \
+    | sed -n "s/.*\"$2\":\([0-9.]*\).*/\1/p"
+}
+
+fail=0
+check_floor() {  # check_floor <bench> <field> <min> <label>
+  local val
+  val="$(get_field "$1" "$2")"
+  if [[ -z "${val}" ]]; then
+    echo "FAIL: no JSON record for $1" >&2; fail=1; return
+  fi
+  if ! awk -v v="${val}" -v m="$3" 'BEGIN { exit !(v >= m) }'; then
+    echo "FAIL: $4: ${val} < floor $3" >&2; fail=1
+  else
+    echo "OK:   $4: ${val} >= $3"
+  fi
+}
+
+check_floor dispatch_chain events_per_sec "${MIN_CHAIN_EPS}" "dispatch_chain events/sec"
+check_floor dispatch_burst events_per_sec "${MIN_BURST_EPS}" "dispatch_burst events/sec"
+# Zero heap allocations per steady-state event: the slab must absorb
+# every engine callback.
+for b in dispatch_chain dispatch_burst remote_write; do
+  check_floor "$b" slab_hit_rate 0.99 "$b slab-hit rate"
+done
+
+exit "${fail}"

@@ -166,8 +166,11 @@ void RnicDevice::Advance(WorkQueue& wq) {
 }
 
 void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
-  // Precondition: wq.busy == true, snapshot available.
-  const WqeImage img = wq.ImageAt(idx);  // copy: ring slot may be recycled
+  // Precondition: wq.busy == true, snapshot available. The image is staged
+  // in wq.inflight_img (stable while busy) so the closures below only need
+  // {this, &wq, idx} — small enough for the simulator's inline storage.
+  wq.inflight_img = wq.ImageAt(idx);  // copy: ring slot may be recycled
+  const WqeImage& img = wq.inflight_img;
   QueuePair* qp = wq.qp();
   auto& port = ports_[qp->port];
   auto& pu = port.pus[wq.pu_index()];
@@ -182,7 +185,8 @@ void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
       }
       if (cq->hw_count() >= img.compare_add) {
         const sim::Nanos done = pu.Reserve(sim_.now(), cal_.pu_wait);
-        sim_.At(done, [this, &wq, idx, img] { FinishControlVerb(wq, idx, img); });
+        sim_.At(done,
+                [this, &wq, idx] { FinishControlVerb(wq, idx, wq.inflight_img); });
       } else {
         // Block; the CQ will wake us when the threshold is reached.
         wq.busy = false;
@@ -193,7 +197,8 @@ void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
     }
     case Opcode::kEnable: {
       const sim::Nanos done = pu.Reserve(sim_.now(), cal_.pu_enable);
-      sim_.At(done, [this, &wq, idx, img] {
+      sim_.At(done, [this, &wq, idx] {
+        const WqeImage& img = wq.inflight_img;
         QueuePair* target = GetQp(img.target_id);
         if (target != nullptr && target->alive) {
           WorkQueue& tq = target->sq;
@@ -224,13 +229,14 @@ void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
       const sim::Nanos service =
           wq.managed() ? cal_.pu_managed_issue : PuService(op);
       const sim::Nanos t_issue = pu.Reserve(start, service);
-      sim_.At(t_issue, [this, &wq, idx, img] {
+      sim_.At(t_issue, [this, &wq, idx] {
         if (wq.error || !wq.qp()->alive) {
           wq.busy = false;
           return;
         }
-        ++counters_.executed_by_opcode[static_cast<int>(img.opcode())];
-        ExecuteData(wq, idx, img, sim_.now());
+        ++counters_.executed_by_opcode[static_cast<int>(
+            wq.inflight_img.opcode())];
+        ExecuteData(wq, idx, wq.inflight_img, sim_.now());
         // Pipelining: the next WQE may issue without waiting for this one's
         // completion (WQ order).
         wq.next_exec = idx + 1;
@@ -257,22 +263,23 @@ void RnicDevice::FinishControlVerb(WorkQueue& wq, std::uint64_t idx,
   Advance(wq);
 }
 
-std::vector<Sge> RnicDevice::ResolveSges(const WqeImage& img) const {
-  std::vector<Sge> sges;
+void RnicDevice::ResolveSges(const WqeImage& img, SgeScratch& out) const {
   if (img.uses_sge_table()) {
     int count = static_cast<int>(img.length);
     if (count > kMaxSges) count = kMaxSges;
-    sges.resize(count);
-    dma::Read(sges.data(), img.local_addr, sizeof(Sge) * count);
+    out.count = count;
+    dma::Read(out.entries.data(), img.local_addr, sizeof(Sge) * count);
   } else {
-    sges.push_back(Sge{img.local_addr, img.length, img.lkey});
+    out.count = 1;
+    out.entries[0] = Sge{img.local_addr, img.length, img.lkey};
   }
-  return sges;
 }
 
 bool RnicDevice::GatherLocal(QueuePair* qp, const WqeImage& img,
                              std::vector<std::byte>& out, WcStatus* err) {
-  for (const Sge& sge : ResolveSges(img)) {
+  SgeScratch sges;
+  ResolveSges(img, sges);
+  for (const Sge& sge : sges) {
     if (sge.length == 0) continue;
     const MemCheck mc =
         qp->device->pd_.CheckLocal(sge.addr, sge.length, sge.lkey, kLocalRead);
@@ -291,7 +298,9 @@ bool RnicDevice::ScatterList(QueuePair* qp, const WqeImage& img,
                              const std::byte* data, std::size_t len,
                              WcStatus* err) {
   std::size_t consumed = 0;
-  for (const Sge& sge : ResolveSges(img)) {
+  SgeScratch sges;
+  ResolveSges(img, sges);
+  for (const Sge& sge : sges) {
     if (consumed >= len) break;
     const std::size_t chunk =
         std::min<std::size_t>(sge.length, len - consumed);
@@ -342,13 +351,15 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
         return;
       }
-      auto payload = std::make_shared<std::vector<std::byte>>();
+      Payload* pl = payloads_.Acquire();
+      pl->img = img;
       WcStatus err = WcStatus::kSuccess;
-      if (!GatherLocal(qp, img, *payload, &err)) {
+      if (!GatherLocal(qp, img, pl->bytes, &err)) {
+        payloads_.Release(pl);
         FailWr(wq, img, t_issue, err);
         return;
       }
-      const std::uint64_t len = payload->size();
+      const std::uint64_t len = pl->bytes.size();
       const sim::Nanos pcie_done = pcie_.Reserve(t_issue, len);
       const sim::Nanos mem_done = membw_.Reserve(t_issue, len);
       const sim::Nanos link_done =
@@ -357,24 +368,32 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
           std::max({t_issue + ExecCost(op) + DataDelay(len, wire), pcie_done,
                     mem_done, link_done}) +
           ow;
-      sim_.At(t_arrive, [this, &wq, qp, peer, img, payload, op, ow, len] {
-        if (wq.error) return;  // QP flushed after an earlier failure
+      sim_.At(t_arrive, [this, &wq, qp, peer, pl, op, ow] {
+        const WqeImage& img = pl->img;
+        const std::uint64_t len = pl->bytes.size();
+        if (wq.error) {  // QP flushed after an earlier failure
+          payloads_.Release(pl);
+          return;
+        }
         WcStatus st = WcStatus::kSuccess;
         if (!peer->alive) {
           st = WcStatus::kRemoteAccessError;
         } else if (op == Opcode::kWrite || op == Opcode::kWriteImm) {
           st = peer->device->AcceptWrite(peer, img.remote_addr, img.rkey,
-                                         payload->data(), len);
+                                         pl->bytes.data(), len);
           if (st == WcStatus::kSuccess && op == Opcode::kWriteImm) {
             st = peer->device->AcceptSend(peer, nullptr, 0, img.imm,
                                           /*has_imm=*/true, len);
           }
         } else {
           st = peer->device->AcceptSend(
-              peer, payload->data(), len, img.imm,
+              peer, pl->bytes.data(), len, img.imm,
               /*has_imm=*/op == Opcode::kSendImm, len);
         }
-        if (!qp->alive) return;
+        if (!qp->alive) {
+          payloads_.Release(pl);
+          return;
+        }
         const sim::Nanos ack = ow > 0 ? ow + cal_.remote_ack_extra : 0;
         if (st != WcStatus::kSuccess && st != WcStatus::kRnrError) {
           // Remote failure: the QP enters error state immediately at the
@@ -384,6 +403,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
         }
         CompleteWr(qp, qp->send_cq, img, sim_.now() + ack, st,
                    static_cast<std::uint32_t>(len));
+        payloads_.Release(pl);
       });
       return;
     }
@@ -392,26 +412,35 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
         return;
       }
+      Payload* pl = payloads_.Acquire();
+      pl->img = img;
       const sim::Nanos t_req = t_issue + ow;
-      sim_.At(t_req, [this, &wq, qp, peer, img, ow, wire] {
-        if (!peer->alive || !qp->alive) return;
+      sim_.At(t_req, [this, &wq, qp, peer, pl, ow, wire] {
+        const WqeImage& img = pl->img;
+        if (!peer->alive || !qp->alive) {
+          payloads_.Release(pl);
+          return;
+        }
         RnicDevice* rdev = peer->device;
         // Remote read length: with a scatter table, the WQE length field
         // holds the SGE count, so the byte count is the sum of the entries.
         std::uint64_t len = img.length;
         if (img.uses_sge_table()) {
+          SgeScratch sges;
+          ResolveSges(img, sges);
           len = 0;
-          for (const Sge& sge : ResolveSges(img)) len += sge.length;
+          for (const Sge& sge : sges) len += sge.length;
         }
         const MemCheck mc = rdev->pd_.CheckRemote(img.remote_addr, len,
                                                   img.rkey, kRemoteRead);
         if (mc != MemCheck::kOk) {
           FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
+          payloads_.Release(pl);
           return;
         }
         // Data is captured at the remote memory *now* (request arrival).
-        auto data = std::make_shared<std::vector<std::byte>>(len);
-        if (len > 0) dma::Read(data->data(), img.remote_addr, len);
+        pl->bytes.resize(len);
+        if (len > 0) dma::Read(pl->bytes.data(), img.remote_addr, len);
         const sim::Nanos t_req_now = sim_.now();
         const sim::Nanos link_done =
             wire ? rdev->ports_[peer->port].link.Reserve(t_req_now, len)
@@ -422,15 +451,21 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
             std::max({t_req_now + ExecCost(Opcode::kRead) + DataDelay(len, wire),
                       link_done, pcie_done, mem_done}) +
             (wire ? ow + cal_.remote_ack_extra : 0);
-        sim_.At(t_done, [this, &wq, qp, img, data, len] {
-          if (!qp->alive) return;
-          WcStatus st = WcStatus::kSuccess;
-          if (!ScatterList(qp, img, data->data(), data->size(), &st)) {
-            FailWr(wq, img, sim_.now(), st);
+        sim_.At(t_done, [this, &wq, qp, pl] {
+          if (!qp->alive) {
+            payloads_.Release(pl);
             return;
           }
-          CompleteWr(qp, qp->send_cq, img, sim_.now(), WcStatus::kSuccess,
-                     static_cast<std::uint32_t>(len));
+          WcStatus st = WcStatus::kSuccess;
+          if (!ScatterList(qp, pl->img, pl->bytes.data(), pl->bytes.size(),
+                           &st)) {
+            FailWr(wq, pl->img, sim_.now(), st);
+            payloads_.Release(pl);
+            return;
+          }
+          CompleteWr(qp, qp->send_cq, pl->img, sim_.now(), WcStatus::kSuccess,
+                     static_cast<std::uint32_t>(pl->bytes.size()));
+          payloads_.Release(pl);
         });
       });
       return;
@@ -443,18 +478,29 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
         return;
       }
+      Payload* pl = payloads_.Acquire();
+      pl->img = img;
+      // If the peer dies before the RMW event runs, the completion below
+      // still scatters `scratch` — it must read 0, not a recycled value.
+      pl->scratch = 0;
       const sim::Nanos t_req = t_issue + ow;
-      sim_.At(t_req, [this, &wq, qp, peer, img, op, ow] {
-        if (!peer->alive || !qp->alive) return;
+      sim_.At(t_req, [this, &wq, qp, peer, pl, op, ow] {
+        const WqeImage& img = pl->img;
+        if (!peer->alive || !qp->alive) {
+          payloads_.Release(pl);
+          return;
+        }
         RnicDevice* rdev = peer->device;
         const MemCheck mc =
             rdev->pd_.CheckRemote(img.remote_addr, 8, img.rkey, kRemoteAtomic);
         if (mc != MemCheck::kOk) {
           FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
+          payloads_.Release(pl);
           return;
         }
         if (img.remote_addr % 8 != 0) {
           FailWr(wq, img, sim_.now() + ow, WcStatus::kAlignmentError);
+          payloads_.Release(pl);
           return;
         }
         // True atomics (CAS/ADD) serialize on the responder port's atomic
@@ -468,11 +514,14 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
             true_atomic
                 ? unit.Reserve(sim_.now(), rdev->cal_.atomic_unit_service)
                 : sim_.now() + rdev->cal_.atomic_unit_service;
-        auto old_value = std::make_shared<std::uint64_t>(0);
-        sim_.At(unit_done, [img, op, old_value, peer] {
+        // The RMW event below never releases `pl`; the completion event at
+        // t_done >= unit_done (scheduled after it, so also later in FIFO
+        // order at equal times) owns the release.
+        sim_.At(unit_done, [pl, op, peer] {
           if (!peer->alive) return;
+          const WqeImage& img = pl->img;
           const std::uint64_t cur = dma::ReadU64(img.remote_addr);
-          *old_value = cur;
+          pl->scratch = cur;
           std::uint64_t next = cur;
           switch (op) {
             case Opcode::kCompSwap:
@@ -494,22 +543,28 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
         });
         const sim::Nanos t_done =
             unit_done + ExecCost(op) + (ow > 0 ? ow + cal_.remote_ack_extra : 0);
-        sim_.At(t_done, [this, &wq, qp, img, old_value] {
-          if (!qp->alive) return;
+        sim_.At(t_done, [this, &wq, qp, pl] {
+          if (!qp->alive) {
+            payloads_.Release(pl);
+            return;
+          }
           // Return the old value into the local sge, if one was given.
-          if (img.local_addr != 0) {
+          if (pl->img.local_addr != 0) {
             WcStatus st = WcStatus::kSuccess;
             const std::byte* bytes =
-                reinterpret_cast<const std::byte*>(old_value.get());
-            WqeImage resp = img;
+                reinterpret_cast<const std::byte*>(&pl->scratch);
+            WqeImage resp = pl->img;
             resp.length = 8;
             resp.flags &= ~kFlagSgeTable;
             if (!ScatterList(qp, resp, bytes, 8, &st)) {
-              FailWr(wq, img, sim_.now(), st);
+              FailWr(wq, pl->img, sim_.now(), st);
+              payloads_.Release(pl);
               return;
             }
           }
-          CompleteWr(qp, qp->send_cq, img, sim_.now(), WcStatus::kSuccess, 8);
+          CompleteWr(qp, qp->send_cq, pl->img, sim_.now(), WcStatus::kSuccess,
+                     8);
+          payloads_.Release(pl);
         });
       });
       return;
@@ -585,9 +640,14 @@ void RnicDevice::CompleteWr(QueuePair* qp, CompletionQueue* cq,
 
 void RnicDevice::DeliverCqe(CompletionQueue* cq, const Cqe& cqe,
                             sim::Nanos t_hw, sim::Nanos host_extra) {
-  sim_.At(t_hw, [this, cq, cqe, host_extra] {
+  // The CQE rides in a pooled shuttle: capturing it by value would push the
+  // closure past the simulator's inline storage.
+  Payload* pl = payloads_.Acquire();
+  pl->cqe = cqe;
+  sim_.At(t_hw, [this, cq, pl, host_extra] {
     ++counters_.cqes;
-    Cqe stamped = cqe;
+    Cqe stamped = pl->cqe;
+    payloads_.Release(pl);
     stamped.completed_at = sim_.now();
     // NIC-internal count first: WAIT verbs see completions before the host.
     for (WorkQueue* wq : cq->BumpHwCount()) {

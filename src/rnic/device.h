@@ -18,6 +18,7 @@
 //    WQ recycling (§3.4) — the NIC wraps the ring and re-executes slots.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -95,6 +96,70 @@ struct DeviceCounters {
   }
 };
 
+// Fixed-capacity scatter/gather list resolved from a WQE. Lives on the
+// caller's stack — resolving SGEs never allocates (kMaxSges is the
+// device-wide scatter limit).
+struct SgeScratch {
+  std::array<Sge, kMaxSges> entries;
+  int count = 0;
+
+  const Sge* begin() const { return entries.data(); }
+  const Sge* end() const { return entries.data() + count; }
+};
+
+// Recycled shuttle for data in flight between engine events: the payload
+// bytes, the WQE image that produced them, and small per-op scratch. Events
+// capture a single Payload* instead of a WqeImage + shared_ptr<vector>,
+// which keeps closures inside the simulator's inline event storage and
+// makes steady-state data verbs allocation-free (buffer capacity is
+// retained across reuse).
+struct Payload {
+  std::vector<std::byte> bytes;
+  WqeImage img{};
+  std::uint64_t scratch = 0;  // atomics: old value returned to the requester
+  Cqe cqe{};                  // CQE in flight to a completion queue
+  Payload* next_free = nullptr;
+};
+
+// Device-owned free list of Payloads. Acquire/Release never touch the
+// system allocator once the pool has grown to the device's peak in-flight
+// depth.
+class PayloadPool {
+ public:
+  PayloadPool() = default;
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  Payload* Acquire() {
+    ++acquires_;
+    if (free_ == nullptr) {
+      all_.push_back(std::make_unique<Payload>());
+      return all_.back().get();
+    }
+    ++reuses_;
+    Payload* p = free_;
+    free_ = p->next_free;
+    p->next_free = nullptr;
+    return p;
+  }
+
+  void Release(Payload* p) {
+    p->bytes.clear();  // keeps capacity for the next op
+    p->next_free = free_;
+    free_ = p;
+  }
+
+  std::size_t allocated() const { return all_.size(); }
+  std::uint64_t acquires() const { return acquires_; }
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::vector<std::unique_ptr<Payload>> all_;
+  Payload* free_ = nullptr;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
 class RnicDevice {
  public:
   RnicDevice(sim::Simulator& sim, NicConfig cfg, Calibration cal,
@@ -110,6 +175,7 @@ class RnicDevice {
   const std::string& name() const { return name_; }
   ProtectionDomain& pd() { return pd_; }
   const DeviceCounters& counters() const { return counters_; }
+  const PayloadPool& payload_pool() const { return payloads_; }
 
   // --- Resource setup -------------------------------------------------------
   CompletionQueue* CreateCq();
@@ -177,12 +243,13 @@ class RnicDevice {
                       std::size_t len, std::uint32_t imm, bool has_imm,
                       std::size_t reported_len);
 
-  // Gather/scatter helpers with protection checks.
+  // Gather/scatter helpers with protection checks. All SGE resolution goes
+  // through caller-provided (stack) scratch — no per-op allocation.
   bool GatherLocal(QueuePair* qp, const WqeImage& img,
                    std::vector<std::byte>& out, WcStatus* err);
   bool ScatterList(QueuePair* qp, const WqeImage& img, const std::byte* data,
                    std::size_t len, WcStatus* err);
-  std::vector<Sge> ResolveSges(const WqeImage& img) const;
+  void ResolveSges(const WqeImage& img, SgeScratch& out) const;
 
   sim::Nanos PuService(Opcode op) const;
   sim::Nanos ExecExtra(Opcode op) const;
@@ -207,6 +274,7 @@ class RnicDevice {
   std::vector<int> next_pu_per_port_;
   sim::Rng jitter_rng_{0x7e57ab1e};
   DeviceCounters counters_;
+  PayloadPool payloads_;
 };
 
 // Connects two QPs as an RC pair with the given one-way wire latency.

@@ -16,19 +16,19 @@ const char* WcStatusName(WcStatus s) {
   return "UNKNOWN";
 }
 
-std::vector<WorkQueue*> CompletionQueue::BumpHwCount() {
+const std::vector<WorkQueue*>& CompletionQueue::BumpHwCount() {
   ++hw_count_;
-  std::vector<WorkQueue*> ready;
+  ready_scratch_.clear();  // keeps capacity: no allocation in steady state
   auto it = waiters_.begin();
   while (it != waiters_.end()) {
     if (it->threshold <= hw_count_) {
-      ready.push_back(it->wq);
+      ready_scratch_.push_back(it->wq);
       it = waiters_.erase(it);
     } else {
       ++it;
     }
   }
-  return ready;
+  return ready_scratch_;
 }
 
 int CompletionQueue::Poll(sim::Nanos now, int max, Cqe* out) {

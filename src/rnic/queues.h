@@ -65,8 +65,9 @@ class CompletionQueue {
     waiters_.push_back(Waiter{wq, threshold});
   }
   // Bumps the NIC-internal count; returns waiters whose threshold is now met
-  // (removed from the wait list).
-  std::vector<WorkQueue*> BumpHwCount();
+  // (removed from the wait list). The returned vector is a member scratch
+  // buffer reused across calls — consume it before the next BumpHwCount.
+  const std::vector<WorkQueue*>& BumpHwCount();
   void PushHostEntry(sim::Nanos visible_at, const Cqe& cqe) {
     host_entries_.push_back({visible_at, cqe});
   }
@@ -87,6 +88,7 @@ class CompletionQueue {
   std::function<void()> host_notify_;
   std::uint64_t hw_count_ = 0;
   std::vector<Waiter> waiters_;
+  std::vector<WorkQueue*> ready_scratch_;  // reused by BumpHwCount
   std::deque<std::pair<sim::Nanos, Cqe>> host_entries_;
 };
 
@@ -125,6 +127,13 @@ class WorkQueue {
   bool busy = false;     // a fetch/issue is in flight for this queue
   bool waiting = false;  // blocked in a WAIT verb
   bool error = false;    // QP moved to error state; no further processing
+
+  // Snapshot of the WQE currently being issued. Valid while `busy` holds
+  // (only one issue is ever in flight per WQ), so engine events capture
+  // {device, wq, idx} and read the image here instead of copying 64 bytes
+  // into every closure — this keeps captures within the simulator's inline
+  // event storage.
+  WqeImage inflight_img{};
 
  private:
   QueuePair* qp_ = nullptr;

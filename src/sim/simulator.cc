@@ -1,23 +1,176 @@
 #include "sim/simulator.h"
 
-#include <utility>
+#include <algorithm>
+#include <bit>
+#include <cassert>
 
 namespace redn::sim {
 
-void Simulator::At(Nanos t, Action action) {
-  if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(action)});
+Simulator::~Simulator() { DrainAll(); }
+
+// ---------------------------------------------------------------------------
+// Wheel primitives
+// ---------------------------------------------------------------------------
+
+void Simulator::Wheel::Append(std::size_t b, EventNode* n) {
+  Bucket& bucket = buckets[b];
+  n->next = nullptr;
+  if (bucket.tail == nullptr) {
+    bucket.head = bucket.tail = n;
+    bitmap[b >> 6] |= std::uint64_t{1} << (b & 63);
+    summary |= std::uint64_t{1} << (b >> 6);
+  } else {
+    bucket.tail->next = n;
+    bucket.tail = n;
+  }
+  ++size;
+}
+
+EventNode* Simulator::Wheel::PopFront(std::size_t b) {
+  Bucket& bucket = buckets[b];
+  EventNode* n = bucket.head;
+  bucket.head = n->next;
+  if (bucket.head == nullptr) {
+    bucket.tail = nullptr;
+    bitmap[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    if (bitmap[b >> 6] == 0) summary &= ~(std::uint64_t{1} << (b >> 6));
+  }
+  n->next = nullptr;
+  --size;
+  return n;
+}
+
+std::size_t Simulator::Wheel::FirstBucket() const {
+  const std::size_t w = static_cast<std::size_t>(std::countr_zero(summary));
+  return (w << 6) + static_cast<std::size_t>(std::countr_zero(bitmap[w]));
+}
+
+void Simulator::CoarseWheel::Append(std::size_t b, EventNode* n) {
+  std::vector<EventNode*>& bucket = buckets[b];
+  if (bucket.empty()) {
+    bitmap[b >> 6] |= std::uint64_t{1} << (b & 63);
+    summary |= std::uint64_t{1} << (b >> 6);
+  }
+  bucket.push_back(n);
+  ++size;
+}
+
+void Simulator::CoarseWheel::ClearBucket(std::size_t b) {
+  std::vector<EventNode*>& bucket = buckets[b];
+  size -= bucket.size();
+  bucket.clear();  // capacity retained for reuse
+  bitmap[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  if (bitmap[b >> 6] == 0) summary &= ~(std::uint64_t{1} << (b >> 6));
+}
+
+std::size_t Simulator::CoarseWheel::FirstBucket() const {
+  const std::size_t w = static_cast<std::size_t>(std::countr_zero(summary));
+  return (w << 6) + static_cast<std::size_t>(std::countr_zero(bitmap[w]));
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+void Simulator::Place(EventNode* n) {
+  if (n->time < fine_base_ + kFineSpan) {
+    // All pending times are >= now_ >= fine_base_, so the slot-local index
+    // is a bijection onto [fine_base_, fine_base_ + kFineSpan).
+    fine_.Append(FineIndex(n->time), n);
+  } else if (n->time < coarse_base_ + kCoarseSpan) {
+    coarse_.Append(CoarseIndex(n->time), n);
+  } else {
+    if (far_.empty() || n->time < far_min_) far_min_ = n->time;
+    far_.push_back(FarEntry{n->time, n->seq, n});
+    far_sorted_ = false;
+  }
+}
+
+void Simulator::AdvanceWindows(Nanos t) {
+  const Nanos new_fine = t & ~(kFineSpan - 1);
+  if (new_fine == fine_base_) return;
+  fine_base_ = new_fine;
+  const Nanos new_coarse = t & ~(kCoarseSpan - 1);
+  if (new_coarse != coarse_base_) {
+    coarse_base_ = new_coarse;
+    // Far events now inside the coarse window cascade first: any event that
+    // shares an instant with one already in a wheel was scheduled later
+    // (eager cascade keeps the structures time-disjoint per instant), so
+    // placing far pops — which come out (time, seq)-sorted — before the
+    // coarse drain below preserves FIFO.
+    const Nanos limit = coarse_base_ + kCoarseSpan;
+    if (!far_.empty() && far_min_ < limit) {
+      if (!far_sorted_) {
+        std::sort(far_.begin(), far_.end(), FarLater{});
+        far_sorted_ = true;
+      }
+      // Back of the descending-sorted vector is the earliest (time, seq);
+      // popping in that order means cascaded events reach the wheels in
+      // exactly the order a heap would have produced.
+      while (!far_.empty() && far_.back().time < limit) {
+        EventNode* n = far_.back().node;
+        far_.pop_back();
+        Place(n);
+      }
+      if (!far_.empty()) far_min_ = far_.back().time;
+    }
+  }
+  // Drain the coarse bucket covering the new fine slot. Append order is seq
+  // order for same-instant events, and fine bucketing separates distinct
+  // instants, so a plain in-order walk is order-preserving.
+  const std::size_t c = CoarseIndex(fine_base_);
+  std::vector<EventNode*>& bucket = coarse_.buckets[c];
+  if (!bucket.empty()) {
+    constexpr std::size_t kPrefetchDepth = 8;
+    const std::size_t count = bucket.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (i + kPrefetchDepth < count) {
+        __builtin_prefetch(bucket[i + kPrefetchDepth]);
+      }
+      EventNode* n = bucket[i];
+      fine_.Append(FineIndex(n->time), n);
+    }
+    coarse_.ClearBucket(c);
+  }
+}
+
+bool Simulator::PeekEarliest(Nanos* t) const {
+  if (fine_.size > 0) {
+    *t = fine_base_ | static_cast<Nanos>(fine_.FirstBucket());
+    return true;
+  }
+  if (coarse_.size > 0) {
+    // A coarse bucket mixes timestamps; scan its FIFO list for the minimum.
+    // This runs at most a couple of times per bucket (peek, then the
+    // bucket is drained into the fine wheel on the next advance).
+    const std::size_t c = coarse_.FirstBucket();
+    Nanos best = 0;
+    bool first = true;
+    for (const EventNode* n : coarse_.buckets[c]) {
+      if (first || n->time < best) best = n->time;
+      first = false;
+    }
+    *t = best;
+    return true;
+  }
+  if (!far_.empty()) {
+    *t = far_min_;
+    return true;
+  }
+  return false;
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() returns a const ref; move out via const_cast is
-  // UB-prone, so copy the action handle (std::function copy) then pop.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
+  Nanos t;
+  if (!PeekEarliest(&t)) return false;
+  now_ = t;
+  AdvanceWindows(t);
+  EventNode* n = fine_.PopFront(FineIndex(t));
+  assert(n != nullptr && n->time == now_);
+  --size_;
   ++events_processed_;
-  ev.action();
+  n->op(n, /*run=*/true);
+  pool_.Release(n);
   return true;
 }
 
@@ -27,16 +180,65 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(Nanos t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  Nanos next;
+  while (PeekEarliest(&next) && next <= t) {
     Step();
   }
-  if (now_ < t) now_ = t;
+  if (now_ < t) {
+    now_ = t;
+    AdvanceWindows(t);
+  }
 }
 
 void Simulator::Reset() {
-  queue_ = {};
+  DrainAll();
   now_ = 0;
+  fine_base_ = 0;
+  coarse_base_ = 0;
   next_seq_ = 0;
+}
+
+void Simulator::DrainAll() {
+  const auto drain_wheel = [this](Wheel& wheel) {
+    for (std::size_t w = 0; w < kWords; ++w) {
+      std::uint64_t bits = wheel.bitmap[w];
+      while (bits != 0) {
+        const std::size_t b =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        Bucket& bucket = wheel.buckets[b];
+        EventNode* n = bucket.head;
+        while (n != nullptr) {
+          EventNode* next = n->next;
+          n->op(n, /*run=*/false);
+          pool_.Release(n);
+          n = next;
+        }
+        bucket.head = bucket.tail = nullptr;
+      }
+      wheel.bitmap[w] = 0;
+    }
+    wheel.summary = 0;
+    wheel.size = 0;
+  };
+  drain_wheel(fine_);
+  for (std::size_t b = 0; b < kSlots; ++b) {
+    for (EventNode* n : coarse_.buckets[b]) {
+      n->op(n, /*run=*/false);
+      pool_.Release(n);
+    }
+    coarse_.buckets[b].clear();
+  }
+  coarse_.bitmap.fill(0);
+  coarse_.summary = 0;
+  coarse_.size = 0;
+  for (const FarEntry& e : far_) {
+    e.node->op(e.node, /*run=*/false);
+    pool_.Release(e.node);
+  }
+  far_.clear();
+  far_sorted_ = true;
+  size_ = 0;
 }
 
 }  // namespace redn::sim

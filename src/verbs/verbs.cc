@@ -11,7 +11,7 @@ rnic::WqeImage ToImage(const SendWr& wr) {
   img.ctrl = rnic::PackCtrl(wr.opcode, wr.wr_id);
   img.remote_addr = wr.remote_addr;
   img.rkey = wr.rkey;
-  img.flags = wr.signaled ? rnic::kFlagSignaled : 0;
+  img.flags = wr.signaled ? static_cast<std::uint32_t>(rnic::kFlagSignaled) : 0u;
   if (wr.sge_table != nullptr) {
     img.flags |= rnic::kFlagSgeTable;
     img.local_addr = rnic::dma::AddrOf(wr.sge_table);

@@ -1,0 +1,174 @@
+// Determinism proof for the calendar-queue engine: on a randomized schedule
+// whose events recursively spawn more events (including past-time schedules
+// that clamp), the Simulator must dispatch in *bit-identical* order to a
+// reference engine built the way the seed simulator was — a binary heap
+// ordered by (time, seq) with the same past-time clamping rule. The workload
+// spans all three tiers of the calendar (fine wheel, coarse wheel, far set),
+// so the cross-tier cascades are covered, not just the fine-ring fast path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace redn::sim {
+namespace {
+
+// splitmix64: event behavior (fanout, deltas) is a pure function of the
+// event id, so both engines see the same workload by construction.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Deltas span the engine's three horizons: the 4.1 us fine wheel, the
+// 16.8 ms coarse wheel, and the far set beyond it. A slice of them is
+// negative to exercise the clamp-to-now FIFO rule.
+std::int64_t ChildDelta(std::uint64_t id, int k) {
+  const std::uint64_t r = Mix(id * 8 + static_cast<std::uint64_t>(k) + 1);
+  switch (r % 8) {
+    case 0: return 0;                                            // same instant
+    case 1: return -static_cast<std::int64_t>(r % 1000);         // clamped past
+    case 2: case 3: return static_cast<std::int64_t>(r % 3000);  // fine wheel
+    case 4: case 5:
+      return static_cast<std::int64_t>(r % 10'000'000);          // coarse wheel
+    default:
+      return static_cast<std::int64_t>(r % 60'000'000);          // far set
+  }
+}
+
+int Fanout(std::uint64_t id) {
+  const std::uint64_t r = Mix(id ^ 0xabcdef);
+  return static_cast<int>(r % 3);  // 0..2 children per event
+}
+
+using Trace = std::vector<std::pair<Nanos, std::uint64_t>>;
+
+constexpr std::size_t kMaxEvents = 50'000;
+constexpr int kSeedEvents = 512;
+
+// Reference engine: the seed's data structure, kept minimal. A binary heap
+// of (time, seq, id), same clamp rule, same seq tie-break.
+Trace RunReference() {
+  struct Ev {
+    Nanos t;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Later> q;
+  Nanos now = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t next_id = 0;
+  Trace trace;
+
+  const auto schedule = [&](Nanos t, std::uint64_t id) {
+    if (t < now) t = now;
+    q.push(Ev{t, seq++, id});
+  };
+  for (int i = 0; i < kSeedEvents; ++i) {
+    schedule(static_cast<Nanos>(Mix(next_id) % 40'000'000), next_id);
+    ++next_id;
+  }
+  while (!q.empty()) {
+    const Ev e = q.top();
+    q.pop();
+    now = e.t;
+    trace.emplace_back(now, e.id);
+    if (trace.size() >= kMaxEvents) break;
+    const int fan = Fanout(e.id);
+    for (int k = 0; k < fan; ++k) {
+      schedule(now + ChildDelta(e.id, k), next_id++);
+    }
+  }
+  return trace;
+}
+
+Trace RunSimulator() {
+  Simulator s;
+  std::uint64_t next_id = 0;
+  Trace trace;
+
+  struct Node {
+    Simulator* s;
+    std::uint64_t* next_id;
+    Trace* trace;
+    std::uint64_t id;
+    void operator()() const {
+      if (trace->size() >= kMaxEvents) return;
+      trace->emplace_back(s->now(), id);
+      if (trace->size() >= kMaxEvents) return;
+      const int fan = Fanout(id);
+      for (int k = 0; k < fan; ++k) {
+        const std::uint64_t child = (*next_id)++;
+        s->At(s->now() + ChildDelta(id, k),
+              Node{s, next_id, trace, child});
+      }
+    }
+  };
+
+  for (int i = 0; i < kSeedEvents; ++i) {
+    s.At(static_cast<Nanos>(Mix(next_id) % 40'000'000),
+         Node{&s, &next_id, &trace, next_id});
+    ++next_id;
+  }
+  s.Run();
+  return trace;
+}
+
+TEST(SimulatorDeterminism, MatchesReferenceHeapOnRandomizedSchedule) {
+  const Trace ref = RunReference();
+  const Trace got = RunSimulator();
+  ASSERT_GE(ref.size(), kMaxEvents / 2) << "workload too small to be meaningful";
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(got[i], ref[i]) << "divergence at event " << i;
+  }
+  // The whole workload uses small captures: the steady state must be
+  // allocation-free (every callback stored inline in its slab node).
+  // (Checked on a fresh run because the traced one ends early at the cap.)
+}
+
+TEST(SimulatorDeterminism, RandomizedScheduleIsFullySlabResident) {
+  Simulator s;
+  std::uint64_t next_id = 0;
+  Trace trace;
+  struct Node {
+    Simulator* s;
+    std::uint64_t* next_id;
+    Trace* trace;
+    std::uint64_t id;
+    void operator()() const {
+      if (trace->size() >= kMaxEvents) return;
+      trace->emplace_back(s->now(), id);
+      const int fan = Fanout(id);
+      for (int k = 0; k < fan; ++k) {
+        const std::uint64_t child = (*next_id)++;
+        s->At(s->now() + ChildDelta(id, k),
+              Node{s, next_id, trace, child});
+      }
+    }
+  };
+  for (int i = 0; i < kSeedEvents; ++i) {
+    s.At(static_cast<Nanos>(Mix(next_id) % 40'000'000),
+         Node{&s, &next_id, &trace, next_id});
+    ++next_id;
+  }
+  s.Run();
+  EXPECT_GT(s.slab_hits(), 0u);
+  EXPECT_EQ(s.heap_fallbacks(), 0u);
+}
+
+}  // namespace
+}  // namespace redn::sim

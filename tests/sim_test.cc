@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event simulation core.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstddef>
 #include <vector>
 
 #include "sim/resource.h"
@@ -52,6 +54,42 @@ TEST(Simulator, PastSchedulingClampsToNow) {
   s.At(100, [&] { s.At(10, [&] { seen = s.now(); }); });
   s.Run();
   EXPECT_EQ(seen, 100);
+}
+
+// The documented FIFO guarantee for clamped events: an event scheduled into
+// the past runs at `now()`, but *behind* every event already queued for the
+// current instant — its seq is newer, and same-instant dispatch is seq order.
+TEST(Simulator, ClampedPastEventRunsAfterQueuedSameTimeEvents) {
+  Simulator s;
+  std::vector<int> order;
+  s.At(100, [&] {
+    s.At(10, [&] { order.push_back(99); });  // clamped to t=100
+  });
+  s.At(100, [&] { order.push_back(1); });
+  s.At(100, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 99}));
+}
+
+TEST(Simulator, ClampAfterRunUntilUsesAdvancedClock) {
+  Simulator s;
+  s.RunUntil(1000);  // advances the clock with an empty queue
+  Nanos seen = -1;
+  s.At(50, [&] { seen = s.now(); });
+  s.Run();
+  EXPECT_EQ(seen, 1000);
+}
+
+TEST(Simulator, SlabCountersSeparateInlineFromHeapCallbacks) {
+  Simulator s;
+  std::array<std::byte, 2 * kEventInlineBytes> big{};
+  int runs = 0;
+  s.At(1, [&runs] { ++runs; });           // pointer capture: fits inline
+  s.At(2, [big, &runs] { (void)big; ++runs; });  // oversized: heap fallback
+  s.Run();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(s.slab_hits(), 1u);
+  EXPECT_EQ(s.heap_fallbacks(), 1u);
 }
 
 TEST(Simulator, RunUntilStopsAtBoundary) {
