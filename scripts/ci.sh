@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: build Release + Debug, run the test suite in both, then
-# run bench_simcore (Release) and enforce perf floors so engine regressions
-# fail loudly instead of rotting silently.
+# CI entry point: build Release + Debug, run the test suite in both, run
+# bench_simcore + bench_scale_fanout (Release) and enforce perf floors, then
+# diff three representative paper benches against committed golden stdout so
+# semantic regressions (timing, ordering, completion counting) fail loudly
+# instead of rotting silently.
 #
 # Usage: scripts/ci.sh [--skip-debug]
 #
 # Perf floors are deliberately conservative (~25% of the numbers in
 # docs/PERF.md) so they trip on algorithmic regressions — an accidental
 # heap allocation per event, a broken calendar cascade — not on machine
-# noise or slow CI hardware. Override via MIN_CHAIN_EPS / MIN_BURST_EPS.
+# noise or slow CI hardware. Override via MIN_CHAIN_EPS / MIN_BURST_EPS /
+# MIN_FANOUT_EPS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +26,7 @@ done
 
 MIN_CHAIN_EPS="${MIN_CHAIN_EPS:-10000000}"   # dispatch_chain events/sec floor
 MIN_BURST_EPS="${MIN_BURST_EPS:-1500000}"    # dispatch_burst events/sec floor
+MIN_FANOUT_EPS="${MIN_FANOUT_EPS:-2000000}"  # bench_scale_fanout events/sec floor
 
 build_and_test() {
   local type="$1" dir="$2"
@@ -65,8 +69,43 @@ check_floor dispatch_chain events_per_sec "${MIN_CHAIN_EPS}" "dispatch_chain eve
 check_floor dispatch_burst events_per_sec "${MIN_BURST_EPS}" "dispatch_burst events/sec"
 # Zero heap allocations per steady-state event: the slab must absorb
 # every engine callback.
+check_zero() {  # check_zero <bench> <field> <label>
+  local val
+  val="$(get_field "$1" "$2")"
+  if [[ -z "${val}" ]]; then
+    echo "FAIL: no JSON record for $1" >&2; fail=1; return
+  fi
+  if [[ "${val}" != "0" ]]; then
+    echo "FAIL: $3: ${val} != 0" >&2; fail=1
+  else
+    echo "OK:   $3: 0"
+  fi
+}
 for b in dispatch_chain dispatch_burst remote_write; do
   check_floor "$b" slab_hit_rate 0.99 "$b slab-hit rate"
+  check_zero "$b" heap_fallbacks "$b heap fallbacks"
+done
+
+echo "=== bench_scale_fanout perf floors ==="
+bench_out="$(./build-release/bench_scale_fanout --quick)"
+echo "${bench_out}"
+check_floor scale_fanout events_per_sec "${MIN_FANOUT_EPS}" "scale_fanout events/sec"
+check_floor scale_fanout slab_hit_rate 0.99 "scale_fanout slab-hit rate"
+check_zero scale_fanout heap_fallbacks "scale_fanout heap fallbacks"
+check_floor scale_fanout payload_reuse_rate 0.99 "scale_fanout payload-reuse rate"
+
+# Determinism guard: these benches print only simulated-time results, so
+# their stdout must match the committed goldens bit for bit. A diff here
+# means engine/device semantics changed — timing, ordering, or completion
+# counting — not just performance.
+echo "=== golden output diffs ==="
+for b in bench_fig7_verb_latency bench_fig8_ordering bench_table3_verb_throughput; do
+  if ! ./build-release/"${b}" | diff -u "tests/golden/${b}.golden" - ; then
+    echo "FAIL: ${b} output diverged from tests/golden/${b}.golden" >&2
+    fail=1
+  else
+    echo "OK:   ${b} matches golden"
+  fi
 done
 
 exit "${fail}"

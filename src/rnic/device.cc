@@ -95,12 +95,21 @@ int RnicDevice::PollCq(CompletionQueue* cq, int max, Cqe* out) {
   return cq->Poll(sim_.now(), max, out);
 }
 
+void RnicDevice::ApplyEnable(WorkQueue& wq, std::uint64_t limit) {
+  wq.exec_limit = std::max(wq.exec_limit, limit);
+  // A non-managed queue snapshots up to the new limit, so later WQE
+  // rewrites are invisible; a managed queue keeps fetching one-by-one at
+  // execution time. Sharing this between the ENABLE verb and HostEnable
+  // keeps host-driven and verb-driven enables agreeing.
+  if (!wq.managed()) SnapshotRange(wq, wq.exec_limit);
+  Advance(wq);
+}
+
 void RnicDevice::HostEnable(QueuePair* qp, std::uint64_t limit) {
   WorkQueue& wq = qp->sq;
   sim_.After(cal_.doorbell_mmio, [this, &wq, limit] {
     if (wq.error) return;
-    wq.exec_limit = std::max(wq.exec_limit, limit);
-    Advance(wq);
+    ApplyEnable(wq, limit);
   });
 }
 
@@ -201,10 +210,7 @@ void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
         const WqeImage& img = wq.inflight_img;
         QueuePair* target = GetQp(img.target_id);
         if (target != nullptr && target->alive) {
-          WorkQueue& tq = target->sq;
-          tq.exec_limit = std::max(tq.exec_limit, img.compare_add);
-          if (!tq.managed()) SnapshotRange(tq, tq.exec_limit);
-          Advance(tq);
+          ApplyEnable(target->sq, img.compare_add);
         }
         FinishControlVerb(wq, idx, img);
       });
@@ -275,14 +281,15 @@ void RnicDevice::ResolveSges(const WqeImage& img, SgeScratch& out) const {
   }
 }
 
-bool RnicDevice::GatherLocal(QueuePair* qp, const WqeImage& img,
+bool RnicDevice::GatherLocal(WorkQueue& wq, const WqeImage& img,
                              std::vector<std::byte>& out, WcStatus* err) {
+  const ProtectionDomain& pd = wq.qp()->device->pd_;
   SgeScratch sges;
   ResolveSges(img, sges);
   for (const Sge& sge : sges) {
     if (sge.length == 0) continue;
-    const MemCheck mc =
-        qp->device->pd_.CheckLocal(sge.addr, sge.length, sge.lkey, kLocalRead);
+    const MemCheck mc = pd.CheckLocal(sge.addr, sge.length, sge.lkey,
+                                      kLocalRead, &wq.mr_cache);
     if (mc != MemCheck::kOk) {
       *err = WcStatus::kLocalAccessError;
       return false;
@@ -294,9 +301,10 @@ bool RnicDevice::GatherLocal(QueuePair* qp, const WqeImage& img,
   return true;
 }
 
-bool RnicDevice::ScatterList(QueuePair* qp, const WqeImage& img,
+bool RnicDevice::ScatterList(WorkQueue& wq, const WqeImage& img,
                              const std::byte* data, std::size_t len,
                              WcStatus* err) {
+  const ProtectionDomain& pd = wq.qp()->device->pd_;
   std::size_t consumed = 0;
   SgeScratch sges;
   ResolveSges(img, sges);
@@ -306,7 +314,7 @@ bool RnicDevice::ScatterList(QueuePair* qp, const WqeImage& img,
         std::min<std::size_t>(sge.length, len - consumed);
     if (chunk == 0) continue;
     const MemCheck mc =
-        qp->device->pd_.CheckLocal(sge.addr, chunk, sge.lkey, kLocalWrite);
+        pd.CheckLocal(sge.addr, chunk, sge.lkey, kLocalWrite, &wq.mr_cache);
     if (mc != MemCheck::kOk) {
       *err = WcStatus::kLocalAccessError;
       return false;
@@ -322,8 +330,8 @@ bool RnicDevice::ScatterList(QueuePair* qp, const WqeImage& img,
   return true;
 }
 
-void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
-                             sim::Nanos t_issue) {
+void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
+                             const WqeImage& img, sim::Nanos t_issue) {
   (void)idx;
   QueuePair* qp = wq.qp();
   QueuePair* peer = qp->peer;
@@ -354,7 +362,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
       Payload* pl = payloads_.Acquire();
       pl->img = img;
       WcStatus err = WcStatus::kSuccess;
-      if (!GatherLocal(qp, img, pl->bytes, &err)) {
+      if (!GatherLocal(wq, img, pl->bytes, &err)) {
         payloads_.Release(pl);
         FailWr(wq, img, t_issue, err);
         return;
@@ -365,8 +373,9 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
       const sim::Nanos link_done =
           wire ? port.link.Reserve(t_issue, len) : t_issue;
       const sim::Nanos t_arrive =
-          std::max({t_issue + ExecCost(op) + DataDelay(len, wire), pcie_done,
-                    mem_done, link_done}) +
+          std::max({t_issue + ExecCost(op) +
+                        DataDelay(len, wire ? &port.link : nullptr),
+                    pcie_done, mem_done, link_done}) +
           ow;
       sim_.At(t_arrive, [this, &wq, qp, peer, pl, op, ow] {
         const WqeImage& img = pl->img;
@@ -431,8 +440,9 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
           len = 0;
           for (const Sge& sge : sges) len += sge.length;
         }
-        const MemCheck mc = rdev->pd_.CheckRemote(img.remote_addr, len,
-                                                  img.rkey, kRemoteRead);
+        const MemCheck mc =
+            rdev->pd_.CheckRemote(img.remote_addr, len, img.rkey, kRemoteRead,
+                                  &peer->remote_mr_cache);
         if (mc != MemCheck::kOk) {
           FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
           payloads_.Release(pl);
@@ -442,13 +452,14 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
         pl->bytes.resize(len);
         if (len > 0) dma::Read(pl->bytes.data(), img.remote_addr, len);
         const sim::Nanos t_req_now = sim_.now();
+        sim::BandwidthResource* rlink =
+            wire ? &rdev->ports_[peer->port].link : nullptr;
         const sim::Nanos link_done =
-            wire ? rdev->ports_[peer->port].link.Reserve(t_req_now, len)
-                 : t_req_now;
+            wire ? rlink->Reserve(t_req_now, len) : t_req_now;
         const sim::Nanos pcie_done = pcie_.Reserve(t_req_now, len);
         const sim::Nanos mem_done = membw_.Reserve(t_req_now, len);
         const sim::Nanos t_done =
-            std::max({t_req_now + ExecCost(Opcode::kRead) + DataDelay(len, wire),
+            std::max({t_req_now + ExecCost(Opcode::kRead) + DataDelay(len, rlink),
                       link_done, pcie_done, mem_done}) +
             (wire ? ow + cal_.remote_ack_extra : 0);
         sim_.At(t_done, [this, &wq, qp, pl] {
@@ -457,7 +468,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
             return;
           }
           WcStatus st = WcStatus::kSuccess;
-          if (!ScatterList(qp, pl->img, pl->bytes.data(), pl->bytes.size(),
+          if (!ScatterList(wq, pl->img, pl->bytes.data(), pl->bytes.size(),
                            &st)) {
             FailWr(wq, pl->img, sim_.now(), st);
             payloads_.Release(pl);
@@ -491,8 +502,8 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
           return;
         }
         RnicDevice* rdev = peer->device;
-        const MemCheck mc =
-            rdev->pd_.CheckRemote(img.remote_addr, 8, img.rkey, kRemoteAtomic);
+        const MemCheck mc = rdev->pd_.CheckRemote(
+            img.remote_addr, 8, img.rkey, kRemoteAtomic, &peer->remote_mr_cache);
         if (mc != MemCheck::kOk) {
           FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
           payloads_.Release(pl);
@@ -556,7 +567,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
             WqeImage resp = pl->img;
             resp.length = 8;
             resp.flags &= ~kFlagSgeTable;
-            if (!ScatterList(qp, resp, bytes, 8, &st)) {
+            if (!ScatterList(wq, resp, bytes, 8, &st)) {
               FailWr(wq, pl->img, sim_.now(), st);
               payloads_.Release(pl);
               return;
@@ -578,10 +589,10 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
 WcStatus RnicDevice::AcceptWrite(QueuePair* dst_qp, std::uint64_t addr,
                                  std::uint32_t rkey, const std::byte* data,
                                  std::size_t len) {
-  const MemCheck mc = pd_.CheckRemote(addr, len, rkey, kRemoteWrite);
+  const MemCheck mc = pd_.CheckRemote(addr, len, rkey, kRemoteWrite,
+                                      &dst_qp->remote_mr_cache);
   if (mc != MemCheck::kOk) return WcStatus::kRemoteAccessError;
   if (len > 0) dma::Write(addr, data, len);
-  (void)dst_qp;
   return WcStatus::kSuccess;
 }
 
@@ -599,7 +610,7 @@ WcStatus RnicDevice::AcceptSend(QueuePair* dst_qp, const std::byte* data,
   WcStatus st = WcStatus::kSuccess;
   int sges_written = 0;
   if (data != nullptr && len > 0) {
-    if (!ScatterList(dst_qp, rimg, data, len, &st)) {
+    if (!ScatterList(rq, rimg, data, len, &st)) {
       // fallthrough: deliver an error CQE for the RECV
     } else {
       sges_written = rimg.uses_sge_table() ? static_cast<int>(rimg.length) : 1;
@@ -640,28 +651,50 @@ void RnicDevice::CompleteWr(QueuePair* qp, CompletionQueue* cq,
 
 void RnicDevice::DeliverCqe(CompletionQueue* cq, const Cqe& cqe,
                             sim::Nanos t_hw, sim::Nanos host_extra) {
-  // The CQE rides in a pooled shuttle: capturing it by value would push the
-  // closure past the simulator's inline storage.
-  Payload* pl = payloads_.Acquire();
-  pl->cqe = cqe;
-  sim_.At(t_hw, [this, cq, pl, host_extra] {
-    ++counters_.cqes;
-    Cqe stamped = pl->cqe;
-    payloads_.Release(pl);
-    stamped.completed_at = sim_.now();
-    // NIC-internal count first: WAIT verbs see completions before the host.
-    for (WorkQueue* wq : cq->BumpHwCount()) {
-      wq->waiting = false;
-      sim_.After(cal_.wait_resume, [this, wq] { Advance(*wq); });
-    }
-    const sim::Nanos visible_at = sim_.now() + cal_.completion_write + host_extra;
-    cq->PushHostEntry(visible_at, stamped);
-    // Keep simulated time flowing to the visibility instant so pollers that
-    // drive the sim by stepping observe the CQE, and fire the host-notify
-    // hook for event-driven actors.
-    sim_.At(visible_at, [cq] {
+  // One event per CQE: the 32-byte Cqe is captured by value together with
+  // the precomputed host-visibility instant. Both timestamps are knowable
+  // here (`At` clamps past times to now, so clamp the same way first).
+  if (t_hw < sim_.now()) t_hw = sim_.now();
+  Cqe stamped = cqe;
+  stamped.completed_at = t_hw;
+  sim_.At(t_hw, CqeDeliver{this, cq, t_hw + cal_.completion_write + host_extra,
+                           stamped});
+}
+
+void RnicDevice::CqeDeliver::operator()() const {
+  RnicDevice* d = dev;
+  ++d->counters_.cqes;
+  // NIC-internal count first: WAIT verbs see completions before the host.
+  const std::vector<WorkQueue*>& ready = cq->BumpHwCount();
+  if (!ready.empty()) d->ScheduleResumes(ready);
+  cq->PushHostEntry(visible_at, cqe);
+  // Host visibility needs no event of its own: the noted horizon lets a
+  // drained run (and the poll helpers) advance time to `visible_at`. Only
+  // an armed notify hook — an event-driven actor — warrants a wake-up.
+  d->sim_.NoteHorizon(visible_at);
+  if (cq->host_notify()) {
+    d->sim_.At(visible_at, [cq = cq] {
       if (cq->host_notify()) cq->host_notify()();
     });
+  }
+}
+
+void RnicDevice::ScheduleResumes(const std::vector<WorkQueue*>& ready) {
+  for (WorkQueue* wq : ready) wq->waiting = false;
+  if (ready.size() == 1) {
+    WorkQueue* wq = ready.front();
+    sim_.After(cal_.wait_resume, [this, wq] { Advance(*wq); });
+    return;
+  }
+  // Same-instant fan-out wake: all waiters resume at the same time and
+  // would otherwise each pay an event. Batch them into one; the waiters
+  // advance in wake (FIFO) order, exactly as consecutive per-waiter events
+  // would have.
+  ResumeBatch* batch = resume_batches_.Acquire();
+  batch->wqs.assign(ready.begin(), ready.end());
+  sim_.After(cal_.wait_resume, [this, batch] {
+    for (WorkQueue* wq : batch->wqs) Advance(*wq);
+    resume_batches_.Release(batch);
   });
 }
 
@@ -719,11 +752,12 @@ sim::Nanos RnicDevice::ExecCost(Opcode op) {
   return static_cast<sim::Nanos>(static_cast<double>(base) * f);
 }
 
-sim::Nanos RnicDevice::DataDelay(std::uint64_t bytes, bool crosses_wire) const {
+sim::Nanos RnicDevice::DataDelay(std::uint64_t bytes,
+                                 const sim::BandwidthResource* wire_link) const {
   if (bytes == 0) return 0;
   sim::Nanos d = pcie_.SerializationDelay(bytes) + membw_.SerializationDelay(bytes);
-  if (crosses_wire) {
-    d += ports_[0].link.SerializationDelay(bytes);
+  if (wire_link != nullptr) {
+    d += wire_link->SerializationDelay(bytes);
   } else {
     d += pcie_.SerializationDelay(bytes);  // loopback crosses PCIe twice
   }

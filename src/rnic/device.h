@@ -57,6 +57,9 @@ struct QueuePair {
   sim::Nanos rate_gap = 0;
   sim::Nanos next_rate_slot = 0;
 
+  // Last MR resolved for remote (rkey) accesses landing on this QP.
+  MrCacheEntry remote_mr_cache;
+
   std::unique_ptr<std::byte[]> sq_buf;
   std::unique_ptr<std::byte[]> rq_buf;
   MemoryRegion sq_mr;  // the registered "code region" (self-modification)
@@ -112,39 +115,43 @@ struct SgeScratch {
 // capture a single Payload* instead of a WqeImage + shared_ptr<vector>,
 // which keeps closures inside the simulator's inline event storage and
 // makes steady-state data verbs allocation-free (buffer capacity is
-// retained across reuse).
+// retained across reuse). CQEs do NOT ride here: a Cqe is 32 bytes and is
+// captured directly inside its delivery event.
 struct Payload {
   std::vector<std::byte> bytes;
   WqeImage img{};
   std::uint64_t scratch = 0;  // atomics: old value returned to the requester
-  Cqe cqe{};                  // CQE in flight to a completion queue
   Payload* next_free = nullptr;
+
+  void Recycle() { bytes.clear(); }  // keeps capacity for the next op
 };
 
-// Device-owned free list of Payloads. Acquire/Release never touch the
-// system allocator once the pool has grown to the device's peak in-flight
-// depth.
-class PayloadPool {
+// Device-owned free list of recycled engine objects. Acquire/Release never
+// touch the system allocator once the pool has grown to the device's peak
+// in-flight depth. T needs an intrusive `T* next_free` link and a
+// `Recycle()` that resets state while keeping buffer capacity.
+template <class T>
+class RecyclePool {
  public:
-  PayloadPool() = default;
-  PayloadPool(const PayloadPool&) = delete;
-  PayloadPool& operator=(const PayloadPool&) = delete;
+  RecyclePool() = default;
+  RecyclePool(const RecyclePool&) = delete;
+  RecyclePool& operator=(const RecyclePool&) = delete;
 
-  Payload* Acquire() {
+  T* Acquire() {
     ++acquires_;
     if (free_ == nullptr) {
-      all_.push_back(std::make_unique<Payload>());
+      all_.push_back(std::make_unique<T>());
       return all_.back().get();
     }
     ++reuses_;
-    Payload* p = free_;
+    T* p = free_;
     free_ = p->next_free;
     p->next_free = nullptr;
     return p;
   }
 
-  void Release(Payload* p) {
-    p->bytes.clear();  // keeps capacity for the next op
+  void Release(T* p) {
+    p->Recycle();
     p->next_free = free_;
     free_ = p;
   }
@@ -154,11 +161,13 @@ class PayloadPool {
   std::uint64_t reuses() const { return reuses_; }
 
  private:
-  std::vector<std::unique_ptr<Payload>> all_;
-  Payload* free_ = nullptr;
+  std::vector<std::unique_ptr<T>> all_;
+  T* free_ = nullptr;
   std::uint64_t acquires_ = 0;
   std::uint64_t reuses_ = 0;
 };
+
+using PayloadPool = RecyclePool<Payload>;
 
 class RnicDevice {
  public:
@@ -219,11 +228,32 @@ class RnicDevice {
         : pus(pus_count), link(link_gbps) {}
   };
 
+  // One CQE delivery, captured by value inside its event (56 bytes with the
+  // packed Cqe — fits the simulator's 64-byte inline storage). Runs at the
+  // NIC-internal completion instant: bumps hw_count, wakes WAIT waiters,
+  // and stages the host entry at the precomputed visibility instant.
+  struct CqeDeliver {
+    RnicDevice* dev;
+    CompletionQueue* cq;
+    sim::Nanos visible_at;
+    Cqe cqe;
+    void operator()() const;
+  };
+
+  // Pooled batch of WAIT waiters woken by one CQE, resumed by a single
+  // event after cal.wait_resume.
+  struct ResumeBatch {
+    std::vector<WorkQueue*> wqs;
+    ResumeBatch* next_free = nullptr;
+
+    void Recycle() { wqs.clear(); }  // keeps capacity
+  };
+
   // Engine.
   void Advance(WorkQueue& wq);
   void Issue(WorkQueue& wq, std::uint64_t idx);
   void FinishControlVerb(WorkQueue& wq, std::uint64_t idx, const WqeImage& img);
-  void ExecuteData(WorkQueue& wq, std::uint64_t idx, WqeImage img,
+  void ExecuteData(WorkQueue& wq, std::uint64_t idx, const WqeImage& img,
                    sim::Nanos t_issue);
   void CompleteWr(QueuePair* qp, CompletionQueue* cq, const WqeImage& img,
                   sim::Nanos t_done, WcStatus status, std::uint32_t byte_len,
@@ -232,6 +262,13 @@ class RnicDevice {
   // waits for), not the NIC-internal count WAIT verbs observe.
   void DeliverCqe(CompletionQueue* cq, const Cqe& cqe, sim::Nanos t_hw,
                   sim::Nanos host_extra = 0);
+  // Clears `waiting` and schedules the wait_resume wake-up(s) for the
+  // waiters BumpHwCount just returned — one event for the whole batch.
+  void ScheduleResumes(const std::vector<WorkQueue*>& ready);
+  // Shared enable semantics (ENABLE verb and HostEnable): raises the
+  // execution limit monotonically, snapshots non-managed queues up to the
+  // new limit, and kicks the queue.
+  void ApplyEnable(WorkQueue& wq, std::uint64_t limit);
   void FailWr(WorkQueue& wq, const WqeImage& img, sim::Nanos t, WcStatus status);
 
   // Incoming traffic from a peer device (or loopback), executed at arrival
@@ -244,10 +281,12 @@ class RnicDevice {
                       std::size_t reported_len);
 
   // Gather/scatter helpers with protection checks. All SGE resolution goes
-  // through caller-provided (stack) scratch — no per-op allocation.
-  bool GatherLocal(QueuePair* qp, const WqeImage& img,
+  // through caller-provided (stack) scratch — no per-op allocation. `wq` is
+  // the queue whose WQE is being executed; its last-hit MR cache absorbs
+  // the per-SGE key lookups.
+  bool GatherLocal(WorkQueue& wq, const WqeImage& img,
                    std::vector<std::byte>& out, WcStatus* err);
-  bool ScatterList(QueuePair* qp, const WqeImage& img, const std::byte* data,
+  bool ScatterList(WorkQueue& wq, const WqeImage& img, const std::byte* data,
                    std::size_t len, WcStatus* err);
   void ResolveSges(const WqeImage& img, SgeScratch& out) const;
 
@@ -255,8 +294,12 @@ class RnicDevice {
   sim::Nanos ExecExtra(Opcode op) const;
   // ExecExtra with the calibration's jitter applied.
   sim::Nanos ExecCost(Opcode op);
-  // Store-and-forward serial delay for `bytes` of payload.
-  sim::Nanos DataDelay(std::uint64_t bytes, bool crosses_wire) const;
+  // Store-and-forward serial delay for `bytes` of payload. `wire_link` is
+  // the egress link the bytes serialize through (the QP's own port for a
+  // requester, the responder's port for a READ response); nullptr means
+  // loopback, which crosses PCIe twice instead.
+  sim::Nanos DataDelay(std::uint64_t bytes,
+                       const sim::BandwidthResource* wire_link) const;
 
   std::uint64_t ExecLimitOf(const WorkQueue& wq) const { return wq.exec_limit; }
   void SnapshotRange(WorkQueue& wq, std::uint64_t upto);
@@ -275,6 +318,7 @@ class RnicDevice {
   sim::Rng jitter_rng_{0x7e57ab1e};
   DeviceCounters counters_;
   PayloadPool payloads_;
+  RecyclePool<ResumeBatch> resume_batches_;
 };
 
 // Connects two QPs as an RC pair with the given one-way wire latency.

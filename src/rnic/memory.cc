@@ -4,85 +4,120 @@
 
 namespace redn::rnic {
 
-const MemoryRegion& ProtectionDomain::Register(void* ptr, std::size_t len,
-                                               std::uint32_t access) {
+std::uint32_t ProtectionDomain::Find(std::uint32_t key) const {
+  if (table_.empty()) return kNotFound;
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = Mix(key) & mask;
+  for (;;) {
+    const TableSlot& slot = table_[i];
+    if (slot.key == key) return slot.index;
+    if (slot.key == kEmptyKey) return kNotFound;
+    i = (i + 1) & mask;  // skips tombstones too
+  }
+}
+
+void ProtectionDomain::Insert(std::uint32_t key, std::uint32_t index) {
+  // Grow at ~70% occupancy (tombstones included) to keep probes short.
+  if (table_.empty() || (table_used_ + 1) * 10 >= table_.size() * 7) {
+    GrowTable();
+  }
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = Mix(key) & mask;
+  while (table_[i].key != kEmptyKey && table_[i].key != kTombstoneKey) {
+    i = (i + 1) & mask;
+  }
+  if (table_[i].key == kEmptyKey) ++table_used_;
+  table_[i] = TableSlot{key, index};
+}
+
+void ProtectionDomain::GrowTable() {
+  const std::size_t cap = table_.empty() ? 64 : table_.size() * 2;
+  std::vector<TableSlot> old = std::move(table_);
+  table_.assign(cap, TableSlot{});
+  table_used_ = 0;
+  const std::size_t mask = cap - 1;
+  for (const TableSlot& slot : old) {
+    if (slot.key == kEmptyKey || slot.key == kTombstoneKey) continue;
+    std::size_t i = Mix(slot.key) & mask;
+    while (table_[i].key != kEmptyKey) i = (i + 1) & mask;
+    table_[i] = slot;
+    ++table_used_;
+  }
+}
+
+MemoryRegion ProtectionDomain::Register(void* ptr, std::size_t len,
+                                        std::uint32_t access) {
   MemoryRegion mr;
   mr.addr = dma::AddrOf(ptr);
   mr.length = len;
   mr.lkey = next_key_++;
   mr.rkey = next_key_++;
   mr.access = access;
-  rkey_to_lkey_[mr.rkey] = mr.lkey;
-  auto [it, inserted] = by_lkey_.emplace(mr.lkey, mr);
-  (void)inserted;
-  return it->second;
+  const std::uint32_t index = static_cast<std::uint32_t>(regions_.size());
+  regions_.push_back(mr);
+  Insert(mr.lkey, index);
+  Insert(mr.rkey, index);
+  ++live_count_;
+  return regions_[index];
 }
 
 bool ProtectionDomain::Deregister(std::uint32_t lkey) {
-  auto it = by_lkey_.find(lkey);
-  if (it == by_lkey_.end()) return false;
-  rkey_to_lkey_.erase(it->second.rkey);
-  by_lkey_.erase(it);
+  if (lkey < kFirstKey) return false;  // sentinel / blanked-key values
+  const std::uint32_t index = Find(lkey);
+  if (index == kNotFound) return false;
+  MemoryRegion& mr = regions_[index];
+  if (mr.lkey != lkey) return false;  // an rkey is not a deregistration handle
+  const std::size_t mask = table_.size() - 1;
+  for (std::uint32_t key : {mr.lkey, mr.rkey}) {
+    std::size_t i = Mix(key) & mask;
+    while (table_[i].key != key) i = (i + 1) & mask;
+    table_[i].key = kTombstoneKey;
+  }
+  // Blank the keys so stale MrCacheEntry hits fail their key compare.
+  mr.lkey = 0;
+  mr.rkey = 0;
+  mr.access = 0;
+  --live_count_;
   return true;
+}
+
+const MemoryRegion* ProtectionDomain::Resolve(std::uint32_t key, bool remote,
+                                              MrCacheEntry* cache) const {
+  if (key < kFirstKey) return nullptr;  // sentinel / blanked-key values
+  if (cache != nullptr && cache->key == key && cache->index < regions_.size()) {
+    const MemoryRegion& mr = regions_[cache->index];
+    if ((remote ? mr.rkey : mr.lkey) == key) return &mr;
+  }
+  const std::uint32_t index = Find(key);
+  if (index == kNotFound) return nullptr;
+  const MemoryRegion& mr = regions_[index];
+  // The table holds both key kinds; reject an rkey used as an lkey (and
+  // vice versa), exactly like the old per-kind maps did.
+  if ((remote ? mr.rkey : mr.lkey) != key) return nullptr;
+  if (cache != nullptr) *cache = MrCacheEntry{key, index};
+  return &mr;
 }
 
 MemCheck ProtectionDomain::CheckLocal(std::uint64_t addr, std::size_t len,
                                       std::uint32_t lkey,
-                                      std::uint32_t required_access) const {
-  auto it = by_lkey_.find(lkey);
-  if (it == by_lkey_.end()) return MemCheck::kBadKey;
-  const MemoryRegion& mr = it->second;
-  if ((mr.access & required_access) != required_access) return MemCheck::kNoPermission;
-  if (!mr.Contains(addr, len)) return MemCheck::kOutOfBounds;
+                                      std::uint32_t required_access,
+                                      MrCacheEntry* cache) const {
+  const MemoryRegion* mr = Resolve(lkey, /*remote=*/false, cache);
+  if (mr == nullptr) return MemCheck::kBadKey;
+  if ((mr->access & required_access) != required_access) return MemCheck::kNoPermission;
+  if (!mr->Contains(addr, len)) return MemCheck::kOutOfBounds;
   return MemCheck::kOk;
 }
 
 MemCheck ProtectionDomain::CheckRemote(std::uint64_t addr, std::size_t len,
                                        std::uint32_t rkey,
-                                       std::uint32_t required_access) const {
-  auto it = rkey_to_lkey_.find(rkey);
-  if (it == rkey_to_lkey_.end()) return MemCheck::kBadKey;
-  const MemoryRegion& mr = by_lkey_.at(it->second);
-  if ((mr.access & required_access) != required_access) return MemCheck::kNoPermission;
-  if (!mr.Contains(addr, len)) return MemCheck::kOutOfBounds;
+                                       std::uint32_t required_access,
+                                       MrCacheEntry* cache) const {
+  const MemoryRegion* mr = Resolve(rkey, /*remote=*/true, cache);
+  if (mr == nullptr) return MemCheck::kBadKey;
+  if ((mr->access & required_access) != required_access) return MemCheck::kNoPermission;
+  if (!mr->Contains(addr, len)) return MemCheck::kOutOfBounds;
   return MemCheck::kOk;
 }
 
-namespace dma {
-
-void Copy(std::uint64_t dst, std::uint64_t src, std::size_t len) {
-  std::memmove(reinterpret_cast<void*>(dst), reinterpret_cast<const void*>(src), len);
-}
-
-void Write(std::uint64_t dst, const void* src, std::size_t len) {
-  std::memcpy(reinterpret_cast<void*>(dst), src, len);
-}
-
-void Read(void* dst, std::uint64_t src, std::size_t len) {
-  std::memcpy(dst, reinterpret_cast<const void*>(src), len);
-}
-
-std::uint64_t ReadU64(std::uint64_t addr) {
-  std::uint64_t v;
-  Read(&v, addr, sizeof(v));
-  return v;
-}
-
-void WriteU64(std::uint64_t addr, std::uint64_t value) {
-  Write(addr, &value, sizeof(value));
-}
-
-std::uint32_t ReadU32(std::uint64_t addr) {
-  std::uint32_t v;
-  Read(&v, addr, sizeof(v));
-  return v;
-}
-
-void WriteU32(std::uint64_t addr, std::uint32_t value) {
-  Write(addr, &value, sizeof(value));
-}
-
-std::uint64_t AddrOf(const void* p) { return reinterpret_cast<std::uint64_t>(p); }
-
-}  // namespace dma
 }  // namespace redn::rnic

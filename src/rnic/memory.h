@@ -10,7 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 namespace redn::rnic {
@@ -45,41 +45,114 @@ enum class MemCheck {
   kNoPermission,
 };
 
+// One-entry memoization of the last MR lookup a queue performed. RedN
+// traffic hits the same 2-3 regions (code ring, hash table, value heap)
+// millions of times, so the common case is "same key as last time": a
+// single compare against the cached key skips the table probe entirely.
+// The cached index stays valid forever (regions are never compacted); a
+// deregistered region zeroes its keys, so a stale hit self-invalidates on
+// the key compare.
+struct MrCacheEntry {
+  std::uint32_t key = 0;    // 0 = empty (real keys start at 0x1000)
+  std::uint32_t index = 0;  // slot in ProtectionDomain::regions_
+};
+
 class ProtectionDomain {
  public:
-  // Registers [ptr, ptr+len) and returns the region descriptor.
-  const MemoryRegion& Register(void* ptr, std::size_t len, std::uint32_t access);
+  // Registers [ptr, ptr+len) and returns the region descriptor by value:
+  // the internal region store reallocates as it grows, so a reference into
+  // it would dangle across a later Register.
+  MemoryRegion Register(void* ptr, std::size_t len, std::uint32_t access);
 
   // Removes a region; accesses with its keys fail afterwards.
   bool Deregister(std::uint32_t lkey);
 
-  // Validates a local (lkey) access.
+  // Validates a local (lkey) access. `cache`, when given, is consulted
+  // before the key table and refreshed on a successful lookup.
   MemCheck CheckLocal(std::uint64_t addr, std::size_t len, std::uint32_t lkey,
-                      std::uint32_t required_access) const;
+                      std::uint32_t required_access,
+                      MrCacheEntry* cache = nullptr) const;
 
   // Validates a remote (rkey) access.
   MemCheck CheckRemote(std::uint64_t addr, std::size_t len, std::uint32_t rkey,
-                       std::uint32_t required_access) const;
+                       std::uint32_t required_access,
+                       MrCacheEntry* cache = nullptr) const;
 
-  std::size_t region_count() const { return by_lkey_.size(); }
+  std::size_t region_count() const { return live_count_; }
 
  private:
-  std::uint32_t next_key_ = 0x1000;
-  std::unordered_map<std::uint32_t, MemoryRegion> by_lkey_;
-  std::unordered_map<std::uint32_t, std::uint32_t> rkey_to_lkey_;
+  // Open-addressed key table: maps an lkey or rkey to its region slot.
+  // Both key kinds share one table (the key counter never collides them),
+  // so a remote check is a single probe instead of the old two-map
+  // rkey->lkey->region chain.
+  struct TableSlot {
+    std::uint32_t key = 0;    // kEmptyKey / kTombstoneKey / a real key
+    std::uint32_t index = 0;  // slot in regions_
+  };
+  static constexpr std::uint32_t kEmptyKey = 0;
+  static constexpr std::uint32_t kTombstoneKey = 1;
+  static constexpr std::uint32_t kNotFound = ~std::uint32_t{0};
+  // First key ever issued. Values below it (the sentinels above, and the
+  // zeroes Deregister blanks a region's keys to) are never valid lookups;
+  // Resolve rejects them up front so a blanked key cannot alias an empty
+  // table slot or a dead region.
+  static constexpr std::uint32_t kFirstKey = 0x1000;
+
+  static std::size_t Mix(std::uint32_t key) {
+    return static_cast<std::size_t>(key * 2654435761u);
+  }
+  std::uint32_t Find(std::uint32_t key) const;  // region index or kNotFound
+  void Insert(std::uint32_t key, std::uint32_t index);
+  void GrowTable();
+
+  // Shared probe+validate: resolves `key` through the cache or the table
+  // and verifies it is the right kind (lkey vs rkey) for the access.
+  const MemoryRegion* Resolve(std::uint32_t key, bool remote,
+                              MrCacheEntry* cache) const;
+
+  std::uint32_t next_key_ = kFirstKey;
+  std::size_t live_count_ = 0;
+  std::vector<MemoryRegion> regions_;  // append-only; dereg blanks keys
+  std::vector<TableSlot> table_;       // power-of-two, linear probing
+  std::size_t table_used_ = 0;         // live + tombstone slots
 };
 
 // DMA helpers: all NIC memory traffic funnels through these, so tests can
-// rely on memcpy semantics (no strict-aliasing surprises).
+// rely on memcpy semantics (no strict-aliasing surprises). They are inline
+// on purpose: a WQE fetch/store touches every field through them (~20 calls
+// per WQE), and as out-of-line functions they dominated the per-verb cost
+// of the data path. Inlined, a WqeView::Load collapses into straight-line
+// loads the compiler can schedule and vectorize.
 namespace dma {
-void Copy(std::uint64_t dst, std::uint64_t src, std::size_t len);
-void Write(std::uint64_t dst, const void* src, std::size_t len);
-void Read(void* dst, std::uint64_t src, std::size_t len);
-std::uint64_t ReadU64(std::uint64_t addr);
-void WriteU64(std::uint64_t addr, std::uint64_t value);
-std::uint32_t ReadU32(std::uint64_t addr);
-void WriteU32(std::uint64_t addr, std::uint32_t value);
-std::uint64_t AddrOf(const void* p);
+inline void Copy(std::uint64_t dst, std::uint64_t src, std::size_t len) {
+  std::memmove(reinterpret_cast<void*>(dst), reinterpret_cast<const void*>(src),
+               len);
+}
+inline void Write(std::uint64_t dst, const void* src, std::size_t len) {
+  std::memcpy(reinterpret_cast<void*>(dst), src, len);
+}
+inline void Read(void* dst, std::uint64_t src, std::size_t len) {
+  std::memcpy(dst, reinterpret_cast<const void*>(src), len);
+}
+inline std::uint64_t ReadU64(std::uint64_t addr) {
+  std::uint64_t v;
+  Read(&v, addr, sizeof(v));
+  return v;
+}
+inline void WriteU64(std::uint64_t addr, std::uint64_t value) {
+  Write(addr, &value, sizeof(value));
+}
+inline std::uint32_t ReadU32(std::uint64_t addr) {
+  std::uint32_t v;
+  Read(&v, addr, sizeof(v));
+  return v;
+}
+inline void WriteU32(std::uint64_t addr, std::uint32_t value) {
+  Write(addr, &value, sizeof(value));
+}
+inline std::uint64_t AddrOf(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);
+}
 }  // namespace dma
 
 }  // namespace redn::rnic

@@ -16,17 +16,29 @@ const char* WcStatusName(WcStatus s) {
   return "UNKNOWN";
 }
 
+namespace {
+// Min-heap on (threshold, seq): std::*_heap are max-heaps, so "later" wins.
+struct WaiterLater {
+  bool operator()(const CompletionQueue::Waiter& a,
+                  const CompletionQueue::Waiter& b) const {
+    if (a.threshold != b.threshold) return a.threshold > b.threshold;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
+void CompletionQueue::AddWaiter(WorkQueue* wq, std::uint64_t threshold) {
+  waiters_.push_back(Waiter{threshold, next_waiter_seq_++, wq});
+  std::push_heap(waiters_.begin(), waiters_.end(), WaiterLater{});
+}
+
 const std::vector<WorkQueue*>& CompletionQueue::BumpHwCount() {
   ++hw_count_;
   ready_scratch_.clear();  // keeps capacity: no allocation in steady state
-  auto it = waiters_.begin();
-  while (it != waiters_.end()) {
-    if (it->threshold <= hw_count_) {
-      ready_scratch_.push_back(it->wq);
-      it = waiters_.erase(it);
-    } else {
-      ++it;
-    }
+  while (!waiters_.empty() && waiters_.front().threshold <= hw_count_) {
+    std::pop_heap(waiters_.begin(), waiters_.end(), WaiterLater{});
+    ready_scratch_.push_back(waiters_.back().wq);
+    waiters_.pop_back();
   }
   return ready_scratch_;
 }

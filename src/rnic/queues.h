@@ -22,8 +22,12 @@ class RnicDevice;
 class WorkQueue;
 struct QueuePair;
 
-// Completion status carried in a CQE.
-enum class WcStatus {
+// Completion status carried in a CQE. One byte: the Cqe below is packed to
+// 32 bytes so a whole CQE rides inline in an event capture (together with a
+// device, CQ, and visibility timestamp) within the simulator's 64-byte
+// inline storage — the completion path schedules one event per CQE with no
+// pooled shuttle.
+enum class WcStatus : std::uint8_t {
   kSuccess,
   kLocalAccessError,   // lkey / bounds / permission on the local side
   kRemoteAccessError,  // rkey / bounds / permission on the remote side
@@ -35,15 +39,17 @@ enum class WcStatus {
 const char* WcStatusName(WcStatus s);
 
 struct Cqe {
-  std::uint32_t qp_id = 0;
   std::uint64_t wr_id = 0;
-  Opcode opcode = Opcode::kNoop;
-  WcStatus status = WcStatus::kSuccess;
+  sim::Nanos completed_at = 0;  // NIC-internal completion time
+  std::uint32_t qp_id = 0;
   std::uint32_t byte_len = 0;
   std::uint32_t imm = 0;
+  Opcode opcode = Opcode::kNoop;
+  WcStatus status = WcStatus::kSuccess;
   bool has_imm = false;
-  sim::Nanos completed_at = 0;  // NIC-internal completion time
 };
+static_assert(sizeof(Cqe) == 32, "Cqe must stay small enough to inline into "
+                                 "an event capture (see RnicDevice::DeliverCqe)");
 
 // Completion queue. Two notions of visibility:
 //  - hw_count: cumulative number of CQEs as seen *inside* the NIC; WAIT
@@ -57,13 +63,17 @@ class CompletionQueue {
   std::uint64_t hw_count() const { return hw_count_; }
 
   // --- engine side ---
+  // Waiters are a binary min-heap ordered by (threshold, seq): hw_count is
+  // monotonic, so BumpHwCount only ever needs the smallest thresholds, and
+  // the registration seq preserves FIFO wake order among equal thresholds.
+  // The old linear scan walked every parked waiter per CQE; the heap pops
+  // exactly the ready ones.
   struct Waiter {
-    WorkQueue* wq;
     std::uint64_t threshold;
+    std::uint64_t seq;
+    WorkQueue* wq;
   };
-  void AddWaiter(WorkQueue* wq, std::uint64_t threshold) {
-    waiters_.push_back(Waiter{wq, threshold});
-  }
+  void AddWaiter(WorkQueue* wq, std::uint64_t threshold);
   // Bumps the NIC-internal count; returns waiters whose threshold is now met
   // (removed from the wait list). The returned vector is a member scratch
   // buffer reused across calls — consume it before the next BumpHwCount.
@@ -76,10 +86,21 @@ class CompletionQueue {
   // Pops up to `max` CQEs visible at time `now`.
   int Poll(sim::Nanos now, int max, Cqe* out);
   std::size_t HostDepth(sim::Nanos now) const;
+  // Instant at which the oldest undelivered host entry becomes pollable
+  // (CQEs are polled in completion order, so the front entry gates the
+  // rest), or -1 if none is in flight. Poll helpers use this to advance
+  // simulated time now that CQE delivery no longer schedules an
+  // unconditional host-visibility event.
+  sim::Nanos NextVisibleAt() const {
+    return host_entries_.empty() ? -1 : host_entries_.front().first;
+  }
 
   // Host notification hook: invoked (in simulation context) whenever a CQE
   // becomes host-visible. Models an interrupt / busy-poll observation point;
   // actors add their own poll-interval or event-wakeup delay on top.
+  // Arm it before the CQEs of interest are delivered: the wake-up is
+  // scheduled at the CQE's NIC-internal delivery instant, so a CQE already
+  // past that point when the hook is armed will not fire it (poll instead).
   void SetHostNotify(std::function<void()> fn) { host_notify_ = std::move(fn); }
   const std::function<void()>& host_notify() const { return host_notify_; }
 
@@ -87,7 +108,8 @@ class CompletionQueue {
   std::uint32_t id_;
   std::function<void()> host_notify_;
   std::uint64_t hw_count_ = 0;
-  std::vector<Waiter> waiters_;
+  std::uint64_t next_waiter_seq_ = 0;
+  std::vector<Waiter> waiters_;            // min-heap by (threshold, seq)
   std::vector<WorkQueue*> ready_scratch_;  // reused by BumpHwCount
   std::deque<std::pair<sim::Nanos, Cqe>> host_entries_;
 };
@@ -127,6 +149,9 @@ class WorkQueue {
   bool busy = false;     // a fetch/issue is in flight for this queue
   bool waiting = false;  // blocked in a WAIT verb
   bool error = false;    // QP moved to error state; no further processing
+
+  // Last MR this queue's gathers/scatters resolved (see MrCacheEntry).
+  MrCacheEntry mr_cache;
 
   // Snapshot of the WQE currently being issued. Valid while `busy` holds
   // (only one issue is ever in flight per WQ), so engine events capture

@@ -23,36 +23,6 @@ const char* OpcodeName(Opcode op) {
   }
 }
 
-WqeImage WqeView::Load() const {
-  WqeImage img;
-  img.ctrl = dma::ReadU64(FieldAddr(WqeField::kCtrl));
-  img.remote_addr = dma::ReadU64(FieldAddr(WqeField::kRemoteAddr));
-  img.rkey = dma::ReadU32(FieldAddr(WqeField::kRkey));
-  img.flags = dma::ReadU32(FieldAddr(WqeField::kFlags));
-  img.local_addr = dma::ReadU64(FieldAddr(WqeField::kLocalAddr));
-  img.length = dma::ReadU32(FieldAddr(WqeField::kLength));
-  img.lkey = dma::ReadU32(FieldAddr(WqeField::kLkey));
-  img.compare_add = dma::ReadU64(FieldAddr(WqeField::kCompareAdd));
-  img.swap = dma::ReadU64(FieldAddr(WqeField::kSwap));
-  img.target_id = dma::ReadU32(FieldAddr(WqeField::kTargetId));
-  img.imm = dma::ReadU32(FieldAddr(WqeField::kImm));
-  return img;
-}
-
-void WqeView::Store(const WqeImage& img) {
-  dma::WriteU64(FieldAddr(WqeField::kCtrl), img.ctrl);
-  dma::WriteU64(FieldAddr(WqeField::kRemoteAddr), img.remote_addr);
-  dma::WriteU32(FieldAddr(WqeField::kRkey), img.rkey);
-  dma::WriteU32(FieldAddr(WqeField::kFlags), img.flags);
-  dma::WriteU64(FieldAddr(WqeField::kLocalAddr), img.local_addr);
-  dma::WriteU32(FieldAddr(WqeField::kLength), img.length);
-  dma::WriteU32(FieldAddr(WqeField::kLkey), img.lkey);
-  dma::WriteU64(FieldAddr(WqeField::kCompareAdd), img.compare_add);
-  dma::WriteU64(FieldAddr(WqeField::kSwap), img.swap);
-  dma::WriteU32(FieldAddr(WqeField::kTargetId), img.target_id);
-  dma::WriteU32(FieldAddr(WqeField::kImm), img.imm);
-}
-
 void WqeView::Clear() { std::memset(base_, 0, kWqeSize); }
 
 }  // namespace redn::rnic

@@ -24,8 +24,15 @@ class FifoResource {
  public:
   FifoResource() = default;
 
-  // Reserves the resource; returns completion time.
-  Nanos Reserve(Nanos now, Nanos service);
+  // Reserves the resource; returns completion time. Inline: this runs once
+  // or more per executed verb and is a handful of adds.
+  Nanos Reserve(Nanos now, Nanos service) {
+    const Nanos start = free_at_ > now ? free_at_ : now;
+    free_at_ = start + service;
+    busy_time_ += service;
+    ++jobs_;
+    return free_at_;
+  }
 
   // Start time the next reservation would get.
   Nanos NextFree(Nanos now) const { return free_at_ > now ? free_at_ : now; }
@@ -54,7 +61,14 @@ class BandwidthResource {
   explicit BandwidthResource(double gbits_per_sec)
       : ns_per_byte_(8.0 / gbits_per_sec) {}
 
-  Nanos Reserve(Nanos now, std::uint64_t bytes);
+  Nanos Reserve(Nanos now, std::uint64_t bytes) {
+    const Nanos service = SerializationDelay(bytes);
+    const Nanos start = free_at_ > now ? free_at_ : now;
+    free_at_ = start + service;
+    busy_time_ += service;
+    bytes_moved_ += bytes;
+    return free_at_;
+  }
 
   // Pure serialization delay of `bytes` through this pipe, ignoring queueing.
   // Used for store-and-forward latency terms.

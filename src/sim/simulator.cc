@@ -160,9 +160,7 @@ bool Simulator::PeekEarliest(Nanos* t) const {
   return false;
 }
 
-bool Simulator::Step() {
-  Nanos t;
-  if (!PeekEarliest(&t)) return false;
+void Simulator::Dispatch(Nanos t) {
   now_ = t;
   AdvanceWindows(t);
   EventNode* n = fine_.PopFront(FineIndex(t));
@@ -171,6 +169,18 @@ bool Simulator::Step() {
   ++events_processed_;
   n->op(n, /*run=*/true);
   pool_.Release(n);
+}
+
+bool Simulator::Step() {
+  Nanos t;
+  if (!PeekEarliest(&t)) {
+    if (horizon_ > now_) {
+      now_ = horizon_;
+      AdvanceWindows(now_);
+    }
+    return false;
+  }
+  Dispatch(t);
   return true;
 }
 
@@ -182,7 +192,7 @@ void Simulator::Run() {
 void Simulator::RunUntil(Nanos t) {
   Nanos next;
   while (PeekEarliest(&next) && next <= t) {
-    Step();
+    Dispatch(next);  // reuses the peek: one wheel scan per event
   }
   if (now_ < t) {
     now_ = t;
@@ -193,6 +203,7 @@ void Simulator::RunUntil(Nanos t) {
 void Simulator::Reset() {
   DrainAll();
   now_ = 0;
+  horizon_ = 0;
   fine_base_ = 0;
   coarse_base_ = 0;
   next_seq_ = 0;

@@ -78,8 +78,24 @@ class Simulator {
     At(now_ + delay, std::forward<F>(action));
   }
 
-  // Runs a single event. Returns false when the queue is empty.
+  // Runs a single event. Returns false when the queue is empty; in that
+  // case the clock still advances to any noted horizon (see NoteHorizon),
+  // so a drained run ends at the last host-visibility instant exactly as
+  // it did when every CQE scheduled a visibility event.
   bool Step();
+
+  // Time of the earliest pending event, if any. Lets poll helpers decide
+  // whether a known future instant (e.g. a CQE's host-visibility time)
+  // arrives before the next event.
+  bool PeekNextEventTime(Nanos* t) const { return PeekEarliest(t); }
+
+  // Records that simulated state becomes externally observable at `t`
+  // without scheduling an event: when the queue drains, the clock advances
+  // to the latest noted horizon. This is how CQE host-visibility keeps
+  // "time flowing" for pollers at one event per CQE.
+  void NoteHorizon(Nanos t) {
+    if (t > horizon_) horizon_ = t;
+  }
 
   // Runs until the event queue drains.
   void Run();
@@ -187,11 +203,14 @@ class Simulator {
   // the new fine slot -> fine. Must run on every `now_` advance so FIFO
   // order per instant is preserved (see class comment).
   void AdvanceWindows(Nanos t);
+  // Runs the earliest event, already peeked at time `t`.
+  void Dispatch(Nanos t);
   bool PeekEarliest(Nanos* t) const;
   // Destroys all pending callables without running them.
   void DrainAll();
 
   Nanos now_ = 0;
+  Nanos horizon_ = 0;      // latest NoteHorizon instant; consumed on drain
   Nanos fine_base_ = 0;    // == now_ & ~(kFineSpan - 1)
   Nanos coarse_base_ = 0;  // == now_ & ~(kCoarseSpan - 1)
   std::uint64_t next_seq_ = 0;

@@ -193,6 +193,16 @@ bool AwaitCqe(sim::Simulator& sim, rnic::RnicDevice& dev, CompletionQueue* cq,
   for (;;) {
     if (dev.PollCq(cq, 1, out) == 1) return true;
     if (deadline >= 0 && sim.now() > deadline) return false;
+    // CQE delivery stages host entries with a visibility timestamp instead
+    // of scheduling a wake-up event, so advance the clock to that instant
+    // ourselves when nothing else happens first.
+    const sim::Nanos vis = cq->NextVisibleAt();
+    sim::Nanos next;
+    const bool has_event = sim.PeekNextEventTime(&next);
+    if (vis >= 0 && (!has_event || next > vis)) {
+      sim.RunUntil(vis);
+      continue;
+    }
     if (!sim.Step()) return dev.PollCq(cq, 1, out) == 1;
   }
 }

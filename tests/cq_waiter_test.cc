@@ -1,0 +1,143 @@
+// Completion-path invariants after the one-event-per-CQE overhaul:
+//  - the waiter min-heap wakes equal-threshold WAITs in FIFO registration
+//    order (both at the CompletionQueue level and through the full device
+//    wake/resume path);
+//  - host visibility still "flows" to pollers although CQE delivery no
+//    longer schedules an unconditional visibility event;
+//  - the payload pool and event slab stay allocation-free in steady state.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testbed.h"
+
+namespace redn::test {
+namespace {
+
+using rnic::CompletionQueue;
+using rnic::Cqe;
+using rnic::WorkQueue;
+
+TEST(CqWaiterHeap, EqualThresholdsWakeInRegistrationOrder) {
+  CompletionQueue cq(0);
+  WorkQueue wqs[5];
+  // Register out of address order so FIFO cannot be confused with pointer
+  // order: 3, 1, 4, 0, 2 all wait for the same count.
+  const int reg_order[] = {3, 1, 4, 0, 2};
+  for (int i : reg_order) cq.AddWaiter(&wqs[i], 2);
+
+  EXPECT_TRUE(cq.BumpHwCount().empty());  // count 1 < threshold 2
+  const std::vector<WorkQueue*>& ready = cq.BumpHwCount();
+  ASSERT_EQ(ready.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ready[i], &wqs[reg_order[i]]) << i;
+}
+
+TEST(CqWaiterHeap, MixedThresholdsWakeByThresholdThenFifo) {
+  CompletionQueue cq(0);
+  WorkQueue a, b, c, d;
+  cq.AddWaiter(&a, 3);
+  cq.AddWaiter(&b, 1);
+  cq.AddWaiter(&c, 3);
+  cq.AddWaiter(&d, 2);
+
+  const std::vector<WorkQueue*>* ready = &cq.BumpHwCount();  // count = 1
+  ASSERT_EQ(ready->size(), 1u);
+  EXPECT_EQ((*ready)[0], &b);
+  ready = &cq.BumpHwCount();  // count = 2
+  ASSERT_EQ(ready->size(), 1u);
+  EXPECT_EQ((*ready)[0], &d);
+  ready = &cq.BumpHwCount();  // count = 3: a then c (registration order)
+  ASSERT_EQ(ready->size(), 2u);
+  EXPECT_EQ((*ready)[0], &a);
+  EXPECT_EQ((*ready)[1], &c);
+  EXPECT_TRUE(cq.BumpHwCount().empty());
+}
+
+// Full-path FIFO: three queues park equal-threshold WAITs on one CQ, then
+// each runs a FETCH_ADD on the same counter. The adds funnel through the
+// serial atomic unit in resume order, so the old values they fetch back
+// expose the wake order.
+TEST(CqWaiterDevice, EqualThresholdWaitersResumeFifoAfterFanOutWake) {
+  TestBed bed;
+  auto counter = bed.Alloc(bed.server, 64);
+  auto results = bed.Alloc(bed.server, 64);
+
+  QueuePair* trigger = bed.Loopback(bed.server);
+  constexpr int kWaiters = 3;
+  QueuePair* qps[kWaiters];
+  for (int i = 0; i < kWaiters; ++i) {
+    qps[i] = bed.Loopback(bed.server);
+    verbs::PostSend(qps[i], verbs::MakeWait(trigger->send_cq, 1));
+    verbs::PostSend(qps[i],
+                    verbs::MakeFetchAdd(counter.addr(), counter.rkey(), 1,
+                                        results.addr() + 8 * i, results.lkey()));
+    verbs::RingDoorbell(qps[i]);
+  }
+  bed.sim.Run();  // all three park on the trigger CQ
+
+  verbs::PostSendNow(trigger, verbs::MakeNoop());
+  bed.sim.Run();
+
+  EXPECT_EQ(counter.U64(0), 3u);
+  for (int i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(results.U64(i), static_cast<std::uint64_t>(i))
+        << "waiter " << i << " fetched out of registration order";
+  }
+}
+
+// A drained Run() must leave the clock at (or past) the last CQE's host
+// visibility instant even though delivery schedules no visibility event.
+TEST(CqVisibility, PollSucceedsAfterDrainedRun) {
+  TestBed bed;
+  auto src = bed.Alloc(bed.client, 256);
+  auto dst = bed.Alloc(bed.server, 256);
+  auto [cqp, sqp] = bed.ConnectedPair();
+
+  verbs::PostSendNow(cqp, verbs::MakeWrite(src.addr(), 64, src.lkey(),
+                                           dst.addr(), dst.rkey()));
+  bed.sim.Run();
+
+  Cqe cqe;
+  ASSERT_EQ(bed.client.PollCq(cqp->send_cq, 1, &cqe), 1);
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_GE(bed.sim.now(), cqe.completed_at);
+}
+
+// Steady-state allocation freedom: after warm-up, every payload acquire is
+// a reuse and no event callback falls back to the heap.
+TEST(CqSteadyState, PayloadPoolAndEventSlabStayAllocationFree) {
+  TestBed bed;
+  auto src = bed.Alloc(bed.client, 256);
+  auto dst = bed.Alloc(bed.server, 256);
+  auto [cqp, sqp] = bed.ConnectedPair();
+
+  auto run_batch = [&] {
+    for (int i = 0; i < 64; ++i) {
+      verbs::PostSend(cqp, verbs::MakeWrite(src.addr(), 64, src.lkey(),
+                                            dst.addr(), dst.rkey(),
+                                            /*signaled=*/i % 8 == 7));
+    }
+    verbs::RingDoorbell(cqp);
+    bed.sim.Run();
+  };
+
+  run_batch();  // warm-up: pools grow to peak depth
+
+  const auto& pool = bed.client.payload_pool();
+  const std::uint64_t acquires0 = pool.acquires();
+  const std::uint64_t reuses0 = pool.reuses();
+  const std::uint64_t fallbacks0 = bed.sim.heap_fallbacks();
+  const std::size_t allocated0 = pool.allocated();
+
+  for (int r = 0; r < 10; ++r) run_batch();
+
+  EXPECT_GT(pool.acquires(), acquires0);
+  EXPECT_EQ(pool.acquires() - acquires0, pool.reuses() - reuses0)
+      << "payload pool fell back to allocation on the steady-state path";
+  EXPECT_EQ(pool.allocated(), allocated0);
+  EXPECT_EQ(bed.sim.heap_fallbacks(), fallbacks0)
+      << "an engine closure outgrew the event node's inline storage";
+}
+
+}  // namespace
+}  // namespace redn::test

@@ -135,6 +135,39 @@ TEST_F(EdgeTest, EnableIsMonotonicNotResettable) {
   EXPECT_EQ(n, 3);
 }
 
+// HostEnable on a non-managed queue must snapshot up to the new limit at
+// enable time, exactly like the ENABLE verb does: WQE bytes rewritten after
+// the enable but before execution reaches the slot are invisible.
+TEST_F(EdgeTest, HostEnableSnapshotsNonManagedLikeEnableVerb) {
+  rnic::QueuePair* qp = bed.Loopback(bed.client);
+  Buffer a = bed.Alloc(bed.client, 64);
+  Buffer b = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  a.SetU64(0, 0xaaaa);
+  b.SetU64(0, 0xbbbb);
+
+  // Slot 8 sits beyond the prefetch batch, so without the enable-time
+  // snapshot it would be fetched lazily when execution reaches it — after
+  // the rewrite below.
+  std::uint64_t wr_idx = 0;
+  for (int i = 0; i < 8; ++i) PostSend(qp, MakeNoop(/*signaled=*/false));
+  wr_idx = PostSend(qp, MakeWrite(a.addr(), 8, a.lkey(), dst.addr(), dst.rkey()));
+  bed.client.HostEnable(qp, 9);
+
+  // Rewrite the gather address once the enable's snapshot has been taken
+  // (doorbell MMIO delay) but long before slot 8 executes.
+  bed.sim.After(rnic::Calibration{}.doorbell_mmio + 50, [&] {
+    rnic::dma::WriteU64(qp->sq.SlotAddr(wr_idx, rnic::WqeField::kLocalAddr),
+                        b.addr());
+  });
+
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, qp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(dst.U64(0), 0xaaaau)
+      << "host enable executed post-enable WQE bytes; ENABLE-verb parity lost";
+}
+
 TEST_F(EdgeTest, RateLimitedQueueKeepsExactRate) {
   rnic::QpConfig c;
   c.sq_depth = 512;

@@ -37,6 +37,22 @@ TEST_F(MemoryTest, LocalCheckRejectsBadKey) {
   EXPECT_EQ(pd.CheckLocal(base(), 8, 0xdead, kLocalRead), MemCheck::kBadKey);
 }
 
+// Deregistration blanks a region's keys to 0; sentinel-range "keys" must
+// never resolve (a zero key would otherwise alias an empty table slot or
+// the dead region) and double-deregistration must fail cleanly.
+TEST_F(MemoryTest, SentinelAndBlankedKeysNeverResolve) {
+  const auto a = pd.Register(buf.get(), 1024, kAccessAll);
+  EXPECT_EQ(pd.CheckLocal(base(), 8, 0, kLocalRead), MemCheck::kBadKey);
+  EXPECT_FALSE(pd.Deregister(0));
+  ASSERT_TRUE(pd.Deregister(a.lkey));
+  EXPECT_EQ(pd.region_count(), 0u);
+  EXPECT_FALSE(pd.Deregister(a.lkey));  // already gone
+  EXPECT_FALSE(pd.Deregister(0));       // the blanked key value
+  EXPECT_EQ(pd.region_count(), 0u);
+  EXPECT_EQ(pd.CheckLocal(base(), 8, 0, kLocalRead), MemCheck::kBadKey);
+  EXPECT_EQ(pd.CheckLocal(base(), 8, a.lkey, kLocalRead), MemCheck::kBadKey);
+}
+
 TEST_F(MemoryTest, LocalCheckRejectsOutOfBounds) {
   const auto& mr = pd.Register(buf.get(), 1024, kAccessAll);
   EXPECT_EQ(pd.CheckLocal(base() + 1020, 8, mr.lkey, kLocalRead),
