@@ -1,0 +1,79 @@
+// Fabric quickstart: three NICs on a shared switch, one congested link.
+//
+//   $ ./examples/netfabric
+//
+// Walks through:
+//   1. a sim::Fabric with per-port links (bandwidth + propagation)
+//   2. attaching devices and connecting QPs over the fabric
+//   3. two clients writing to one server at the same instant — the second
+//      transfer queues on the server's RX link (contention the per-QP
+//      constant-latency wire cannot express)
+#include <cstdio>
+#include <memory>
+
+#include "rnic/device.h"
+#include "sim/fabric.h"
+#include "sim/simulator.h"
+#include "verbs/verbs.h"
+
+using namespace redn;
+
+int main() {
+  // 1. The switch: every port gets a full-duplex 25 Gbps cable with 125 ns
+  //    of propagation to the switch.
+  sim::Simulator sim;
+  sim::Fabric fabric(/*switch_latency=*/0);
+  const sim::LinkSpec link{25.0, 125};
+
+  rnic::RnicDevice server(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  rnic::RnicDevice c1(sim, rnic::NicConfig::ConnectX5(), {}, "client1");
+  rnic::RnicDevice c2(sim, rnic::NicConfig::ConnectX5(), {}, "client2");
+  server.AttachPort(0, fabric, link);
+  c1.AttachPort(0, fabric, link);
+  c2.AttachPort(0, fabric, link);
+
+  // 2. QPs connect over the fabric instead of a private wire.
+  auto make_qp = [](rnic::RnicDevice& dev) {
+    rnic::QpConfig cfg;
+    cfg.send_cq = dev.CreateCq();
+    cfg.recv_cq = dev.CreateCq();
+    return dev.CreateQp(cfg);
+  };
+  rnic::QueuePair* q1 = make_qp(c1);
+  rnic::QueuePair* q2 = make_qp(c2);
+  rnic::QueuePair* s1 = make_qp(server);
+  rnic::QueuePair* s2 = make_qp(server);
+  rnic::ConnectOverFabric(q1, s1);
+  rnic::ConnectOverFabric(q2, s2);
+
+  constexpr std::size_t kLen = 64 << 10;  // 64 KiB ~= 21 us at 25 Gbps
+  auto b1 = std::make_unique<std::byte[]>(kLen);
+  auto b2 = std::make_unique<std::byte[]>(kLen);
+  auto sb = std::make_unique<std::byte[]>(2 * kLen);
+  const auto m1 = c1.pd().Register(b1.get(), kLen, rnic::kAccessAll);
+  const auto m2 = c2.pd().Register(b2.get(), kLen, rnic::kAccessAll);
+  const auto ms = server.pd().Register(sb.get(), 2 * kLen, rnic::kAccessAll);
+
+  // 3. Both clients fire at t=0. Each serializes its own TX link in
+  //    parallel; the server's RX link takes them back to back.
+  verbs::PostSendNow(q1, verbs::MakeWrite(m1.addr, kLen, m1.lkey, ms.addr,
+                                          ms.rkey));
+  verbs::PostSendNow(q2, verbs::MakeWrite(m2.addr, kLen, m2.lkey,
+                                          ms.addr + kLen, ms.rkey));
+  verbs::Cqe cqe;
+  verbs::AwaitCqe(sim, c1, q1->send_cq, &cqe);
+  const double t1 = sim::ToMicros(cqe.completed_at);
+  verbs::AwaitCqe(sim, c2, q2->send_cq, &cqe);
+  const double t2 = sim::ToMicros(cqe.completed_at);
+  std::printf("client1 64 KiB write completed at %8.2f us\n", t1);
+  std::printf("client2 64 KiB write completed at %8.2f us (queued behind "
+              "client1 on the server link)\n", t2);
+
+  const sim::Nanos window = sim.now();
+  std::printf("server RX utilisation: %.0f%%  (two back-to-back 21 us "
+              "transfers inside a ~73 us run)\n",
+              100.0 * fabric.RxUtilisation(server.fabric_endpoint(0), window));
+  std::printf("gap between completions: %.2f us (expect ~one 64 KiB "
+              "serialization, ~21 us)\n", t2 - t1);
+  return (t2 - t1) > 10.0 ? 0 : 1;
+}

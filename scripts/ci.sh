@@ -5,7 +5,12 @@
 # semantic regressions (timing, ordering, completion counting) fail loudly
 # instead of rotting silently.
 #
-# Usage: scripts/ci.sh [--skip-debug]
+# An ASan+UBSan Debug build then re-runs the whole ctest suite — the
+# slab/inline-callback fast paths are exactly the code sanitizers exist
+# for. `--sanitize-only` runs just that stage (the dedicated GitHub job);
+# `--skip-sanitize` skips it.
+#
+# Usage: scripts/ci.sh [--skip-debug] [--skip-sanitize] [--sanitize-only]
 #
 # Perf floors are deliberately conservative (~25% of the numbers in
 # docs/PERF.md) so they trip on algorithmic regressions — an accidental
@@ -17,9 +22,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_DEBUG=0
+SKIP_SANITIZE=0
+SANITIZE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-debug) SKIP_DEBUG=1 ;;
+    --skip-sanitize) SKIP_SANITIZE=1 ;;
+    --sanitize-only) SANITIZE_ONLY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -27,18 +36,39 @@ done
 MIN_CHAIN_EPS="${MIN_CHAIN_EPS:-10000000}"   # dispatch_chain events/sec floor
 MIN_BURST_EPS="${MIN_BURST_EPS:-1500000}"    # dispatch_burst events/sec floor
 MIN_FANOUT_EPS="${MIN_FANOUT_EPS:-2000000}"  # bench_scale_fanout events/sec floor
+MIN_NETFABRIC_EPS="${MIN_NETFABRIC_EPS:-200000}"  # bench_scale_netfabric floor
 
 build_and_test() {
   local type="$1" dir="$2"
+  shift 2
   echo "=== ${type} build ==="
-  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE="${type}" >/dev/null
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE="${type}" "$@" >/dev/null
   cmake --build "${dir}" -j"$(nproc)"
   (cd "${dir}" && ctest --output-on-failure -j"$(nproc)")
 }
 
+sanitize_stage() {
+  # Full test suite under ASan+UBSan (abort on the first finding).
+  echo "=== ASan+UBSan Debug build ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DREDN_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  (cd build-asan &&
+   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+     ctest --output-on-failure -j"$(nproc)")
+}
+
+if [[ "${SANITIZE_ONLY}" -eq 1 ]]; then
+  sanitize_stage
+  exit 0
+fi
+
 build_and_test Release build-release
 if [[ "${SKIP_DEBUG}" -eq 0 ]]; then
   build_and_test Debug build-debug
+fi
+if [[ "${SKIP_SANITIZE}" -eq 0 ]]; then
+  sanitize_stage
 fi
 
 echo "=== bench_simcore perf floors ==="
@@ -93,6 +123,15 @@ check_floor scale_fanout events_per_sec "${MIN_FANOUT_EPS}" "scale_fanout events
 check_floor scale_fanout slab_hit_rate 0.99 "scale_fanout slab-hit rate"
 check_zero scale_fanout heap_fallbacks "scale_fanout heap fallbacks"
 check_floor scale_fanout payload_reuse_rate 0.99 "scale_fanout payload-reuse rate"
+
+echo "=== bench_scale_netfabric perf floors ==="
+# The bench self-checks contention and seed-stability (exit code); CI adds
+# a wall-clock floor on top.
+bench_out="$(./build-release/bench_scale_netfabric --quick)"
+echo "${bench_out}"
+check_floor scale_netfabric events_per_sec "${MIN_NETFABRIC_EPS}" "scale_netfabric events/sec"
+check_floor scale_netfabric server_tx_util 0.5 "scale_netfabric server-link contention"
+check_floor scale_netfabric deterministic 1 "scale_netfabric seed-stable rerun"
 
 # Determinism guard: these benches print only simulated-time results, so
 # their stdout must match the committed goldens bit for bit. A diff here

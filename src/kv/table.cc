@@ -111,6 +111,12 @@ void RdmaHashTable::Clear() {
   count_ = 0;
 }
 
+bool RdmaHashTable::NicVisible(std::uint64_t key) const {
+  key &= kKeyMask;
+  return rnic::dma::ReadU64(SlotAddr(IndexOf1(key)) + kBucketKeyOff) == key ||
+         rnic::dma::ReadU64(SlotAddr(IndexOf2(key)) + kBucketKeyOff) == key;
+}
+
 std::optional<RdmaHashTable::Entry> RdmaHashTable::Lookup(
     std::uint64_t key) const {
   key &= kKeyMask;

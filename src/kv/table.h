@@ -91,6 +91,13 @@ class RdmaHashTable {
   // Host-side lookup (used by the two-sided baseline's CPU handler).
   std::optional<Entry> Lookup(std::uint64_t key) const;
 
+  // True iff `key` occupies one of its two candidate buckets — the only
+  // slots a NIC-offloaded 2-bucket probe (HashGetOffload) reads. A key that
+  // fell back to the hopscotch neighbourhood is host-visible via Lookup but
+  // invisible to the offload; NIC-served workloads must draw from visible
+  // keys or treat such gets as misses.
+  bool NicVisible(std::uint64_t key) const;
+
   // Bucket addresses for building triggers / one-sided reads.
   std::uint64_t BucketAddr1(std::uint64_t key) const;
   std::uint64_t BucketAddr2(std::uint64_t key) const;

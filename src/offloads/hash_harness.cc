@@ -32,7 +32,11 @@ HashGetHarness::HashGetHarness(rnic::RnicDevice& client_dev,
     c.send_cq = cdev_.CreateCq();
     c.recv_cq = cli_recv_cq_ ? cli_recv_cq_ : (cli_recv_cq_ = cdev_.CreateCq());
     cli = cdev_.CreateQp(c);
-    rnic::Connect(cli, srv, one_way);
+    if (cfg_.fabric != nullptr) {
+      rnic::ConnectOverFabric(cli, srv);
+    } else {
+      rnic::Connect(cli, srv, one_way);
+    }
   };
   make_pair(srv_qp1_, cli_qp1_);
   if (cfg_.parallel) make_pair(srv_qp2_, cli_qp2_);

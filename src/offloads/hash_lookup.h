@@ -46,6 +46,10 @@ class HashGetOffload {
     int max_requests = 4096;
     // Server NIC port carrying this offload's queues (Table 4 dual-port).
     int port = 0;
+    // When set, the client<->server QPs connect through this shared fabric
+    // (both devices' ports must already be attached) instead of a private
+    // constant-latency wire — the N-clients-one-server scale-out topology.
+    sim::Fabric* fabric = nullptr;
   };
 
   // `client_qp` (and `client_qp2` iff parallel) are server-side QPs already

@@ -19,6 +19,7 @@ RnicDevice::RnicDevice(sim::Simulator& sim, NicConfig cfg, Calibration cal,
   for (int p = 0; p < cfg_.ports; ++p) {
     ports_.emplace_back(cfg_.pus_per_port, cal_.link_gbps);
   }
+  fabric_ports_.resize(cfg_.ports);
   next_pu_per_port_.assign(cfg_.ports, 0);
 }
 
@@ -111,6 +112,23 @@ void RnicDevice::HostEnable(QueuePair* qp, std::uint64_t limit) {
     if (wq.error) return;
     ApplyEnable(wq, limit);
   });
+}
+
+void RnicDevice::SetRateLimit(QueuePair* qp, double ops_per_sec) {
+  qp->rate_gap =
+      ops_per_sec > 0 ? static_cast<sim::Nanos>(1e9 / ops_per_sec) : 0;
+  // The next-slot cursor was computed under the old gap; keeping it would
+  // delay the first WQE after a reconfigure (or a QP reuse) by the stale
+  // schedule. Pacing restarts from the next issue instant.
+  qp->next_rate_slot = 0;
+}
+
+void RnicDevice::AttachPort(int port, sim::Fabric& fabric,
+                            const sim::LinkSpec& spec) {
+  assert(port >= 0 && port < cfg_.ports);
+  assert(fabric_ports_[port].fabric == nullptr && "port already attached");
+  fabric_ports_[port] =
+      FabricAttach{&fabric, fabric.Attach(spec, name_ + ":" + std::to_string(port))};
 }
 
 void RnicDevice::KillProcessResources(int pid) {
@@ -335,8 +353,12 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
   (void)idx;
   QueuePair* qp = wq.qp();
   QueuePair* peer = qp->peer;
-  const sim::Nanos ow = qp->net_one_way;
-  const bool wire = ow > 0;
+  // Fabric-routed QPs derive wire latency from the shared links; everything
+  // else keeps the per-QP constant (loopback/compat path — bit-identical to
+  // the pre-fabric model).
+  const bool via_fabric = qp->via_fabric && peer != nullptr;
+  const sim::Nanos ow = via_fabric ? FabricOneWay(qp, peer) : qp->net_one_way;
+  const bool wire = via_fabric || ow > 0;
   const Opcode op = img.opcode();
   auto& port = ports_[qp->port];
 
@@ -370,14 +392,24 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
       const std::uint64_t len = pl->bytes.size();
       const sim::Nanos pcie_done = pcie_.Reserve(t_issue, len);
       const sim::Nanos mem_done = membw_.Reserve(t_issue, len);
-      const sim::Nanos link_done =
-          wire ? port.link.Reserve(t_issue, len) : t_issue;
-      const sim::Nanos t_arrive =
-          std::max({t_issue + ExecCost(op) +
-                        DataDelay(len, wire ? &port.link : nullptr),
-                    pcie_done, mem_done, link_done}) +
-          ow;
-      sim_.At(t_arrive, [this, &wq, qp, peer, pl, op, ow] {
+      sim::Nanos t_arrive;
+      if (via_fabric) {
+        // Egress waits for the host-side DMA, then the payload queues
+        // through the shared links (src TX, then dst RX — the congested
+        // server port under N-client load).
+        const sim::Nanos ready = std::max(
+            {t_issue + ExecCost(op) + HostDataDelay(len), pcie_done, mem_done});
+        t_arrive = FabricDeliver(qp, peer, ready, len);
+      } else {
+        const sim::Nanos link_done =
+            wire ? port.link.Reserve(t_issue, len) : t_issue;
+        t_arrive = std::max({t_issue + ExecCost(op) +
+                                 DataDelay(len, wire ? &port.link : nullptr),
+                             pcie_done, mem_done, link_done}) +
+                   ow;
+      }
+      const sim::Nanos ack = wire ? ow + cal_.remote_ack_extra : 0;
+      sim_.At(t_arrive, [this, &wq, qp, peer, pl, op, ack] {
         const WqeImage& img = pl->img;
         const std::uint64_t len = pl->bytes.size();
         if (wq.error) {  // QP flushed after an earlier failure
@@ -403,7 +435,6 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
           payloads_.Release(pl);
           return;
         }
-        const sim::Nanos ack = ow > 0 ? ow + cal_.remote_ack_extra : 0;
         if (st != WcStatus::kSuccess && st != WcStatus::kRnrError) {
           // Remote failure: the QP enters error state immediately at the
           // responder (NAK); later-arriving WRs of this QP are flushed.
@@ -426,7 +457,14 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
       const sim::Nanos t_req = t_issue + ow;
       sim_.At(t_req, [this, &wq, qp, peer, pl, ow, wire] {
         const WqeImage& img = pl->img;
-        if (!peer->alive || !qp->alive) {
+        if (!qp->alive) {  // requester died: flush silently
+          payloads_.Release(pl);
+          return;
+        }
+        if (!peer->alive) {
+          // Target died mid-flight (the RunFailover window): the request is
+          // NAKed instead of silently dropped — the requester must not hang.
+          FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
           payloads_.Release(pl);
           return;
         }
@@ -452,16 +490,31 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
         pl->bytes.resize(len);
         if (len > 0) dma::Read(pl->bytes.data(), img.remote_addr, len);
         const sim::Nanos t_req_now = sim_.now();
-        sim::BandwidthResource* rlink =
-            wire ? &rdev->ports_[peer->port].link : nullptr;
-        const sim::Nanos link_done =
-            wire ? rlink->Reserve(t_req_now, len) : t_req_now;
-        const sim::Nanos pcie_done = pcie_.Reserve(t_req_now, len);
-        const sim::Nanos mem_done = membw_.Reserve(t_req_now, len);
-        const sim::Nanos t_done =
-            std::max({t_req_now + ExecCost(Opcode::kRead) + DataDelay(len, rlink),
-                      link_done, pcie_done, mem_done}) +
-            (wire ? ow + cal_.remote_ack_extra : 0);
+        sim::Nanos t_done;
+        if (qp->via_fabric) {
+          // The response DMA happens at the responder: its PCIe/memory are
+          // what the transfer occupies, so N-client read scale-out contends
+          // on the server's host interface, not each requester's own.
+          const sim::Nanos pcie_done = rdev->pcie_.Reserve(t_req_now, len);
+          const sim::Nanos mem_done = rdev->membw_.Reserve(t_req_now, len);
+          const sim::Nanos ready = std::max(
+              {t_req_now + ExecCost(Opcode::kRead) + rdev->HostDataDelay(len),
+               pcie_done, mem_done});
+          // The response payload rides the responder's TX link back through
+          // the fabric, then pays the requester-side ack turnaround.
+          t_done = FabricDeliver(peer, qp, ready, len) + cal_.remote_ack_extra;
+        } else {
+          sim::BandwidthResource* rlink =
+              wire ? &rdev->ports_[peer->port].link : nullptr;
+          const sim::Nanos link_done =
+              wire ? rlink->Reserve(t_req_now, len) : t_req_now;
+          const sim::Nanos pcie_done = pcie_.Reserve(t_req_now, len);
+          const sim::Nanos mem_done = membw_.Reserve(t_req_now, len);
+          t_done = std::max({t_req_now + ExecCost(Opcode::kRead) +
+                                 DataDelay(len, rlink),
+                             link_done, pcie_done, mem_done}) +
+                   (wire ? ow + cal_.remote_ack_extra : 0);
+        }
         sim_.At(t_done, [this, &wq, qp, pl] {
           if (!qp->alive) {
             payloads_.Release(pl);
@@ -492,12 +545,19 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
       Payload* pl = payloads_.Acquire();
       pl->img = img;
       // If the peer dies before the RMW event runs, the completion below
-      // still scatters `scratch` — it must read 0, not a recycled value.
+      // must observe that the op never executed (rmw_done stays false) and
+      // flush instead of reporting a success that touched nothing.
       pl->scratch = 0;
+      pl->rmw_done = false;
       const sim::Nanos t_req = t_issue + ow;
-      sim_.At(t_req, [this, &wq, qp, peer, pl, op, ow] {
+      sim_.At(t_req, [this, &wq, qp, peer, pl, op, ow, wire] {
         const WqeImage& img = pl->img;
-        if (!peer->alive || !qp->alive) {
+        if (!qp->alive) {  // requester died: flush silently
+          payloads_.Release(pl);
+          return;
+        }
+        if (!peer->alive) {
+          FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
           payloads_.Release(pl);
           return;
         }
@@ -529,7 +589,8 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
         // t_done >= unit_done (scheduled after it, so also later in FIFO
         // order at equal times) owns the release.
         sim_.At(unit_done, [pl, op, peer] {
-          if (!peer->alive) return;
+          if (!peer->alive) return;  // died mid-flight: memory stays untouched
+          pl->rmw_done = true;
           const WqeImage& img = pl->img;
           const std::uint64_t cur = dma::ReadU64(img.remote_addr);
           pl->scratch = cur;
@@ -553,9 +614,17 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
           dma::WriteU64(img.remote_addr, next);
         });
         const sim::Nanos t_done =
-            unit_done + ExecCost(op) + (ow > 0 ? ow + cal_.remote_ack_extra : 0);
+            unit_done + ExecCost(op) + (wire ? ow + cal_.remote_ack_extra : 0);
         sim_.At(t_done, [this, &wq, qp, pl] {
           if (!qp->alive) {
+            payloads_.Release(pl);
+            return;
+          }
+          if (!pl->rmw_done) {
+            // The target died between the protection check and the RMW: the
+            // op never executed, so a success completion would lie about
+            // remote memory. NAK and flush instead.
+            FailWr(wq, pl->img, sim_.now(), WcStatus::kRemoteAccessError);
             payloads_.Release(pl);
             return;
           }
@@ -589,6 +658,10 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
 WcStatus RnicDevice::AcceptWrite(QueuePair* dst_qp, std::uint64_t addr,
                                  std::uint32_t rkey, const std::byte* data,
                                  std::size_t len) {
+  // Defence in depth: callers check liveness at arrival time, but no path
+  // may ever land bytes in a dead process's memory (its pages are being
+  // reclaimed — see KillProcessResources).
+  if (!dst_qp->alive) return WcStatus::kRemoteAccessError;
   const MemCheck mc = pd_.CheckRemote(addr, len, rkey, kRemoteWrite,
                                       &dst_qp->remote_mr_cache);
   if (mc != MemCheck::kOk) return WcStatus::kRemoteAccessError;
@@ -599,6 +672,7 @@ WcStatus RnicDevice::AcceptWrite(QueuePair* dst_qp, std::uint64_t addr,
 WcStatus RnicDevice::AcceptSend(QueuePair* dst_qp, const std::byte* data,
                                 std::size_t len, std::uint32_t imm,
                                 bool has_imm, std::size_t reported_len) {
+  if (!dst_qp->alive) return WcStatus::kRemoteAccessError;
   WorkQueue& rq = dst_qp->rq;
   if (rq.consumed >= rq.posted) {
     ++counters_.rnr_drops;
@@ -764,6 +838,25 @@ sim::Nanos RnicDevice::DataDelay(std::uint64_t bytes,
   return d;
 }
 
+sim::Nanos RnicDevice::HostDataDelay(std::uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  return pcie_.SerializationDelay(bytes) + membw_.SerializationDelay(bytes);
+}
+
+sim::Nanos RnicDevice::FabricOneWay(const QueuePair* from,
+                                    const QueuePair* to) {
+  const FabricAttach& s = from->device->fabric_ports_[from->port];
+  const FabricAttach& d = to->device->fabric_ports_[to->port];
+  return s.fabric->OneWay(s.endpoint, d.endpoint);
+}
+
+sim::Nanos RnicDevice::FabricDeliver(const QueuePair* from, const QueuePair* to,
+                                     sim::Nanos t, std::uint64_t bytes) {
+  const FabricAttach& s = from->device->fabric_ports_[from->port];
+  const FabricAttach& d = to->device->fabric_ports_[to->port];
+  return s.fabric->Deliver(s.endpoint, d.endpoint, t, bytes);
+}
+
 double RnicDevice::PuUtilisation(int port, sim::Nanos window) const {
   sim::Nanos busy = 0;
   for (const auto& pu : ports_[port].pus) busy += pu.busy_time();
@@ -814,11 +907,31 @@ void Connect(QueuePair* a, QueuePair* b, sim::Nanos one_way) {
   b->peer = a;
   a->net_one_way = one_way;
   b->net_one_way = one_way;
+  a->via_fabric = false;
+  b->via_fabric = false;
 }
 
 void ConnectSelf(QueuePair* qp) {
   qp->peer = qp;
   qp->net_one_way = 0;
+  qp->via_fabric = false;
+}
+
+void ConnectOverFabric(QueuePair* a, QueuePair* b) {
+  sim::Fabric* fa = a->device->fabric(a->port);
+  sim::Fabric* fb = b->device->fabric(b->port);
+  assert(fa != nullptr && fb != nullptr &&
+         "AttachPort both ends before ConnectOverFabric");
+  assert(fa == fb && "QPs must share one fabric");
+  (void)fa;
+  (void)fb;
+  a->peer = b;
+  b->peer = a;
+  a->via_fabric = true;
+  b->via_fabric = true;
+  // Unused on the fabric path; kept zero so nothing falls back silently.
+  a->net_one_way = 0;
+  b->net_one_way = 0;
 }
 
 }  // namespace redn::rnic

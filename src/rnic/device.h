@@ -29,6 +29,7 @@
 #include "rnic/memory.h"
 #include "rnic/queues.h"
 #include "rnic/wqe.h"
+#include "sim/fabric.h"
 #include "sim/resource.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -48,6 +49,10 @@ struct QueuePair {
   CompletionQueue* recv_cq = nullptr;
   QueuePair* peer = nullptr;     // connected remote (or loopback) QP
   sim::Nanos net_one_way = 0;    // 0 for loopback
+  // True when the connection routes through a shared sim::Fabric (see
+  // ConnectOverFabric): latency and serialization come from the contended
+  // links instead of the constant net_one_way above.
+  bool via_fabric = false;
   int port = 0;
   bool alive = true;             // false once the owning process died
   int owner_pid = 0;             // resource-ownership for failure experiments
@@ -121,6 +126,7 @@ struct Payload {
   std::vector<std::byte> bytes;
   WqeImage img{};
   std::uint64_t scratch = 0;  // atomics: old value returned to the requester
+  bool rmw_done = false;      // atomics: the RMW actually executed remotely
   Payload* next_free = nullptr;
 
   void Recycle() { bytes.clear(); }  // keeps capacity for the next op
@@ -203,6 +209,20 @@ class RnicDevice {
   int PollCq(CompletionQueue* cq, int max, Cqe* out);
   // Host-side ENABLE fallback: lets tests drive managed queues directly.
   void HostEnable(QueuePair* qp, std::uint64_t limit);
+  // ibv_modify_qp_rate_limit analogue: reconfigures the WQ pacing gap
+  // (0 = unlimited). Forgets the schedule built under the previous rate, so
+  // the first WQE after a reconfigure paces from now rather than waiting
+  // out a slot computed from the old gap.
+  void SetRateLimit(QueuePair* qp, double ops_per_sec);
+
+  // --- Shared fabric --------------------------------------------------------
+  // Plugs `port` into a shared fabric. QPs on this port connected with
+  // ConnectOverFabric route their traffic through the fabric's contended
+  // links; QPs connected with Connect/ConnectSelf keep the constant-latency
+  // compat path.
+  void AttachPort(int port, sim::Fabric& fabric, const sim::LinkSpec& spec);
+  sim::Fabric* fabric(int port) const { return fabric_ports_[port].fabric; }
+  int fabric_endpoint(int port) const { return fabric_ports_[port].endpoint; }
 
   // --- Failure injection ----------------------------------------------------
   // Kills every QP owned by `pid` (the OS reclaiming a dead process's
@@ -300,6 +320,14 @@ class RnicDevice {
   // loopback, which crosses PCIe twice instead.
   sim::Nanos DataDelay(std::uint64_t bytes,
                        const sim::BandwidthResource* wire_link) const;
+  // Host-side (PCIe + memory) store-and-forward terms only; the wire terms
+  // of a fabric-routed transfer come from Fabric::Deliver instead.
+  sim::Nanos HostDataDelay(std::uint64_t bytes) const;
+  // Fabric path helpers: propagation latency between two connected QPs'
+  // endpoints, and a contended delivery reservation `from` -> `to`.
+  static sim::Nanos FabricOneWay(const QueuePair* from, const QueuePair* to);
+  static sim::Nanos FabricDeliver(const QueuePair* from, const QueuePair* to,
+                                  sim::Nanos t, std::uint64_t bytes);
 
   std::uint64_t ExecLimitOf(const WorkQueue& wq) const { return wq.exec_limit; }
   void SnapshotRange(WorkQueue& wq, std::uint64_t upto);
@@ -309,7 +337,12 @@ class RnicDevice {
   Calibration cal_;
   std::string name_;
   ProtectionDomain pd_;
+  struct FabricAttach {
+    sim::Fabric* fabric = nullptr;
+    int endpoint = -1;
+  };
   std::vector<PortResources> ports_;
+  std::vector<FabricAttach> fabric_ports_;  // one per port; unattached = null
   sim::BandwidthResource pcie_;
   sim::BandwidthResource membw_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
@@ -329,5 +362,11 @@ void Connect(QueuePair* a, QueuePair* b, sim::Nanos one_way);
 // Connects a QP to itself — the tightest loopback; SENDs would consume the
 // QP's own RECVs.
 void ConnectSelf(QueuePair* qp);
+
+// Connects two QPs as an RC pair routed through a shared fabric. Both QPs'
+// ports must already be attached (AttachPort) to the *same* fabric; wire
+// latency and serialization then come from the contended links instead of a
+// per-QP constant, so N clients genuinely share the server's port.
+void ConnectOverFabric(QueuePair* a, QueuePair* b);
 
 }  // namespace redn::rnic

@@ -73,48 +73,53 @@ bool ProtectionDomain::Deregister(std::uint32_t lkey) {
     while (table_[i].key != key) i = (i + 1) & mask;
     table_[i].key = kTombstoneKey;
   }
-  // Blank the keys so stale MrCacheEntry hits fail their key compare.
+  // Blank the keys so a stale table hit fails its key compare; the epoch
+  // bump invalidates every outstanding MrCacheEntry at once.
   mr.lkey = 0;
   mr.rkey = 0;
   mr.access = 0;
   --live_count_;
+  ++epoch_;
   return true;
 }
 
-const MemoryRegion* ProtectionDomain::Resolve(std::uint32_t key, bool remote,
-                                              MrCacheEntry* cache) const {
+bool ProtectionDomain::Reregister(std::uint32_t lkey, void* ptr,
+                                  std::size_t len, std::uint32_t access) {
+  if (lkey < kFirstKey) return false;
+  const std::uint32_t index = Find(lkey);
+  if (index == kNotFound) return false;
+  MemoryRegion& mr = regions_[index];
+  if (mr.lkey != lkey) return false;  // an rkey is not a rereg handle
+  mr.addr = dma::AddrOf(ptr);
+  mr.length = len;
+  mr.access = access;
+  // Same keys, new extent: every cache entry filled before this instant
+  // holds the old bounds and must miss.
+  ++epoch_;
+  return true;
+}
+
+const MemoryRegion* ProtectionDomain::Resolve(std::uint32_t key,
+                                              bool remote) const {
   if (key < kFirstKey) return nullptr;  // sentinel / blanked-key values
-  if (cache != nullptr && cache->key == key && cache->index < regions_.size()) {
-    const MemoryRegion& mr = regions_[cache->index];
-    if ((remote ? mr.rkey : mr.lkey) == key) return &mr;
-  }
   const std::uint32_t index = Find(key);
   if (index == kNotFound) return nullptr;
   const MemoryRegion& mr = regions_[index];
   // The table holds both key kinds; reject an rkey used as an lkey (and
   // vice versa), exactly like the old per-kind maps did.
   if ((remote ? mr.rkey : mr.lkey) != key) return nullptr;
-  if (cache != nullptr) *cache = MrCacheEntry{key, index};
   return &mr;
 }
 
-MemCheck ProtectionDomain::CheckLocal(std::uint64_t addr, std::size_t len,
-                                      std::uint32_t lkey,
-                                      std::uint32_t required_access,
-                                      MrCacheEntry* cache) const {
-  const MemoryRegion* mr = Resolve(lkey, /*remote=*/false, cache);
+MemCheck ProtectionDomain::CheckSlow(std::uint64_t addr, std::size_t len,
+                                     std::uint32_t key,
+                                     std::uint32_t required_access, bool remote,
+                                     MrCacheEntry* cache) const {
+  const MemoryRegion* mr = Resolve(key, remote);
   if (mr == nullptr) return MemCheck::kBadKey;
-  if ((mr->access & required_access) != required_access) return MemCheck::kNoPermission;
-  if (!mr->Contains(addr, len)) return MemCheck::kOutOfBounds;
-  return MemCheck::kOk;
-}
-
-MemCheck ProtectionDomain::CheckRemote(std::uint64_t addr, std::size_t len,
-                                       std::uint32_t rkey,
-                                       std::uint32_t required_access,
-                                       MrCacheEntry* cache) const {
-  const MemoryRegion* mr = Resolve(rkey, /*remote=*/true, cache);
-  if (mr == nullptr) return MemCheck::kBadKey;
+  if (cache != nullptr) {
+    *cache = MrCacheEntry{key, epoch_, mr->addr, mr->length, mr->access};
+  }
   if ((mr->access & required_access) != required_access) return MemCheck::kNoPermission;
   if (!mr->Contains(addr, len)) return MemCheck::kOutOfBounds;
   return MemCheck::kOk;

@@ -47,14 +47,24 @@ enum class MemCheck {
 
 // One-entry memoization of the last MR lookup a queue performed. RedN
 // traffic hits the same 2-3 regions (code ring, hash table, value heap)
-// millions of times, so the common case is "same key as last time": a
-// single compare against the cached key skips the table probe entirely.
-// The cached index stays valid forever (regions are never compacted); a
-// deregistered region zeroes its keys, so a stale hit self-invalidates on
-// the key compare.
+// millions of times, so the common case is "same key as last time": a hit
+// validates against the cached extent directly and skips both the table
+// probe and the region-store load.
+//
+// Caching the extent makes staleness dangerous: ibv_rereg_mr-style
+// re-registration keeps the *same* lkey/rkey values while changing bounds,
+// so a key compare alone would happily validate against the old extent
+// (e.g. a client writing through `remote_mr_cache` past a shrunk region).
+// The epoch tag closes that hole: the owning ProtectionDomain bumps its
+// epoch on every Deregister/Reregister, and a hit requires both the key
+// and the epoch to match — any mutation of the key space invalidates every
+// outstanding cache entry at once.
 struct MrCacheEntry {
-  std::uint32_t key = 0;    // 0 = empty (real keys start at 0x1000)
-  std::uint32_t index = 0;  // slot in ProtectionDomain::regions_
+  std::uint32_t key = 0;      // 0 = empty (real keys start at 0x1000)
+  std::uint32_t epoch = 0;    // ProtectionDomain::epoch() at fill time
+  std::uint64_t addr = 0;     // cached extent + rights of the resolved MR
+  std::uint64_t length = 0;
+  std::uint32_t access = 0;
 };
 
 class ProtectionDomain {
@@ -67,18 +77,40 @@ class ProtectionDomain {
   // Removes a region; accesses with its keys fail afterwards.
   bool Deregister(std::uint32_t lkey);
 
+  // ibv_rereg_mr analogue: rebinds an existing registration to new bounds
+  // and rights while KEEPING its lkey/rkey values — the hardware behaviour
+  // that makes stale extent caches dangerous. Bumps the epoch so every
+  // MrCacheEntry filled before the rereg misses and re-resolves.
+  bool Reregister(std::uint32_t lkey, void* ptr, std::size_t len,
+                  std::uint32_t access);
+
   // Validates a local (lkey) access. `cache`, when given, is consulted
-  // before the key table and refreshed on a successful lookup.
+  // before the key table and refreshed on a successful lookup. The hit
+  // path is inline: it runs once per SGE on every data verb, and a valid
+  // (key, epoch) entry answers from the cached extent alone.
   MemCheck CheckLocal(std::uint64_t addr, std::size_t len, std::uint32_t lkey,
                       std::uint32_t required_access,
-                      MrCacheEntry* cache = nullptr) const;
+                      MrCacheEntry* cache = nullptr) const {
+    if (cache != nullptr && cache->key == lkey && cache->epoch == epoch_) {
+      return CheckCached(*cache, addr, len, required_access);
+    }
+    return CheckSlow(addr, len, lkey, required_access, /*remote=*/false, cache);
+  }
 
   // Validates a remote (rkey) access.
   MemCheck CheckRemote(std::uint64_t addr, std::size_t len, std::uint32_t rkey,
                        std::uint32_t required_access,
-                       MrCacheEntry* cache = nullptr) const;
+                       MrCacheEntry* cache = nullptr) const {
+    if (cache != nullptr && cache->key == rkey && cache->epoch == epoch_) {
+      return CheckCached(*cache, addr, len, required_access);
+    }
+    return CheckSlow(addr, len, rkey, required_access, /*remote=*/true, cache);
+  }
 
   std::size_t region_count() const { return live_count_; }
+  // Generation counter for MrCacheEntry validation; bumped by every
+  // Deregister/Reregister (key-space mutation).
+  std::uint32_t epoch() const { return epoch_; }
 
  private:
   // Open-addressed key table: maps an lkey or rkey to its region slot.
@@ -105,12 +137,28 @@ class ProtectionDomain {
   void Insert(std::uint32_t key, std::uint32_t index);
   void GrowTable();
 
-  // Shared probe+validate: resolves `key` through the cache or the table
-  // and verifies it is the right kind (lkey vs rkey) for the access.
-  const MemoryRegion* Resolve(std::uint32_t key, bool remote,
-                              MrCacheEntry* cache) const;
+  // Table probe + kind check (lkey vs rkey); cache handling lives in the
+  // Check* fast paths.
+  const MemoryRegion* Resolve(std::uint32_t key, bool remote) const;
+  // Permission + bounds against a validated cache entry (same arithmetic as
+  // MemoryRegion::Contains, overflow check included).
+  static MemCheck CheckCached(const MrCacheEntry& e, std::uint64_t addr,
+                              std::size_t len, std::uint32_t required_access) {
+    if ((e.access & required_access) != required_access) {
+      return MemCheck::kNoPermission;
+    }
+    if (addr >= e.addr && addr + len <= e.addr + e.length && addr + len >= addr) {
+      return MemCheck::kOk;
+    }
+    return MemCheck::kOutOfBounds;
+  }
+  // Miss path: table probe, cache refill, full check.
+  MemCheck CheckSlow(std::uint64_t addr, std::size_t len, std::uint32_t key,
+                     std::uint32_t required_access, bool remote,
+                     MrCacheEntry* cache) const;
 
   std::uint32_t next_key_ = kFirstKey;
+  std::uint32_t epoch_ = 0;
   std::size_t live_count_ = 0;
   std::vector<MemoryRegion> regions_;  // append-only; dereg blanks keys
   std::vector<TableSlot> table_;       // power-of-two, linear probing

@@ -1,0 +1,107 @@
+// Shared network fabric: named endpoints (NIC ports) attached to a switch
+// through full-duplex bandwidth-modeled links.
+//
+// The per-QP constant `net_one_way` latency models an uncontended point-to-
+// point cable: links never queue and experiments cannot scale past one
+// client per QP pair. The fabric replaces that with a shared-bottleneck
+// model in the spirit of RDMA traffic generators: every endpoint owns a TX
+// and an RX pipe (BandwidthResource), and a transfer src -> dst
+//
+//   1. serializes out of src's TX pipe (queueing behind src's own traffic),
+//   2. propagates src.prop + switch_latency + dst.prop, then
+//   3. serializes into dst's RX pipe (queueing behind *everyone else's*
+//      traffic to dst — the N-clients-one-server congestion point).
+//
+// Store-and-forward at the switch is deliberate: arrival is when the last
+// byte lands, so both serialization terms appear in latency, and the
+// reservation model keeps this exact for FIFO service with zero extra
+// events (see sim/resource.h).
+//
+// The fabric is a pure timing layer: it moves no bytes and knows nothing
+// about verbs. Devices ask "when does a transfer of `bytes` leaving at `t`
+// arrive?" and schedule delivery themselves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/time.h"
+
+namespace redn::sim {
+
+// One attachment point (a NIC port's cable into the switch).
+struct LinkSpec {
+  double gbps = 92.0;       // full-duplex: TX and RX each at this rate
+  Nanos propagation = 125;  // port <-> switch one-way latency
+};
+
+class Fabric {
+ public:
+  explicit Fabric(Nanos switch_latency = 0)
+      : switch_latency_(switch_latency) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Plugs a new endpoint into the switch; returns its id.
+  int Attach(const LinkSpec& spec, std::string name = {}) {
+    eps_.push_back(Endpoint{BandwidthResource(spec.gbps),
+                            BandwidthResource(spec.gbps), spec.propagation,
+                            std::move(name)});
+    return static_cast<int>(eps_.size()) - 1;
+  }
+
+  std::size_t endpoint_count() const { return eps_.size(); }
+  const std::string& name(int ep) const { return eps_[ep].name; }
+  Nanos switch_latency() const { return switch_latency_; }
+
+  // Zero-byte one-way latency src -> dst (acks, tiny control messages).
+  Nanos OneWay(int src, int dst) const {
+    return eps_[src].prop + switch_latency_ + eps_[dst].prop;
+  }
+
+  // Reserves the path for `bytes` leaving src at `t`; returns the instant
+  // the last byte arrives at dst. Both pipes advance their horizons, so
+  // concurrent transfers queue exactly where real traffic would.
+  Nanos Deliver(int src, int dst, Nanos t, std::uint64_t bytes) {
+    Endpoint& s = eps_[src];
+    Endpoint& d = eps_[dst];
+    const Nanos tx_done = s.tx.Reserve(t, bytes);
+    const Nanos at_dst = tx_done + s.prop + switch_latency_ + d.prop;
+    return d.rx.Reserve(at_dst, bytes);
+  }
+
+  // Pure serialization delay through an endpoint's pipe (no queueing).
+  Nanos SerializationDelay(int ep, std::uint64_t bytes) const {
+    return eps_[ep].tx.SerializationDelay(bytes);
+  }
+
+  // --- utilisation / accounting (bottleneck reporting) ---------------------
+  double TxUtilisation(int ep, Nanos window) const {
+    return Util(eps_[ep].tx, window);
+  }
+  double RxUtilisation(int ep, Nanos window) const {
+    return Util(eps_[ep].rx, window);
+  }
+
+ private:
+  struct Endpoint {
+    BandwidthResource tx;
+    BandwidthResource rx;
+    Nanos prop;
+    std::string name;
+  };
+
+  static double Util(const BandwidthResource& r, Nanos window) {
+    return window <= 0 ? 0.0
+                       : static_cast<double>(r.busy_time()) /
+                             static_cast<double>(window);
+  }
+
+  std::vector<Endpoint> eps_;
+  Nanos switch_latency_;
+};
+
+}  // namespace redn::sim

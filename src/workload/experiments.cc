@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "baseline/two_sided.h"
 #include "kv/memcached.h"
@@ -19,28 +21,134 @@ using baseline::TwoSidedKvServer;
 
 // Starts `writers` closed-loop set clients against `server`. Each writer
 // owns a distinct 10K-key range and walks it sequentially (the paper's
-// §5.5 setup). Returns the clients (caller keeps them alive).
-std::vector<std::unique_ptr<TwoSidedKvClient>> StartWriters(
-    rnic::RnicDevice& cdev, TwoSidedKvServer& server, int writers) {
+// §5.5 setup). Returns the writers (caller keeps them alive).
+struct Writer {
+  std::unique_ptr<TwoSidedKvClient> client;
+  // The self-rescheduling ack callback. Owned here, NOT by the lambda: a
+  // closure capturing the shared_ptr that stores it is a reference cycle
+  // that never frees (found by the ASan CI job).
+  std::shared_ptr<std::function<void(sim::Nanos)>> loop;
+};
+
+std::vector<Writer> StartWriters(rnic::RnicDevice& cdev,
+                                 TwoSidedKvServer& server, int writers) {
   server.set_writers(writers);
-  std::vector<std::unique_ptr<TwoSidedKvClient>> out;
+  std::vector<Writer> out;
   for (int w = 0; w < writers; ++w) {
-    out.push_back(std::make_unique<TwoSidedKvClient>(cdev, server, 4096));
-    TwoSidedKvClient* c = out.back().get();
+    auto client = std::make_unique<TwoSidedKvClient>(cdev, server, 4096);
+    TwoSidedKvClient* c = client.get();
     const std::uint64_t base = 1'000'000ULL * (w + 1);
     auto next = std::make_shared<std::uint64_t>(0);
-    // Closed loop: the ack callback immediately issues the next set.
+    // Closed loop: the ack callback immediately issues the next set. The
+    // raw pointer is safe: the Writer in `out` outlives the simulation.
     auto loop = std::make_shared<std::function<void(sim::Nanos)>>();
-    *loop = [c, base, next, loop](sim::Nanos) {
+    *loop = [c, base, next, lp = loop.get()](sim::Nanos) {
       const std::uint64_t key = base + (*next)++ % 10'000;
-      c->SendSet(key, 64, *loop);
+      c->SendSet(key, 64, *lp);
     };
     (*loop)(0);
+    out.push_back(Writer{std::move(client), std::move(loop)});
   }
   return out;
 }
 
 }  // namespace
+
+FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
+  sim::Simulator sim;
+  sim::Fabric fabric(cfg.switch_latency);
+  rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  sdev.AttachPort(0, fabric, {cfg.server_gbps, cfg.propagation});
+
+  struct Client {
+    std::unique_ptr<rnic::RnicDevice> dev;
+    std::unique_ptr<offloads::HashGetHarness> harness;
+    int remaining = 0;
+    sim::Nanos t_sent = 0;  // closed loop depth 1: one outstanding get
+  };
+  std::vector<Client> clients(static_cast<std::size_t>(cfg.clients));
+  sim::Rng rng(cfg.seed);
+  sim::LatencyRecorder rec;
+  sim::Nanos first_sent = -1;
+  sim::Nanos last_resp = 0;
+
+  const std::size_t heap_bytes =
+      static_cast<std::size_t>(cfg.keys + 1) * cfg.value_len + (64 << 10);
+  for (int i = 0; i < cfg.clients; ++i) {
+    Client& c = clients[static_cast<std::size_t>(i)];
+    c.dev = std::make_unique<rnic::RnicDevice>(
+        sim, rnic::NicConfig::ConnectX5(), rnic::Calibration{},
+        "client" + std::to_string(i));
+    c.dev->AttachPort(0, fabric, {cfg.client_gbps, cfg.propagation});
+    c.harness = std::make_unique<offloads::HashGetHarness>(
+        *c.dev, sdev,
+        // Two probed buckets: keys displaced to H2 stay visible, so the
+        // depth-1 closed loop can never starve on a hash collision.
+        offloads::HashGetOffload::Config{.buckets = 2,
+                                         .max_requests = cfg.gets_per_client + 8,
+                                         .fabric = &fabric},
+        kv::RdmaHashTable::Config{.buckets = 1 << 12}, heap_bytes,
+        /*max_value=*/cfg.value_len + 64);
+    for (int k = 1; k <= cfg.keys; ++k) {
+      c.harness->PutPattern(static_cast<std::uint64_t>(k), cfg.value_len);
+    }
+    c.harness->Arm(cfg.gets_per_client + 4);
+    c.remaining = cfg.gets_per_client;
+  }
+
+  // Depth-1 closed loops starve forever on a miss, so draw only keys the
+  // 2-bucket NIC probe can actually see: a doubly-colliding key falls back
+  // to the hopscotch neighbourhood, which the offload never reads. Every
+  // table is built identically, so client 0's visibility map covers all.
+  std::vector<std::uint64_t> visible;
+  visible.reserve(static_cast<std::size_t>(cfg.keys));
+  for (int k = 1; k <= cfg.keys; ++k) {
+    if (clients[0].harness->table().NicVisible(static_cast<std::uint64_t>(k))) {
+      visible.push_back(static_cast<std::uint64_t>(k));
+    }
+  }
+  if (visible.empty()) {
+    throw std::runtime_error(
+        "RunFabricScale: no NIC-visible keys — table too small for keyspace");
+  }
+
+  auto issue = [&](int i) {
+    Client& c = clients[static_cast<std::size_t>(i)];
+    c.t_sent = sim.now();
+    if (first_sent < 0) first_sent = sim.now();
+    c.harness->SendTrigger(visible[rng.NextBelow(visible.size())]);
+  };
+  for (int i = 0; i < cfg.clients; ++i) {
+    Client& c = clients[static_cast<std::size_t>(i)];
+    c.harness->client_recv_cq()->SetHostNotify([&, i] {
+      Client& cl = clients[static_cast<std::size_t>(i)];
+      rnic::Cqe cqe;
+      while (cl.dev->PollCq(cl.harness->client_recv_cq(), 1, &cqe) == 1) {
+        cl.harness->NoteOpenLoopResponse(cqe.qp_id);
+        rec.Add(sim.now() - cl.t_sent);
+        last_resp = std::max(last_resp, sim.now());
+        if (--cl.remaining > 0) issue(i);
+      }
+    });
+    // Staggered starts so clients do not issue in artificial lockstep.
+    sim.At(static_cast<sim::Nanos>(i) * 200, [&, i] { issue(i); });
+  }
+
+  sim.RunUntil(sim::Seconds(30));  // drains when the last response lands
+
+  FabricScaleResult out;
+  out.gets = rec.count();
+  const sim::Nanos span = last_resp > first_sent ? last_resp - first_sent : 1;
+  out.duration_us = sim::ToMicros(span);
+  out.gets_per_sec = static_cast<double>(out.gets) / sim::ToSeconds(span);
+  out.avg_us = rec.empty() ? 0 : rec.MeanUs();
+  out.p99_us = rec.empty() ? 0 : rec.PercentileUs(99);
+  const int sep = sdev.fabric_endpoint(0);
+  out.server_tx_util = fabric.TxUtilisation(sep, last_resp);
+  out.server_rx_util = fabric.RxUtilisation(sep, last_resp);
+  out.events = sim.events_processed();
+  return out;
+}
 
 ContentionResult RunTwoSidedContention(int writers, int n_gets,
                                        std::uint64_t seed) {

@@ -14,6 +14,43 @@
 
 namespace redn::workload {
 
+// --- Shared-fabric scale-out: N clients, one server link --------------------
+//
+// Fig 15/16-style NIC-served gets, scaled out: `clients` independent client
+// NICs attach to a switch fabric and hammer one server NIC whose single
+// port link everyone shares. Each client runs a closed loop of depth 1
+// (send trigger, await the offloaded WRITE_IMM response, repeat), so
+// per-get latency is exact and aggregate throughput is limited by whatever
+// saturates first — with enough clients and large values, the server's TX
+// link. The per-QP constant-latency path cannot express this: private
+// wires never contend.
+struct FabricScaleConfig {
+  int clients = 8;
+  int gets_per_client = 200;
+  // Response payload (the congesting bytes). Large enough that the wire —
+  // not the server NIC's serialized managed-fetch unit — is what saturates.
+  std::uint32_t value_len = 16384;
+  int keys = 512;                  // keyspace per client
+  double client_gbps = 25.0;       // each client's link
+  double server_gbps = 25.0;       // the shared server link (the bottleneck)
+  sim::Nanos propagation = 125;    // endpoint <-> switch one-way
+  sim::Nanos switch_latency = 0;
+  std::uint64_t seed = 1;
+};
+
+struct FabricScaleResult {
+  std::uint64_t gets = 0;          // responses received (all clients)
+  double duration_us = 0;          // first trigger -> last response
+  double gets_per_sec = 0;         // aggregate
+  double avg_us = 0;               // per-get latency across all clients
+  double p99_us = 0;
+  double server_tx_util = 0;       // server-link TX busy fraction
+  double server_rx_util = 0;
+  std::uint64_t events = 0;        // engine events processed (perf floors)
+};
+
+FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg);
+
 // --- Fig 15: performance isolation under CPU contention ---------------------
 //
 // One reader issues gets while `writers` closed-loop clients hammer the

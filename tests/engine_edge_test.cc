@@ -186,6 +186,184 @@ TEST_F(EdgeTest, RateLimitedQueueKeepsExactRate) {
   EXPECT_LE(us, n * 10.0 + 20.0);
 }
 
+TEST_F(EdgeTest, RateLimitReconfigureForgetsStaleSchedule) {
+  rnic::QpConfig c;
+  c.sq_depth = 64;
+  c.send_cq = bed.client.CreateCq();
+  c.recv_cq = bed.client.CreateCq();
+  c.rate_ops_per_sec = 1'000;  // 1 ms gap
+  rnic::QueuePair* qp = bed.client.CreateQp(c);
+  rnic::ConnectSelf(qp);
+  for (int i = 0; i < 3; ++i) PostSend(qp, MakeNoop());
+  verbs::RingDoorbell(qp);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, qp->send_cq, 3, &cqe));
+  // The limiter's cursor now points ~1 ms into the future. Lifting the cap
+  // must forget that schedule: the next WQE paces from now, not from the
+  // slot computed under the old gap.
+  bed.client.SetRateLimit(qp, 0.0);
+  const sim::Nanos before = bed.sim.now();
+  PostSend(qp, MakeNoop());
+  verbs::RingDoorbell(qp);
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, qp->send_cq, &cqe));
+  EXPECT_LT(bed.sim.now() - before, sim::Micros(50))
+      << "first WQE after reconfigure still delayed by the stale rate slot";
+
+  // Re-arming a (different) rate also starts fresh rather than inheriting
+  // the old cursor.
+  bed.client.SetRateLimit(qp, 1e6);  // 1 us gap
+  const sim::Nanos t0 = bed.sim.now();
+  for (int i = 0; i < 4; ++i) PostSend(qp, MakeNoop());
+  verbs::RingDoorbell(qp);
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, qp->send_cq, 4, &cqe));
+  const double us = sim::ToMicros(bed.sim.now() - t0);
+  EXPECT_GE(us, 3.0);   // paced at the new gap
+  EXPECT_LE(us, 10.0);  // but not by any leftover millisecond slot
+}
+
+TEST_F(EdgeTest, ManagedRingWrapRefetchesSlotZeroOnSecondLap) {
+  // WQ recycling (§3.4) across the ring boundary: a 4-deep managed queue
+  // enabled past its posted count re-executes slot 0 on the second lap, and
+  // doorbell order means that second execution must be fetched *then* — in
+  // its modified form.
+  rnic::QueuePair* qp = bed.Loopback(bed.client, /*managed=*/true,
+                                     /*depth=*/4);
+  Buffer src = bed.Alloc(bed.client, 128);
+  Buffer dst = bed.Alloc(bed.client, 8);
+  src.SetU64(0, 0x11);
+  src.SetU64(8, 0x22);  // at src.addr() + 64, where the ADD shifts the gather
+
+  // Slot 0: the lap-sensitive WRITE. Slot 1: self-modifies slot 0's gather
+  // address (+64). Slot 2: barrier until both completed. Slot 3: padding.
+  PostSend(qp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey(),
+                         /*signaled=*/true));
+  PostSend(qp, verbs::MakeFetchAdd(
+                   qp->sq.SlotAddr(0, rnic::WqeField::kLocalAddr),
+                   qp->sq_mr.rkey, 64));
+  PostSend(qp, MakeWait(qp->send_cq, 2));
+  PostSend(qp, MakeNoop(/*signaled=*/false));
+
+  // Limit 5 > posted 4: index 4 wraps onto ring slot 0 for a second lap.
+  bed.client.HostEnable(qp, 5);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, qp->send_cq, 3, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(dst.U64(0), 0x22u)
+      << "second-lap slot 0 executed a stale snapshot, not the modified WQE";
+  EXPECT_EQ(qp->sq.next_exec, 5u);
+  // Each executed slot was individually fetched (no prefetch): 5 fetches.
+  EXPECT_EQ(bed.client.counters().managed_fetches, 5u);
+}
+
+TEST_F(EdgeTest, WriteInFlightWhenPeerDiesFailsWithoutTouchingMemory) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  rnic::Connect(cqp, sqp, 10'000);  // long wire: the kill lands mid-flight
+  Buffer src = bed.Alloc(bed.client, 8);
+  Buffer dst = bed.Alloc(bed.server, 8);
+  src.SetU64(0, 0x77);
+  sqp->owner_pid = 9;
+  PostSendNow(cqp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey()));
+  // Issue happens ~0.8 us in; arrival ~11 us. Kill in between.
+  bed.sim.At(sim::Micros(5), [&] { bed.server.KillProcessResources(9); });
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kRemoteAccessError);
+  EXPECT_EQ(dst.U64(0), 0u) << "bytes landed in a dead process's memory";
+}
+
+TEST_F(EdgeTest, SendInFlightWhenPeerDiesConsumesNoRecv) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  rnic::Connect(cqp, sqp, 10'000);
+  Buffer src = bed.Alloc(bed.client, 8);
+  Buffer dst = bed.Alloc(bed.server, 8);
+  verbs::RecvWr rwr;
+  rwr.local_addr = dst.addr();
+  rwr.length = 8;
+  rwr.lkey = dst.lkey();
+  verbs::PostRecv(sqp, rwr);
+  sqp->owner_pid = 9;
+  PostSendNow(cqp, verbs::MakeSend(src.addr(), 8, src.lkey()));
+  bed.sim.At(sim::Micros(5), [&] { bed.server.KillProcessResources(9); });
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kRemoteAccessError);
+  EXPECT_EQ(sqp->rq.consumed, 0u) << "a dead QP consumed a RECV";
+}
+
+TEST_F(EdgeTest, ReadInFlightWhenPeerDiesFailsInsteadOfHanging) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  rnic::Connect(cqp, sqp, 10'000);
+  Buffer src = bed.Alloc(bed.server, 8);
+  Buffer dst = bed.Alloc(bed.client, 8);
+  sqp->owner_pid = 9;
+  PostSendNow(cqp, verbs::MakeRead(dst.addr(), 8, dst.lkey(), src.addr(),
+                                   src.rkey()));
+  bed.sim.At(sim::Micros(5), [&] { bed.server.KillProcessResources(9); });
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe))
+      << "READ to a dying peer was dropped silently — requester hangs";
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kRemoteAccessError);
+}
+
+TEST_F(EdgeTest, AtomicInFlightWhenPeerDiesFailsAndSkipsRmw) {
+  auto [cqp, sqp] = bed.ConnectedPair();
+  rnic::Connect(cqp, sqp, 10'000);
+  Buffer word = bed.Alloc(bed.server, 8);
+  word.SetU64(0, 5);
+  sqp->owner_pid = 9;
+  PostSendNow(cqp, verbs::MakeFetchAdd(word.addr(), word.rkey(), 1));
+  bed.sim.At(sim::Micros(5), [&] { bed.server.KillProcessResources(9); });
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kRemoteAccessError);
+  EXPECT_EQ(word.U64(0), 5u) << "RMW executed against a dead process";
+}
+
+TEST(EdgeCrash, AtomicKilledBetweenCheckAndRmwFlushes) {
+  // The narrowest window: the peer passes the protection check at request
+  // arrival, then dies before the atomic unit runs the RMW. The completion
+  // must report failure — a success CQE would claim remote memory changed.
+  rnic::Calibration cal;
+  cal.atomic_unit_service = 5'000;  // stretch the check->RMW window
+  TestBed bed(rnic::NicConfig::ConnectX5(), cal);
+  auto [cqp, sqp] = bed.ConnectedPair();
+  rnic::Connect(cqp, sqp, 10'000);
+  Buffer word = bed.Alloc(bed.server, 8);
+  word.SetU64(0, 5);
+  sqp->owner_pid = 9;
+  PostSendNow(cqp, verbs::MakeFetchAdd(word.addr(), word.rkey(), 1));
+  // t_req ~10.8 us, RMW at ~15.8 us: kill at 13 us lands inside the window.
+  bed.sim.At(sim::Micros(13), [&] { bed.server.KillProcessResources(9); });
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kRemoteAccessError)
+      << "atomic completed successfully although the RMW never ran";
+  EXPECT_EQ(word.U64(0), 5u);
+}
+
+TEST_F(EdgeTest, RemoteWriteAfterServerShrinksMrFaults) {
+  // ibv_rereg_mr keeps the key values: a client holding the old rkey must
+  // fault past the new bounds even though the server NIC cached the old
+  // extent (the MrCacheEntry epoch check, see rnic/memory.h).
+  auto [cqp, sqp] = bed.ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, 8);
+  Buffer dst = bed.Alloc(bed.server, 1024);
+  // Warm the server-side remote MR cache with a far-end write.
+  PostSendNow(cqp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr() + 512,
+                             dst.rkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  ASSERT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  // The server shrinks the registration to the first 256 bytes.
+  ASSERT_TRUE(bed.server.pd().Reregister(dst.mr.lkey, dst.bytes(), 256,
+                                         rnic::kAccessAll));
+  PostSendNow(cqp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr() + 512,
+                             dst.rkey()));
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kRemoteAccessError)
+      << "stale cached extent satisfied a write past the shrunk region";
+}
+
 TEST_F(EdgeTest, KilledQpStopsMidChain) {
   rnic::QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true);
   rnic::QueuePair* ctrl = bed.Loopback(bed.client);

@@ -93,6 +93,62 @@ TEST_F(MemoryTest, ZeroLengthAccessInsideRegionIsOk) {
   EXPECT_EQ(pd.CheckLocal(base(), 0, mr.lkey, kLocalRead), MemCheck::kOk);
 }
 
+TEST_F(MemoryTest, ReregisterKeepsKeysAndAppliesNewBounds) {
+  const auto mr = pd.Register(buf.get(), 1024, kAccessAll);
+  ASSERT_TRUE(pd.Reregister(mr.lkey, buf.get(), 256, kAccessAll));
+  EXPECT_EQ(pd.CheckLocal(base(), 256, mr.lkey, kLocalRead), MemCheck::kOk);
+  EXPECT_EQ(pd.CheckLocal(base() + 256, 8, mr.lkey, kLocalRead),
+            MemCheck::kOutOfBounds);
+  EXPECT_EQ(pd.CheckRemote(base(), 8, mr.rkey, kRemoteWrite), MemCheck::kOk);
+  EXPECT_EQ(pd.region_count(), 1u);
+  // An rkey is not a rereg handle, and unknown keys fail cleanly.
+  EXPECT_FALSE(pd.Reregister(mr.rkey, buf.get(), 64, kAccessAll));
+  EXPECT_FALSE(pd.Reregister(0xdead, buf.get(), 64, kAccessAll));
+}
+
+// The MrCacheEntry regression the epoch tag exists for: a re-registration
+// that keeps the same lkey/rkey values but shrinks the region must not be
+// satisfied by a stale cached extent.
+TEST_F(MemoryTest, ReregisterShrinkInvalidatesStaleExtentCache) {
+  const auto mr = pd.Register(buf.get(), 1024, kAccessAll);
+  MrCacheEntry cache;
+  ASSERT_EQ(pd.CheckRemote(base(), 1024, mr.rkey, kRemoteWrite, &cache),
+            MemCheck::kOk);
+  EXPECT_EQ(cache.key, mr.rkey);
+  EXPECT_EQ(cache.length, 1024u);
+  ASSERT_TRUE(pd.Reregister(mr.lkey, buf.get(), 256, kAccessAll));
+  // Same key value, smaller extent: the access beyond the new bounds must
+  // fault even though (key, extent) in the cache would allow it.
+  EXPECT_EQ(pd.CheckRemote(base() + 512, 8, mr.rkey, kRemoteWrite, &cache),
+            MemCheck::kOutOfBounds);
+  // The refreshed cache carries the new extent and keeps serving hits.
+  EXPECT_EQ(pd.CheckRemote(base() + 128, 8, mr.rkey, kRemoteWrite, &cache),
+            MemCheck::kOk);
+  EXPECT_EQ(cache.length, 256u);
+}
+
+TEST_F(MemoryTest, DeregisterInvalidatesStaleCacheEntry) {
+  const auto mr = pd.Register(buf.get(), 1024, kAccessAll);
+  MrCacheEntry cache;
+  ASSERT_EQ(pd.CheckLocal(base(), 8, mr.lkey, kLocalRead, &cache),
+            MemCheck::kOk);
+  ASSERT_TRUE(pd.Deregister(mr.lkey));
+  EXPECT_EQ(pd.CheckLocal(base(), 8, mr.lkey, kLocalRead, &cache),
+            MemCheck::kBadKey);
+}
+
+TEST_F(MemoryTest, CachedEntryStillEnforcesPermissions) {
+  const auto ro = pd.Register(buf.get(), 512, kLocalRead | kRemoteRead);
+  MrCacheEntry cache;
+  ASSERT_EQ(pd.CheckRemote(base(), 8, ro.rkey, kRemoteRead, &cache),
+            MemCheck::kOk);
+  // Same key through the warm cache: rights are checked on every access.
+  EXPECT_EQ(pd.CheckRemote(base(), 8, ro.rkey, kRemoteWrite, &cache),
+            MemCheck::kNoPermission);
+  EXPECT_EQ(pd.CheckRemote(base() + 508, 8, ro.rkey, kRemoteRead, &cache),
+            MemCheck::kOutOfBounds);
+}
+
 TEST(MemoryRegion, ContainsHandlesEdges) {
   MemoryRegion mr;
   mr.addr = 1000;
