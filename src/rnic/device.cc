@@ -63,6 +63,16 @@ QueuePair* RnicDevice::CreateQp(const QpConfig& qcfg) {
               qcfg.managed, qcfg.send_cq, pu);
   qp->rq.Init(qp.get(), /*is_send=*/false, qp->rq_buf.get(), qcfg.rq_depth,
               /*managed=*/false, qcfg.recv_cq, pu);
+  // Watch managed SQ rings for tracked NIC-side stores: a verb that
+  // rewrites a posted WQE (the RedN self-modification trick) refreshes the
+  // slot's cached decode through NoteDmaWrite, so the next doorbell-order
+  // fetch of a self-modified slot still hits. Non-managed rings stay
+  // unwatched — their snapshots must go stale by design, and the
+  // verify-at-fetch re-decodes recycled slots. RQ WQEs are read fresh at
+  // every consumption, so RQ rings never join either.
+  if (qcfg.managed) {
+    ring_watches_.Watch(qp->sq.RingBase(), qp->sq.RingBytes(), &qp->sq);
+  }
   qps_.push_back(std::move(qp));
   return qps_.back().get();
 }
@@ -150,9 +160,29 @@ bool RnicDevice::HasLiveQps() const {
 
 void RnicDevice::SnapshotRange(WorkQueue& wq, std::uint64_t upto) {
   for (std::uint64_t i = wq.fetch_horizon; i < upto; ++i) {
-    wq.ImageAt(i) = wq.Slot(i).Load();
+    FetchSlot(wq, i);
   }
   wq.fetch_horizon = std::max(wq.fetch_horizon, upto);
+}
+
+void RnicDevice::FetchSlot(WorkQueue& wq, std::uint64_t idx) {
+  const std::size_t s = wq.BufSlot(idx);
+  WqeImage& img = wq.ImageAtB(s);
+  const WqeView slot = wq.SlotAtB(s);
+  // The verify is the correctness backbone: a cached decode is trusted only
+  // if the live slot bytes still equal it, so even host-side raw-DMA WQE
+  // patches (which bypass every tracked write path) are always honoured —
+  // exactly the snapshot the pre-cache fetch would have taken.
+  if (wq.DecodedAtB(s)) {
+    if (slot.Matches(img)) {
+      ++counters_.wqe_cache_hits;
+      return;
+    }
+    ++counters_.wqe_cache_invalidations;  // untracked write beat the filter
+  }
+  img = slot.Load();
+  wq.MarkDecodedAtB(s);
+  ++counters_.wqe_cache_misses;
 }
 
 // ---------------------------------------------------------------------------
@@ -179,7 +209,7 @@ void RnicDevice::Advance(WorkQueue& wq) {
           wq.busy = false;
           return;
         }
-        wq.ImageAt(idx) = wq.Slot(idx).Load();
+        FetchSlot(wq, idx);
         wq.fetch_horizon = std::max(wq.fetch_horizon, idx + 1);
         Issue(wq, idx);
       });
@@ -193,11 +223,11 @@ void RnicDevice::Advance(WorkQueue& wq) {
 }
 
 void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
-  // Precondition: wq.busy == true, snapshot available. The image is staged
-  // in wq.inflight_img (stable while busy) so the closures below only need
-  // {this, &wq, idx} — small enough for the simulator's inline storage.
-  wq.inflight_img = wq.ImageAt(idx);  // copy: ring slot may be recycled
-  const WqeImage& img = wq.inflight_img;
+  // Precondition: wq.busy == true, snapshot available. Control verbs stage
+  // the image in wq.inflight_img (stable while busy); data verbs copy it
+  // straight into their pooled Payload shuttle instead — one 64-byte copy
+  // per verb, and the closures below only carry pointers and an index.
+  const WqeImage& img = wq.ImageAt(idx);
   QueuePair* qp = wq.qp();
   auto& port = ports_[qp->port];
   auto& pu = port.pus[wq.pu_index()];
@@ -205,6 +235,7 @@ void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
 
   switch (op) {
     case Opcode::kWait: {
+      wq.inflight_img = img;  // copy: ring slot may be recycled
       CompletionQueue* cq = GetCq(img.target_id);
       if (cq == nullptr) {
         FailWr(wq, img, sim_.now(), WcStatus::kBadOpcode);
@@ -223,6 +254,7 @@ void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
       return;
     }
     case Opcode::kEnable: {
+      wq.inflight_img = img;  // copy: ring slot may be recycled
       const sim::Nanos done = pu.Reserve(sim_.now(), cal_.pu_enable);
       sim_.At(done, [this, &wq, idx] {
         const WqeImage& img = wq.inflight_img;
@@ -253,14 +285,17 @@ void RnicDevice::Issue(WorkQueue& wq, std::uint64_t idx) {
       const sim::Nanos service =
           wq.managed() ? cal_.pu_managed_issue : PuService(op);
       const sim::Nanos t_issue = pu.Reserve(start, service);
-      sim_.At(t_issue, [this, &wq, idx] {
+      Payload* pl = payloads_.Acquire();
+      pl->img = img;  // copy: ring slot may be recycled
+      pl->slot = idx;
+      sim_.At(t_issue, [this, &wq, idx, pl] {
         if (wq.error || !wq.qp()->alive) {
+          payloads_.Release(pl);
           wq.busy = false;
           return;
         }
-        ++counters_.executed_by_opcode[static_cast<int>(
-            wq.inflight_img.opcode())];
-        ExecuteData(wq, idx, wq.inflight_img, sim_.now());
+        ++counters_.executed_by_opcode[static_cast<int>(pl->img.opcode())];
+        ExecuteData(wq, idx, pl, sim_.now());
         // Pipelining: the next WQE may issue without waiting for this one's
         // completion (WQ order).
         wq.next_exec = idx + 1;
@@ -299,9 +334,32 @@ void RnicDevice::ResolveSges(const WqeImage& img, SgeScratch& out) const {
   }
 }
 
-bool RnicDevice::GatherLocal(WorkQueue& wq, const WqeImage& img,
-                             std::vector<std::byte>& out, WcStatus* err) {
+bool RnicDevice::GatherLocal(WorkQueue& wq, std::uint64_t idx,
+                             const WqeImage& img, std::vector<std::byte>& out,
+                             WcStatus* err) {
   const ProtectionDomain& pd = wq.qp()->device->pd_;
+  if (!img.uses_sge_table()) {
+    // Single-element fast path: the slot's SgePlan remembers the validated
+    // CheckLocal result, so a recycled ring lap re-gathering through the
+    // same {addr, length, lkey} skips the protection re-walk. Bytes are
+    // still read live — only the *translation* is cached.
+    if (img.length == 0) return true;
+    SgePlan& plan = wq.PlanAt(idx);
+    if (!plan.Covers(img.local_addr, img.length, img.lkey, kLocalRead,
+                     pd.epoch())) {
+      const MemCheck mc = pd.CheckLocal(img.local_addr, img.length, img.lkey,
+                                        kLocalRead, &wq.mr_cache);
+      if (mc != MemCheck::kOk) {
+        *err = WcStatus::kLocalAccessError;
+        return false;
+      }
+      plan.sge = Sge{img.local_addr, img.length, img.lkey};
+      plan.pd_epoch = pd.epoch();
+      plan.access = kLocalRead;
+    }
+    dma::ReadAppend(out, img.local_addr, img.length);
+    return true;
+  }
   SgeScratch sges;
   ResolveSges(img, sges);
   for (const Sge& sge : sges) {
@@ -312,17 +370,54 @@ bool RnicDevice::GatherLocal(WorkQueue& wq, const WqeImage& img,
       *err = WcStatus::kLocalAccessError;
       return false;
     }
-    const std::size_t off = out.size();
-    out.resize(off + sge.length);
-    dma::Read(out.data() + off, sge.addr, sge.length);
+    dma::ReadAppend(out, sge.addr, sge.length);
   }
   return true;
 }
 
-bool RnicDevice::ScatterList(WorkQueue& wq, const WqeImage& img,
-                             const std::byte* data, std::size_t len,
-                             WcStatus* err) {
+bool RnicDevice::ScatterList(WorkQueue& wq, std::uint64_t idx,
+                             const WqeImage& img, const std::byte* data,
+                             std::size_t len, WcStatus* err) {
   const ProtectionDomain& pd = wq.qp()->device->pd_;
+  if (!img.uses_sge_table()) {
+    // Single-element fast path, mirroring GatherLocal. The plan may have
+    // been validated for reads (a WRITE gather) — the write right is proven
+    // on first use and remembered alongside.
+    if (len == 0) return true;
+    if (img.length == 0) {
+      *err = WcStatus::kLocalAccessError;  // payload larger than scatter list
+      return false;
+    }
+    const std::size_t chunk = std::min<std::size_t>(img.length, len);
+    SgePlan& plan = wq.PlanAt(idx);
+    if (plan.Covers(img.local_addr, img.length, img.lkey, kLocalWrite,
+                    pd.epoch())) {
+      dma::Write(img.local_addr, data, chunk);
+    } else {
+      const MemCheck mc =
+          pd.CheckLocal(img.local_addr, chunk, img.lkey, kLocalWrite,
+                        &wq.mr_cache);
+      if (mc != MemCheck::kOk) {
+        *err = WcStatus::kLocalAccessError;
+        return false;
+      }
+      if (plan.Covers(img.local_addr, img.length, img.lkey, 0, pd.epoch())) {
+        plan.access |= kLocalWrite;  // same element, new right proven
+      } else if (chunk == img.length) {
+        // Only a full-length check proves the whole element's bounds.
+        plan.sge = Sge{img.local_addr, img.length, img.lkey};
+        plan.pd_epoch = pd.epoch();
+        plan.access = kLocalWrite;
+      }
+      dma::Write(img.local_addr, data, chunk);
+    }
+    NoteDmaWrite(img.local_addr, chunk);
+    if (chunk < len) {
+      *err = WcStatus::kLocalAccessError;  // payload larger than scatter list
+      return false;
+    }
+    return true;
+  }
   std::size_t consumed = 0;
   SgeScratch sges;
   ResolveSges(img, sges);
@@ -338,6 +433,7 @@ bool RnicDevice::ScatterList(WorkQueue& wq, const WqeImage& img,
       return false;
     }
     dma::Write(sge.addr, data + consumed, chunk);
+    NoteDmaWrite(sge.addr, chunk);
     consumed += chunk;
   }
   if (consumed < len) {
@@ -348,9 +444,9 @@ bool RnicDevice::ScatterList(WorkQueue& wq, const WqeImage& img,
   return true;
 }
 
-void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
-                             const WqeImage& img, sim::Nanos t_issue) {
-  (void)idx;
+void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
+                             sim::Nanos t_issue) {
+  const WqeImage& img = pl->img;
   QueuePair* qp = wq.qp();
   QueuePair* peer = qp->peer;
   // Fabric-routed QPs derive wire latency from the shared links; everything
@@ -371,6 +467,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
       CompleteWr(qp, qp->send_cq, img, t_issue + cal_.exec_noop,
                  WcStatus::kSuccess, 0,
                  /*force_cqe=*/false, /*host_extra=*/wire ? 2 * ow : 0);
+      payloads_.Release(pl);
       return;
     }
     case Opcode::kWrite:
@@ -379,14 +476,13 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
     case Opcode::kSendImm: {
       if (peer == nullptr || !peer->alive) {
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
+        payloads_.Release(pl);
         return;
       }
-      Payload* pl = payloads_.Acquire();
-      pl->img = img;
       WcStatus err = WcStatus::kSuccess;
-      if (!GatherLocal(wq, img, pl->bytes, &err)) {
-        payloads_.Release(pl);
+      if (!GatherLocal(wq, idx, img, pl->bytes, &err)) {
         FailWr(wq, img, t_issue, err);
+        payloads_.Release(pl);
         return;
       }
       const std::uint64_t len = pl->bytes.size();
@@ -450,10 +546,9 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
     case Opcode::kRead: {
       if (peer == nullptr || !peer->alive) {
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
+        payloads_.Release(pl);
         return;
       }
-      Payload* pl = payloads_.Acquire();
-      pl->img = img;
       const sim::Nanos t_req = t_issue + ow;
       sim_.At(t_req, [this, &wq, qp, peer, pl, ow, wire] {
         const WqeImage& img = pl->img;
@@ -487,8 +582,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
           return;
         }
         // Data is captured at the remote memory *now* (request arrival).
-        pl->bytes.resize(len);
-        if (len > 0) dma::Read(pl->bytes.data(), img.remote_addr, len);
+        if (len > 0) dma::ReadAppend(pl->bytes, img.remote_addr, len);
         const sim::Nanos t_req_now = sim_.now();
         sim::Nanos t_done;
         if (qp->via_fabric) {
@@ -521,8 +615,8 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
             return;
           }
           WcStatus st = WcStatus::kSuccess;
-          if (!ScatterList(wq, pl->img, pl->bytes.data(), pl->bytes.size(),
-                           &st)) {
+          if (!ScatterList(wq, pl->slot, pl->img, pl->bytes.data(),
+                           pl->bytes.size(), &st)) {
             FailWr(wq, pl->img, sim_.now(), st);
             payloads_.Release(pl);
             return;
@@ -540,10 +634,9 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
     case Opcode::kCalcMin: {
       if (peer == nullptr || !peer->alive) {
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
+        payloads_.Release(pl);
         return;
       }
-      Payload* pl = payloads_.Acquire();
-      pl->img = img;
       // If the peer dies before the RMW event runs, the completion below
       // must observe that the op never executed (rmw_done stays false) and
       // flush instead of reporting a success that touched nothing.
@@ -612,6 +705,10 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
               break;
           }
           dma::WriteU64(img.remote_addr, next);
+          // The RedN conditional: atomics landing on WQE fields are the
+          // canonical self-modification, so the write-through refresh here
+          // is what keeps recycled chain rings hitting the cache.
+          peer->device->NoteDmaWrite(img.remote_addr, 8);
         });
         const sim::Nanos t_done =
             unit_done + ExecCost(op) + (wire ? ow + cal_.remote_ack_extra : 0);
@@ -636,7 +733,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
             WqeImage resp = pl->img;
             resp.length = 8;
             resp.flags &= ~kFlagSgeTable;
-            if (!ScatterList(wq, resp, bytes, 8, &st)) {
+            if (!ScatterList(wq, pl->slot, resp, bytes, 8, &st)) {
               FailWr(wq, pl->img, sim_.now(), st);
               payloads_.Release(pl);
               return;
@@ -651,6 +748,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx,
     }
     default:
       FailWr(wq, img, t_issue, WcStatus::kBadOpcode);
+      payloads_.Release(pl);
       return;
   }
 }
@@ -665,7 +763,10 @@ WcStatus RnicDevice::AcceptWrite(QueuePair* dst_qp, std::uint64_t addr,
   const MemCheck mc = pd_.CheckRemote(addr, len, rkey, kRemoteWrite,
                                       &dst_qp->remote_mr_cache);
   if (mc != MemCheck::kOk) return WcStatus::kRemoteAccessError;
-  if (len > 0) dma::Write(addr, data, len);
+  if (len > 0) {
+    dma::Write(addr, data, len);
+    NoteDmaWrite(addr, len);
+  }
   return WcStatus::kSuccess;
 }
 
@@ -684,7 +785,7 @@ WcStatus RnicDevice::AcceptSend(QueuePair* dst_qp, const std::byte* data,
   WcStatus st = WcStatus::kSuccess;
   int sges_written = 0;
   if (data != nullptr && len > 0) {
-    if (!ScatterList(rq, rimg, data, len, &st)) {
+    if (!ScatterList(rq, ridx, rimg, data, len, &st)) {
       // fallthrough: deliver an error CQE for the RECV
     } else {
       sges_written = rimg.uses_sge_table() ? static_cast<int>(rimg.length) : 1;
@@ -882,21 +983,25 @@ const char* RnicDevice::BusiestResource(sim::Nanos window) const {
   double best = 0.0;
   const char* who = "idle";
   for (int p = 0; p < cfg_.ports; ++p) {
-    if (PuUtilisation(p, window) > best) {
-      best = PuUtilisation(p, window);
+    const double pu = PuUtilisation(p, window);
+    if (pu > best) {
+      best = pu;
       who = "NIC PU";
     }
-    if (FetchUnitUtilisation(p, window) > best) {
-      best = FetchUnitUtilisation(p, window);
+    const double fetch = FetchUnitUtilisation(p, window);
+    if (fetch > best) {
+      best = fetch;
       who = "NIC PU";  // managed fetch is NIC processing (paper's term)
     }
-    if (LinkUtilisation(p, window) > best) {
-      best = LinkUtilisation(p, window);
+    const double link = LinkUtilisation(p, window);
+    if (link > best) {
+      best = link;
       who = "IB bw";
     }
   }
-  if (PcieUtilisation(window) > best) {
-    best = PcieUtilisation(window);
+  const double pcie = PcieUtilisation(window);
+  if (pcie > best) {
+    best = pcie;
     who = "PCIe bw";
   }
   return who;

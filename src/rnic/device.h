@@ -96,11 +96,23 @@ struct DeviceCounters {
   std::uint64_t cqes = 0;
   std::uint64_t rnr_drops = 0;
   std::uint64_t error_completions = 0;
+  // Decoded-WQE translation cache: fetches served by a verified cached
+  // decode / fetches that had to decode / cache entries a write killed or
+  // refreshed (tracked stores and verify failures both count).
+  std::uint64_t wqe_cache_hits = 0;
+  std::uint64_t wqe_cache_misses = 0;
+  std::uint64_t wqe_cache_invalidations = 0;
 
   std::uint64_t TotalExecuted() const {
     std::uint64_t t = 0;
     for (auto v : executed_by_opcode) t += v;
     return t;
+  }
+  double WqeCacheHitRate() const {
+    const std::uint64_t total = wqe_cache_hits + wqe_cache_misses;
+    return total == 0 ? 1.0
+                      : static_cast<double>(wqe_cache_hits) /
+                            static_cast<double>(total);
   }
 };
 
@@ -125,6 +137,7 @@ struct SgeScratch {
 struct Payload {
   std::vector<std::byte> bytes;
   WqeImage img{};
+  std::uint64_t slot = 0;     // absolute WQE index (SgePlan lookup at scatter)
   std::uint64_t scratch = 0;  // atomics: old value returned to the requester
   bool rmw_done = false;      // atomics: the RMW actually executed remotely
   Payload* next_free = nullptr;
@@ -230,6 +243,13 @@ class RnicDevice {
   void KillProcessResources(int pid);
   bool HasLiveQps() const;
 
+  // Tracked-write (dirty) generation of a managed QP's SQ ring — how many
+  // NIC-side stores have landed inside it. 0 for unwatched (non-managed)
+  // rings. Diagnostic surface for tests and tooling.
+  std::uint64_t RingDirtyGen(const QueuePair* qp) const {
+    return ring_watches_.DirtyGen(&qp->sq);
+  }
+
   // --- Utilisation introspection (bottleneck reporting for Table 4) --------
   double PuUtilisation(int port, sim::Nanos window) const;
   double FetchUnitUtilisation(int port, sim::Nanos window) const;
@@ -273,8 +293,15 @@ class RnicDevice {
   void Advance(WorkQueue& wq);
   void Issue(WorkQueue& wq, std::uint64_t idx);
   void FinishControlVerb(WorkQueue& wq, std::uint64_t idx, const WqeImage& img);
-  void ExecuteData(WorkQueue& wq, std::uint64_t idx, const WqeImage& img,
+  // Takes ownership of `pl` (image + slot already staged by Issue); every
+  // path releases it back to the pool when the op retires.
+  void ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
                    sim::Nanos t_issue);
+  // Snapshots slot `idx` through the translation cache: a verified cached
+  // decode is a hit (no reload); anything else decodes and refills. Charges
+  // no simulated time itself — callers pay the fetch latency exactly as
+  // before the cache existed.
+  void FetchSlot(WorkQueue& wq, std::uint64_t idx);
   void CompleteWr(QueuePair* qp, CompletionQueue* cq, const WqeImage& img,
                   sim::Nanos t_done, WcStatus status, std::uint32_t byte_len,
                   bool force_cqe = false, sim::Nanos host_extra = 0);
@@ -302,13 +329,27 @@ class RnicDevice {
 
   // Gather/scatter helpers with protection checks. All SGE resolution goes
   // through caller-provided (stack) scratch — no per-op allocation. `wq` is
-  // the queue whose WQE is being executed; its last-hit MR cache absorbs
-  // the per-SGE key lookups.
-  bool GatherLocal(WorkQueue& wq, const WqeImage& img,
+  // the queue whose WQE is being executed and `idx` its absolute slot: the
+  // slot's SgePlan absorbs the CheckLocal re-walk for non-table WQEs, and
+  // the queue's last-hit MR cache absorbs the remaining key lookups.
+  bool GatherLocal(WorkQueue& wq, std::uint64_t idx, const WqeImage& img,
                    std::vector<std::byte>& out, WcStatus* err);
-  bool ScatterList(WorkQueue& wq, const WqeImage& img, const std::byte* data,
-                   std::size_t len, WcStatus* err);
+  bool ScatterList(WorkQueue& wq, std::uint64_t idx, const WqeImage& img,
+                   const std::byte* data, std::size_t len, WcStatus* err);
   void ResolveSges(const WqeImage& img, SgeScratch& out) const;
+  // Tracked NIC-side store into this device's memory: routes the written
+  // extent through the ring watch set so overlapped cached decodes are
+  // refreshed (write-through) and counted as invalidations.
+  void NoteDmaWrite(std::uint64_t addr, std::size_t len) {
+    if (ring_watches_.empty()) return;
+    ring_watches_.ForOverlaps(
+        addr, len, [this](void* owner, std::uint64_t first, std::uint64_t last,
+                          std::uint64_t) {
+          WorkQueue* wq = static_cast<WorkQueue*>(owner);
+          counters_.wqe_cache_invalidations += wq->RefreshSlots(
+              first / kWqeSize, last / kWqeSize);
+        });
+  }
 
   sim::Nanos PuService(Opcode op) const;
   sim::Nanos ExecExtra(Opcode op) const;
@@ -352,6 +393,9 @@ class RnicDevice {
   DeviceCounters counters_;
   PayloadPool payloads_;
   RecyclePool<ResumeBatch> resume_batches_;
+  // Send-queue ring extents watched for self-modifying stores (the
+  // translation cache's invalidation filter).
+  WriteWatchSet ring_watches_;
 };
 
 // Connects two QPs as an RC pair with the given one-way wire latency.

@@ -71,6 +71,8 @@ void WorkQueue::Init(QueuePair* qp, bool is_send, std::byte* slots,
   cq_ = cq;
   pu_index_ = pu_index;
   images_.assign(capacity, WqeImage{});
+  decoded_.assign(capacity, 0);
+  plans_.assign(capacity, SgePlan{});
 }
 
 }  // namespace redn::rnic

@@ -29,6 +29,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 
 #include "rnic/memory.h"
 
@@ -100,6 +102,11 @@ constexpr std::uint64_t CtrlWrId(std::uint64_t ctrl) { return ctrl & kWrIdMask; 
 // A decoded, value-semantics snapshot of one WQE. The NIC operates on
 // snapshots taken at *fetch* time — this is what makes prefetch staleness
 // observable and doorbell ordering necessary.
+//
+// The member order mirrors the wire layout word for word (static_asserts
+// below), so a fetch is ONE 64-byte copy, a post is one 64-byte store, and
+// the translation cache can verify a cached decode against live ring bytes
+// with a single memcmp instead of a field-by-field reload.
 struct WqeImage {
   std::uint64_t ctrl = 0;
   std::uint64_t remote_addr = 0;
@@ -119,6 +126,26 @@ struct WqeImage {
   bool uses_sge_table() const { return flags & kFlagSgeTable; }
 };
 
+static_assert(sizeof(WqeImage) == kWqeSize &&
+                  std::is_trivially_copyable_v<WqeImage>,
+              "WqeImage must be memcpy-compatible with the raw WQE bytes");
+static_assert(offsetof(WqeImage, ctrl) == FieldOffset(WqeField::kCtrl) &&
+                  offsetof(WqeImage, remote_addr) ==
+                      FieldOffset(WqeField::kRemoteAddr) &&
+                  offsetof(WqeImage, rkey) == FieldOffset(WqeField::kRkey) &&
+                  offsetof(WqeImage, flags) == FieldOffset(WqeField::kFlags) &&
+                  offsetof(WqeImage, local_addr) ==
+                      FieldOffset(WqeField::kLocalAddr) &&
+                  offsetof(WqeImage, length) == FieldOffset(WqeField::kLength) &&
+                  offsetof(WqeImage, lkey) == FieldOffset(WqeField::kLkey) &&
+                  offsetof(WqeImage, compare_add) ==
+                      FieldOffset(WqeField::kCompareAdd) &&
+                  offsetof(WqeImage, swap) == FieldOffset(WqeField::kSwap) &&
+                  offsetof(WqeImage, target_id) ==
+                      FieldOffset(WqeField::kTargetId) &&
+                  offsetof(WqeImage, imm) == FieldOffset(WqeField::kImm),
+              "WqeImage member order must match the wire layout");
+
 // Mutable view over 64 raw WQE bytes in host memory. The driver (verbs
 // layer) uses it to post WRs; RDMA verbs modify the same bytes via dma::*.
 class WqeView {
@@ -128,35 +155,19 @@ class WqeView {
   std::uint64_t addr() const { return dma::AddrOf(base_); }
   std::uint64_t FieldAddr(WqeField f) const { return addr() + FieldOffset(f); }
 
-  // Load/Store are inline so a WQE snapshot compiles to straight-line
-  // loads/stores — this runs once per fetched WQE on the hot path.
+  // Load/Store are inline, and — because WqeImage mirrors the wire layout —
+  // each is a single 64-byte block copy the compiler vectorizes. This runs
+  // once per fetched/posted WQE on the hot path.
   WqeImage Load() const {
     WqeImage img;
-    img.ctrl = dma::ReadU64(FieldAddr(WqeField::kCtrl));
-    img.remote_addr = dma::ReadU64(FieldAddr(WqeField::kRemoteAddr));
-    img.rkey = dma::ReadU32(FieldAddr(WqeField::kRkey));
-    img.flags = dma::ReadU32(FieldAddr(WqeField::kFlags));
-    img.local_addr = dma::ReadU64(FieldAddr(WqeField::kLocalAddr));
-    img.length = dma::ReadU32(FieldAddr(WqeField::kLength));
-    img.lkey = dma::ReadU32(FieldAddr(WqeField::kLkey));
-    img.compare_add = dma::ReadU64(FieldAddr(WqeField::kCompareAdd));
-    img.swap = dma::ReadU64(FieldAddr(WqeField::kSwap));
-    img.target_id = dma::ReadU32(FieldAddr(WqeField::kTargetId));
-    img.imm = dma::ReadU32(FieldAddr(WqeField::kImm));
+    dma::Read(&img, addr(), kWqeSize);
     return img;
   }
-  void Store(const WqeImage& img) {
-    dma::WriteU64(FieldAddr(WqeField::kCtrl), img.ctrl);
-    dma::WriteU64(FieldAddr(WqeField::kRemoteAddr), img.remote_addr);
-    dma::WriteU32(FieldAddr(WqeField::kRkey), img.rkey);
-    dma::WriteU32(FieldAddr(WqeField::kFlags), img.flags);
-    dma::WriteU64(FieldAddr(WqeField::kLocalAddr), img.local_addr);
-    dma::WriteU32(FieldAddr(WqeField::kLength), img.length);
-    dma::WriteU32(FieldAddr(WqeField::kLkey), img.lkey);
-    dma::WriteU64(FieldAddr(WqeField::kCompareAdd), img.compare_add);
-    dma::WriteU64(FieldAddr(WqeField::kSwap), img.swap);
-    dma::WriteU32(FieldAddr(WqeField::kTargetId), img.target_id);
-    dma::WriteU32(FieldAddr(WqeField::kImm), img.imm);
+  void Store(const WqeImage& img) { dma::Write(addr(), &img, kWqeSize); }
+  // True when the raw slot bytes equal `img` — the translation-cache verify:
+  // one memcmp decides whether a cached decode is still current.
+  bool Matches(const WqeImage& img) const {
+    return std::memcmp(base_, &img, kWqeSize) == 0;
   }
   void Clear();
 

@@ -71,9 +71,17 @@ class BandwidthResource {
   }
 
   // Pure serialization delay of `bytes` through this pipe, ignoring queueing.
-  // Used for store-and-forward latency terms.
+  // Used for store-and-forward latency terms. Steady-state traffic repeats
+  // one transfer size (64 B verbs, one value size), so a one-entry memo
+  // turns the float multiply + truncation into a compare; the memo is a
+  // pure-function cache and cannot affect determinism.
   Nanos SerializationDelay(std::uint64_t bytes) const {
-    return static_cast<Nanos>(ns_per_byte_ * static_cast<double>(bytes));
+    if (bytes != memo_bytes_) {
+      memo_bytes_ = bytes;
+      memo_delay_ =
+          static_cast<Nanos>(ns_per_byte_ * static_cast<double>(bytes));
+    }
+    return memo_delay_;
   }
 
   double gbps() const { return 8.0 / ns_per_byte_; }
@@ -91,6 +99,10 @@ class BandwidthResource {
   Nanos free_at_ = 0;
   Nanos busy_time_ = 0;
   std::uint64_t bytes_moved_ = 0;
+  // One-entry memo for SerializationDelay (bytes=0 maps to delay 0, so the
+  // zero-init state is already a correct entry).
+  mutable std::uint64_t memo_bytes_ = 0;
+  mutable Nanos memo_delay_ = 0;
 };
 
 }  // namespace redn::sim

@@ -163,15 +163,40 @@ bool Simulator::PeekEarliest(Nanos* t) const {
 void Simulator::Dispatch(Nanos t) {
   now_ = t;
   AdvanceWindows(t);
-  EventNode* n = fine_.PopFront(FineIndex(t));
+  DispatchFine(FineIndex(t));
+}
+
+void Simulator::DispatchFine(std::size_t bucket) {
+  EventNode* n = fine_.PopFront(bucket);
   assert(n != nullptr && n->time == now_);
   --size_;
   ++events_processed_;
+  in_dispatch_ = true;
   n->op(n, /*run=*/true);
   pool_.Release(n);
+  if (!deferred_.empty()) [[unlikely]] DrainDeferred();
+  in_dispatch_ = false;
+}
+
+void Simulator::DrainDeferred() {
+  // Drain the fusion trampoline: each entry was enqueued at a moment when
+  // nothing was pending for the current instant, so running it here — in
+  // FIFO order, before the main loop touches the wheels again — dispatches
+  // it exactly when the calendar queue would have. An entry may fuse more
+  // continuations (index loop: the vector can grow mid-iteration).
+  for (std::size_t i = 0; i < deferred_.size(); ++i) {
+    EventNode* d = deferred_[i];
+    --size_;
+    ++events_processed_;
+    d->op(d, /*run=*/true);
+    pool_.Release(d);
+  }
+  deferred_.clear();
+  fuse_budget_ = kMaxFusedPerDispatch;
 }
 
 bool Simulator::Step() {
+  if (TryDispatchFineEarliest(kNanosMax)) [[likely]] return true;
   Nanos t;
   if (!PeekEarliest(&t)) {
     if (horizon_ > now_) {
@@ -190,8 +215,11 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(Nanos t) {
-  Nanos next;
-  while (PeekEarliest(&next) && next <= t) {
+  for (;;) {
+    if (TryDispatchFineEarliest(t)) [[likely]] continue;
+    if (fine_.size > 0) break;  // earliest fine event lies beyond t
+    Nanos next;
+    if (!PeekEarliest(&next) || next > t) break;
     Dispatch(next);  // reuses the peek: one wheel scan per event
   }
   if (now_ < t) {
@@ -210,6 +238,14 @@ void Simulator::Reset() {
 }
 
 void Simulator::DrainAll() {
+  // Defensive: the trampoline is empty outside Dispatch, but a teardown
+  // mid-callback must still destroy pending fused callables.
+  for (EventNode* d : deferred_) {
+    d->op(d, /*run=*/false);
+    pool_.Release(d);
+  }
+  deferred_.clear();
+  fuse_budget_ = kMaxFusedPerDispatch;
   const auto drain_wheel = [this](Wheel& wheel) {
     for (std::size_t w = 0; w < kWords; ++w) {
       std::uint64_t bits = wheel.bitmap[w];

@@ -32,6 +32,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/event.h"
@@ -54,22 +55,33 @@ class Simulator {
   // clamps to `now()`; the clamped action runs after all events already
   // queued at the current instant (FIFO by scheduling order).
   //
+  // Same-instant continuation fusion: a continuation scheduled for `now()`
+  // from inside a running event is fused onto a bounded trampoline — run by
+  // `Dispatch` right after the current callback returns — instead of
+  // round-tripping the calendar queue, but ONLY when it would provably be
+  // the very next event dispatched: the fine bucket for `now()` must be
+  // empty (every pending same-instant event lives there, because cascades
+  // are eager), and earlier fused continuations drain in FIFO order before
+  // it. Once anything is pending at the current instant, later same-instant
+  // schedules fall back to the queue, so dispatch order — and therefore
+  // every simulated result — is bit-identical to the unfused engine
+  // (tests/sim_determinism_test.cc covers exactly these cases).
+  //
   // `action` is any void() callable. Captures up to 64 bytes are stored
   // inline in the slab node (no heap); larger ones heap-allocate and bump
   // `heap_fallbacks()`.
   template <class F>
   void At(Nanos t, F&& action) {
-    if (t < now_) t = now_;
-    EventNode* n = pool_.Acquire();
-    n->time = t;
-    n->seq = next_seq_++;
-    if (BindEvent(n, std::forward<F>(action))) {
-      ++slab_hits_;
-    } else {
-      ++heap_fallbacks_;
+    if (t <= now_) [[unlikely]] {
+      t = now_;
+      if (in_dispatch_ && fuse_budget_ > 0 &&
+          fine_.buckets[FineIndex(now_)].head == nullptr) {
+        --fuse_budget_;
+        Bind(t, std::forward<F>(action), /*fused=*/true);
+        return;
+      }
     }
-    ++size_;
-    Place(n);
+    Bind(t, std::forward<F>(action), /*fused=*/false);
   }
 
   // Schedules `action` to run `delay` ns from now.
@@ -195,6 +207,26 @@ class Simulator {
            kSlotMask;
   }
 
+  // Binds the callable into a slab node and either queues it or appends it
+  // to the fusion trampoline.
+  template <class F>
+  void Bind(Nanos t, F&& action, bool fused) {
+    EventNode* n = pool_.Acquire();
+    n->time = t;
+    n->seq = next_seq_++;
+    if (BindEvent(n, std::forward<F>(action))) {
+      ++slab_hits_;
+    } else {
+      ++heap_fallbacks_;
+    }
+    ++size_;
+    if (fused) {
+      deferred_.push_back(n);
+    } else {
+      Place(n);
+    }
+  }
+
   // Files `n` into fine wheel / coarse wheel / far heap based on its time
   // relative to the current (aligned) windows.
   void Place(EventNode* n);
@@ -203,8 +235,31 @@ class Simulator {
   // the new fine slot -> fine. Must run on every `now_` advance so FIFO
   // order per instant is preserved (see class comment).
   void AdvanceWindows(Nanos t);
+  static constexpr Nanos kNanosMax = std::numeric_limits<Nanos>::max();
+
   // Runs the earliest event, already peeked at time `t`.
   void Dispatch(Nanos t);
+  // Dispatches the earliest fine-wheel event if one exists at time <= limit;
+  // returns whether it did. The single home of the base|bucket fast path
+  // shared by Step and RunUntil: the earliest event's bucket index doubles
+  // as its timestamp (t = base | bucket), the time is inside the current
+  // windows by construction, and the peek's bucket scan is reused for the
+  // pop — one bitmap walk per event instead of two plus a window check.
+  // Defined here so the per-event Run/Step loop inlines it.
+  bool TryDispatchFineEarliest(Nanos limit) {
+    if (fine_.size == 0) return false;
+    const std::size_t b = fine_.FirstBucket();
+    const Nanos when = fine_base_ | static_cast<Nanos>(b);
+    if (when > limit) return false;
+    now_ = when;
+    DispatchFine(b);
+    return true;
+  }
+  // Pops and runs the head of fine bucket `bucket`; `now_` must already be
+  // set to the bucket's instant and the windows must cover it.
+  void DispatchFine(std::size_t bucket);
+  // Out-of-line tail of Dispatch: runs pending fused continuations.
+  void DrainDeferred();
   bool PeekEarliest(Nanos* t) const;
   // Destroys all pending callables without running them.
   void DrainAll();
@@ -218,6 +273,14 @@ class Simulator {
   std::uint64_t slab_hits_ = 0;
   std::uint64_t heap_fallbacks_ = 0;
   std::size_t size_ = 0;
+
+  // Continuation-fusion trampoline. Bounded per dispatch so a pathological
+  // same-instant self-rescheduler degrades to the queue (where it would
+  // have spun anyway) instead of starving the budget reset.
+  static constexpr int kMaxFusedPerDispatch = 64;
+  bool in_dispatch_ = false;
+  int fuse_budget_ = kMaxFusedPerDispatch;
+  std::vector<EventNode*> deferred_;  // FIFO; drained by Dispatch
 
   Wheel fine_;
   CoarseWheel coarse_;

@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 namespace redn::verbs {
-namespace {
+namespace detail {
 
 rnic::WqeImage ToImage(const SendWr& wr) {
   rnic::WqeImage img;
@@ -28,7 +28,17 @@ rnic::WqeImage ToImage(const SendWr& wr) {
   return img;
 }
 
-}  // namespace
+void ThrowSqOverflow(const QueuePair* qp) {
+  throw std::runtime_error(
+      "send queue overflow on qp " + std::to_string(qp->id) + " (" +
+      qp->device->name() + "): posted " +
+      std::to_string(qp->sq.posted) + " executed " +
+      std::to_string(qp->sq.next_exec) + " capacity " +
+      std::to_string(qp->sq.capacity()) +
+      "; size the QP for the full pre-posted chain");
+}
+
+}  // namespace detail
 
 SendWr MakeNoop(bool signaled) {
   SendWr wr;
@@ -142,31 +152,6 @@ SendWr MakeEnable(const QueuePair* target_qp, std::uint64_t limit,
   wr.threshold = limit;
   wr.signaled = signaled;
   return wr;
-}
-
-std::uint64_t PostSend(QueuePair* qp, const SendWr& wr) {
-  // The unexecuted backlog must fit the ring: overwriting a slot the NIC
-  // has not executed yet silently corrupts the program, so this check stays
-  // on in every build type.
-  if (qp->sq.posted - qp->sq.next_exec >= qp->sq.capacity()) {
-    throw std::runtime_error(
-        "send queue overflow on qp " + std::to_string(qp->id) + " (" +
-        std::to_string(qp->device->name()[0]) + "): posted " +
-        std::to_string(qp->sq.posted) + " executed " +
-        std::to_string(qp->sq.next_exec) + " capacity " +
-        std::to_string(qp->sq.capacity()) +
-        "; size the QP for the full pre-posted chain");
-  }
-  const std::uint64_t idx = qp->sq.posted;
-  qp->sq.Slot(idx).Store(ToImage(wr));
-  ++qp->sq.posted;
-  return idx;
-}
-
-std::uint64_t PostSendNow(QueuePair* qp, const SendWr& wr) {
-  const std::uint64_t idx = PostSend(qp, wr);
-  qp->device->RingDoorbell(qp);
-  return idx;
 }
 
 std::uint64_t PostRecv(QueuePair* qp, const RecvWr& wr) {

@@ -88,12 +88,37 @@ SendWr MakeEnable(const QueuePair* target_qp, std::uint64_t limit,
 
 // --- Posting ---------------------------------------------------------------
 
+namespace detail {
+// Encodes a builder-form WR into the 64-byte WQE image.
+rnic::WqeImage ToImage(const SendWr& wr);
+// Cold path of PostSend, out of line so the hot path inlines cleanly.
+[[noreturn]] void ThrowSqOverflow(const QueuePair* qp);
+}  // namespace detail
+
 // Writes the WQE into the next send-queue slot. Returns the absolute WQE
-// index. Does NOT ring the doorbell.
-std::uint64_t PostSend(QueuePair* qp, const SendWr& wr);
+// index. Does NOT ring the doorbell. Inline: the driver loop runs once per
+// verb, and posting through WorkQueue::PostImage both collapses the store
+// to one 64-byte copy and hands the NIC's translation cache the decoded
+// image (write-through, BlueFlame-style).
+inline std::uint64_t PostSend(QueuePair* qp, const SendWr& wr) {
+  // The unexecuted backlog must fit the ring: overwriting a slot the NIC
+  // has not executed yet silently corrupts the program, so this check stays
+  // on in every build type.
+  if (qp->sq.posted - qp->sq.next_exec >= qp->sq.capacity()) [[unlikely]] {
+    detail::ThrowSqOverflow(qp);
+  }
+  const std::uint64_t idx = qp->sq.posted;
+  qp->sq.PostImage(idx, detail::ToImage(wr));
+  ++qp->sq.posted;
+  return idx;
+}
 
 // PostSend + doorbell, the common non-managed path.
-std::uint64_t PostSendNow(QueuePair* qp, const SendWr& wr);
+inline std::uint64_t PostSendNow(QueuePair* qp, const SendWr& wr) {
+  const std::uint64_t idx = PostSend(qp, wr);
+  qp->device->RingDoorbell(qp);
+  return idx;
+}
 
 std::uint64_t PostRecv(QueuePair* qp, const RecvWr& wr);
 

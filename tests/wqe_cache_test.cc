@@ -1,0 +1,279 @@
+// Decoded-WQE translation cache (see docs/PERF.md): self-modification
+// invalidation and write-through refresh. The cache must never change WHAT
+// executes — a managed ring slot rewritten between laps executes its
+// modified form no matter which write path rewrote it (RDMA WRITE delivery,
+// atomic RMW, RECV scatter, or an untracked host-side raw DMA patch) — and
+// unmodified recycled slots must be served as verified cache hits. The
+// PD-epoch tag must also flush cached SGE plans on re-registration, so a
+// shrunk region faults instead of answering from a stale extent.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "testbed.h"
+
+namespace redn {
+namespace {
+
+using test::Buffer;
+using test::TestBed;
+using rnic::Cqe;
+using rnic::Opcode;
+using rnic::WqeField;
+using verbs::AwaitCqe;
+using verbs::AwaitCqes;
+using verbs::MakeNoop;
+using verbs::MakeWait;
+using verbs::MakeWrite;
+using verbs::PostSend;
+using verbs::PostSendNow;
+
+class WqeCacheTest : public ::testing::Test {
+ protected:
+  TestBed bed;
+
+  std::uint64_t Hits() const { return bed.client.counters().wqe_cache_hits; }
+  std::uint64_t Misses() const {
+    return bed.client.counters().wqe_cache_misses;
+  }
+  std::uint64_t Invalidations() const {
+    return bed.client.counters().wqe_cache_invalidations;
+  }
+};
+
+TEST_F(WqeCacheTest, UnmodifiedRecycledSlotsAreVerifiedHits) {
+  // A managed ring recycled for a second lap with no self-modification:
+  // every fetch must be served by the cache (the driver write-through plus
+  // the 64-byte verify), with zero decodes and zero invalidations.
+  rnic::QueuePair* qp = bed.Loopback(bed.client, /*managed=*/true,
+                                     /*depth=*/4);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  PostSend(qp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey(),
+                         /*signaled=*/true));
+  for (int i = 0; i < 3; ++i) PostSend(qp, MakeNoop(/*signaled=*/false));
+
+  bed.client.HostEnable(qp, 8);  // two full laps of the 4-deep ring
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, qp->send_cq, 2, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  bed.sim.Run();  // drain the trailing unsignaled NOOP fetches
+  EXPECT_EQ(bed.client.counters().managed_fetches, 8u)
+      << "the cache must not elide the simulated fetches themselves";
+  EXPECT_EQ(Hits(), 8u);
+  EXPECT_EQ(Misses(), 0u);
+  EXPECT_EQ(Invalidations(), 0u);
+  EXPECT_EQ(bed.client.RingDirtyGen(qp), 0u);
+}
+
+TEST_F(WqeCacheTest, RdmaWriteIntoRingSlotExecutesModifiedFormNextLap) {
+  // Lap-N verb rewrites slot 0's remote address via an RDMA WRITE landing
+  // in the ring MR (the AcceptWrite/dma::Write delivery path): lap N+1 must
+  // execute the modified form, and the tracked write must show up as an
+  // invalidation that still leaves the next fetch a (refreshed) hit.
+  rnic::QueuePair* qp = bed.Loopback(bed.client, /*managed=*/true,
+                                     /*depth=*/4);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  Buffer patch = bed.Alloc(bed.client, 8);
+  src.SetU64(0, 0xAB);
+  patch.SetU64(0, dst.addr() + 8);  // the new kRemoteAddr payload
+
+  PostSend(qp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey(),
+                         /*signaled=*/true));
+  // Slot 1 rewrites slot 0's kRemoteAddr field through the ring's rkey.
+  PostSend(qp, MakeWrite(patch.addr(), 8, patch.lkey(),
+                         qp->sq.SlotAddr(0, WqeField::kRemoteAddr),
+                         qp->sq_mr.rkey, /*signaled=*/true));
+  PostSend(qp, MakeWait(qp->send_cq, 2));  // barrier: both writes landed
+  PostSend(qp, MakeNoop(/*signaled=*/false));
+
+  bed.client.HostEnable(qp, 5);  // index 4 wraps onto slot 0: second lap
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqes(bed.sim, bed.client, qp->send_cq, 3, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(dst.U64(0), 0xABu) << "first lap targeted dst+0";
+  EXPECT_EQ(dst.U64(1), 0xABu)
+      << "second lap executed the stale decode, not the rewritten WQE";
+  EXPECT_GE(Invalidations(), 1u);
+  EXPECT_EQ(Misses(), 0u)
+      << "the tracked write should refresh the decode, not force a reload";
+  EXPECT_GE(bed.client.RingDirtyGen(qp), 1u)
+      << "the ring's per-MR dirty generation must count the tracked write";
+}
+
+TEST_F(WqeCacheTest, AtomicCtrlRewriteFlipsNoopIntoWrite) {
+  // The paper's conditional: a CAS on the ctrl word compares {NOOP, id} and
+  // swaps in {WRITE, id}, enabling a pre-staged WRITE. The atomic lands in
+  // the ring MR through the RMW path, so the next lap's fetch must execute
+  // the WRITE — via the write-through refresh, still as a cache hit.
+  rnic::QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true,
+                                        /*depth=*/2);
+  rnic::QueuePair* ctrl = bed.Loopback(bed.client);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  src.SetU64(0, 0x77);
+
+  // Slot 0: a WRITE's fields carried under a NOOP opcode (disabled).
+  verbs::SendWr staged = MakeWrite(src.addr(), 8, src.lkey(), dst.addr(),
+                                   dst.rkey(), /*signaled=*/true);
+  staged.opcode = Opcode::kNoop;
+  staged.wr_id = 7;
+  PostSend(chain, staged);
+  PostSend(chain, MakeNoop(/*signaled=*/false));
+
+  bed.client.HostEnable(chain, 2);  // lap 1: the NOOP executes, dst untouched
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, chain->send_cq, &cqe));
+  EXPECT_EQ(cqe.opcode, Opcode::kNoop);
+  EXPECT_EQ(dst.U64(0), 0u);
+
+  PostSendNow(ctrl, verbs::MakeCas(chain->sq.SlotAddr(0, WqeField::kCtrl),
+                                   chain->sq_mr.rkey,
+                                   rnic::PackCtrl(Opcode::kNoop, 7),
+                                   rnic::PackCtrl(Opcode::kWrite, 7)));
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, ctrl->send_cq, &cqe));
+  ASSERT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  const std::uint64_t invalidations_after_cas = Invalidations();
+  EXPECT_GE(invalidations_after_cas, 1u);
+
+  bed.client.HostEnable(chain, 4);  // lap 2: slot 0 now decodes as a WRITE
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, chain->send_cq, &cqe));
+  EXPECT_EQ(cqe.opcode, Opcode::kWrite);
+  EXPECT_EQ(cqe.wr_id, 7u);
+  EXPECT_EQ(dst.U64(0), 0x77u) << "the enabled WRITE did not execute";
+  EXPECT_EQ(Misses(), 0u)
+      << "the refreshed decode should hit, not re-load, on lap 2";
+}
+
+TEST_F(WqeCacheTest, RecvScatterIntoRingSlotIsTrackedToo) {
+  // RDMA-delivered rewrite via the scatter path: a RECV whose SGE points at
+  // ring slot 0 lands a whole new WQE there (ScatterList -> dma::Write).
+  // The next lap must execute the delivered program.
+  rnic::QueuePair* chain = bed.Loopback(bed.client, /*managed=*/true,
+                                        /*depth=*/2);
+  rnic::QueuePair* rpc = bed.Loopback(bed.client);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  Buffer staged = bed.Alloc(bed.client, 64);
+  src.SetU64(0, 0x99);
+
+  PostSend(chain, MakeNoop(/*signaled=*/true));
+  PostSend(chain, MakeNoop(/*signaled=*/false));
+  bed.client.HostEnable(chain, 2);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, chain->send_cq, &cqe));
+
+  // Build the replacement WQE image in a staging buffer and SEND it into a
+  // RECV that scatters onto slot 0 of the chain ring.
+  rnic::WqeImage img;
+  img.ctrl = rnic::PackCtrl(Opcode::kWrite, 9);
+  img.flags = rnic::kFlagSignaled;
+  img.local_addr = src.addr();
+  img.length = 8;
+  img.lkey = src.lkey();
+  img.remote_addr = dst.addr();
+  img.rkey = dst.rkey();
+  rnic::WqeView(staged.bytes()).Store(img);
+
+  verbs::RecvWr recv;
+  recv.local_addr = chain->sq.SlotAddr(0, WqeField::kCtrl);
+  recv.length = rnic::kWqeSize;
+  recv.lkey = chain->sq_mr.lkey;
+  verbs::PostRecv(rpc, recv);
+  PostSendNow(rpc, verbs::MakeSend(staged.addr(), rnic::kWqeSize,
+                                   staged.lkey()));
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, rpc->recv_cq, &cqe));
+  ASSERT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_GE(Invalidations(), 1u);
+
+  bed.client.HostEnable(chain, 4);  // lap 2 executes the delivered WRITE
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, chain->send_cq, &cqe));
+  EXPECT_EQ(cqe.opcode, Opcode::kWrite);
+  EXPECT_EQ(cqe.wr_id, 9u);
+  EXPECT_EQ(dst.U64(0), 0x99u);
+}
+
+TEST_F(WqeCacheTest, UntrackedHostDmaPatchIsCaughtByTheVerify) {
+  // The §4 "expose WQ buffer" trick: host code patches a posted WQE with a
+  // raw DMA write, bypassing every tracked write path. The 64-byte verify
+  // must catch the divergence and re-decode — counted as an invalidation.
+  rnic::QueuePair* qp = bed.Loopback(bed.client, /*managed=*/true,
+                                     /*depth=*/2);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  PostSend(qp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey(),
+                         /*signaled=*/true));
+  PostSend(qp, MakeNoop(/*signaled=*/false));
+  bed.client.HostEnable(qp, 2);
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, qp->send_cq, &cqe));
+  EXPECT_EQ(cqe.byte_len, 8u);
+
+  rnic::dma::WriteU32(qp->sq.SlotAddr(0, WqeField::kLength), 16);
+  const std::uint64_t misses_before = Misses();
+  bed.client.HostEnable(qp, 4);  // lap 2 re-executes the patched slot 0
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, qp->send_cq, &cqe));
+  EXPECT_EQ(cqe.byte_len, 16u)
+      << "lap 2 executed the cached decode, not the host-patched WQE";
+  EXPECT_GE(Invalidations(), 1u);
+  EXPECT_EQ(Misses(), misses_before + 1)
+      << "the verify failure must force exactly one re-decode";
+}
+
+TEST_F(WqeCacheTest, PostIntoEnableAheadSnapshotStaysStaleOnPlainQueue) {
+  // A non-managed queue enabled past its posted count snapshots unposted
+  // slots (enable-ahead). Doorbell ordering says that committed snapshot
+  // executes as-is: a PostSend landing in the already-snapshotted slot
+  // updates ring bytes only, so the driver write-through must NOT refresh
+  // the stale snapshot — same staleness a raw host patch would get.
+  rnic::QueuePair* qp = bed.Loopback(bed.client);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  src.SetU64(0, 0x5A);
+
+  PostSend(qp, MakeNoop(/*signaled=*/true));  // slot 0
+  bed.client.HostEnable(qp, 2);  // snapshots slot 1 before it is posted
+  // After the enable's snapshot (doorbell MMIO delay) but before slot 1
+  // issues: post a signaled WRITE into the pre-snapshotted slot.
+  bed.sim.After(rnic::Calibration{}.doorbell_mmio + 50, [&] {
+    PostSend(qp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(), dst.rkey(),
+                           /*signaled=*/true));
+    verbs::RingDoorbell(qp);  // no-op: posted <= exec_limit
+  });
+  bed.sim.Run();
+
+  Cqe cqe;
+  ASSERT_EQ(bed.client.PollCq(qp->send_cq, 1, &cqe), 1);
+  EXPECT_EQ(cqe.opcode, Opcode::kNoop);
+  EXPECT_EQ(bed.client.PollCq(qp->send_cq, 1, &cqe), 0)
+      << "the enable-ahead slot must execute its stale (empty) snapshot";
+  EXPECT_EQ(dst.U64(0), 0u)
+      << "post-time write-through leaked into a committed snapshot";
+}
+
+TEST_F(WqeCacheTest, ReregisterFlushesCachedSgePlans) {
+  // ibv_rereg_mr keeps the lkey while shrinking the extent. The slot's
+  // cached gather plan validated the old bounds; the PD-epoch bump must
+  // flush it so the re-posted WQE faults instead of gathering out of the
+  // shrunk region.
+  rnic::QueuePair* qp = bed.Loopback(bed.client);
+  Buffer src = bed.Alloc(bed.client, 64);
+  Buffer dst = bed.Alloc(bed.client, 64);
+  PostSendNow(qp, MakeWrite(src.addr(), 32, src.lkey(), dst.addr(),
+                            dst.rkey(), /*signaled=*/true));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, qp->send_cq, &cqe));
+  ASSERT_EQ(cqe.status, rnic::WcStatus::kSuccess);  // plan now cached
+
+  ASSERT_TRUE(bed.client.pd().Reregister(src.lkey(), src.bytes(), 8,
+                                         rnic::kAccessAll));
+  PostSendNow(qp, MakeWrite(src.addr(), 32, src.lkey(), dst.addr(),
+                            dst.rkey(), /*signaled=*/true));
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, qp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kLocalAccessError)
+      << "a stale cached plan validated a gather past the shrunk extent";
+}
+
+}  // namespace
+}  // namespace redn
