@@ -1,0 +1,103 @@
+// Lossy-transport quickstart: one connection, a packet-eating wire, and
+// go-back-N recovery.
+//
+//   $ ./examples/lossy_transport
+//
+// Walks through:
+//   1. building a sim::Transport over a fabric and connecting QPs with
+//      ConnectOverTransport (MTU packets + PSN sequencing + retransmission)
+//   2. a clean 64 KiB write — segmentation and ACK coalescing only
+//   3. the same write with the loss injector eating packets — the
+//      completion arrives late but the data arrives exactly once, and the
+//      transport counters show what the recovery cost
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "rnic/device.h"
+#include "sim/fabric.h"
+#include "sim/simulator.h"
+#include "sim/transport.h"
+#include "verbs/verbs.h"
+
+using namespace redn;
+
+namespace {
+
+struct Run {
+  double complete_us = 0;
+  bool data_ok = false;
+  sim::TransportCounters counters;
+};
+
+Run WriteOnce(double loss) {
+  sim::Simulator sim;
+  sim::Fabric fabric;
+  sim::TransportConfig tcfg;
+  tcfg.mtu = 4096;
+  tcfg.loss = loss;  // every link drops packets with this probability
+  tcfg.rto = 50'000;
+  sim::Transport transport(sim, fabric, tcfg);
+
+  rnic::RnicDevice server(sim, rnic::NicConfig::ConnectX5(), {}, "server");
+  rnic::RnicDevice client(sim, rnic::NicConfig::ConnectX5(), {}, "client");
+  const sim::LinkSpec link{25.0, 125};
+  server.AttachPort(0, fabric, link);
+  client.AttachPort(0, fabric, link);
+
+  auto make_qp = [](rnic::RnicDevice& dev) {
+    rnic::QpConfig cfg;
+    cfg.send_cq = dev.CreateCq();
+    cfg.recv_cq = dev.CreateCq();
+    return dev.CreateQp(cfg);
+  };
+  rnic::QueuePair* cq = make_qp(client);
+  rnic::QueuePair* sq = make_qp(server);
+  rnic::ConnectOverTransport(cq, sq, transport);
+
+  constexpr std::size_t kLen = 64 << 10;  // 16 packets at mtu 4096
+  auto src = std::make_unique<std::byte[]>(kLen);
+  auto dst = std::make_unique<std::byte[]>(kLen);
+  std::memset(src.get(), 0x42, kLen);
+  const auto ms = client.pd().Register(src.get(), kLen, rnic::kAccessAll);
+  const auto md = server.pd().Register(dst.get(), kLen, rnic::kAccessAll);
+
+  verbs::PostSendNow(cq, verbs::MakeWrite(ms.addr, kLen, ms.lkey, md.addr,
+                                          md.rkey));
+  verbs::Cqe cqe;
+  verbs::AwaitCqe(sim, client, cq->send_cq, &cqe);
+
+  Run r;
+  r.complete_us = sim::ToMicros(cqe.completed_at);
+  r.data_ok = cqe.status == rnic::WcStatus::kSuccess &&
+              std::memcmp(src.get(), dst.get(), kLen) == 0;
+  r.counters = transport.counters();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("64 KiB RDMA WRITE over the packetized transport "
+              "(mtu 4096 -> 16 packets, 25 Gbps links)\n\n");
+  std::printf("  %8s %12s %8s %10s %10s %10s\n", "loss", "complete us",
+              "data ok", "packets", "rexmits", "timeouts");
+  bool ok = true;
+  double clean_us = 0;
+  for (double loss : {0.0, 0.05, 0.20}) {
+    const Run r = WriteOnce(loss);
+    if (loss == 0.0) clean_us = r.complete_us;
+    ok = ok && r.data_ok;
+    std::printf("  %7.0f%% %12.2f %8s %10llu %10llu %10llu\n", 100.0 * loss,
+                r.complete_us, r.data_ok ? "yes" : "NO",
+                static_cast<unsigned long long>(r.counters.data_packets),
+                static_cast<unsigned long long>(r.counters.retransmits),
+                static_cast<unsigned long long>(r.counters.timeouts));
+    if (loss > 0.0) {
+      ok = ok && r.complete_us > clean_us && r.counters.PacketsLost() > 0;
+    }
+  }
+  std::printf("\nEvery run lands the same bytes exactly once; loss only "
+              "costs time (go-back-N retransmission + RTO tails).\n");
+  return ok ? 0 : 1;
+}

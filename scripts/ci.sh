@@ -37,6 +37,8 @@ MIN_CHAIN_EPS="${MIN_CHAIN_EPS:-10000000}"   # dispatch_chain events/sec floor
 MIN_BURST_EPS="${MIN_BURST_EPS:-1500000}"    # dispatch_burst events/sec floor
 MIN_FANOUT_EPS="${MIN_FANOUT_EPS:-2000000}"  # bench_scale_fanout events/sec floor
 MIN_NETFABRIC_EPS="${MIN_NETFABRIC_EPS:-200000}"  # bench_scale_netfabric floor
+MIN_LOSSY_EPS="${MIN_LOSSY_EPS:-150000}"          # bench_scale_lossy events/sec floor
+MIN_LOSSY_GOODPUT="${MIN_LOSSY_GOODPUT:-10}"      # Gb/s at 1% packet loss
 
 build_and_test() {
   local type="$1" dir="$2"
@@ -140,6 +142,20 @@ echo "${bench_out}"
 check_floor scale_netfabric events_per_sec "${MIN_NETFABRIC_EPS}" "scale_netfabric events/sec"
 check_floor scale_netfabric server_tx_util 0.5 "scale_netfabric server-link contention"
 check_floor scale_netfabric deterministic 1 "scale_netfabric seed-stable rerun"
+
+echo "=== bench_scale_lossy perf floors ==="
+# Packetized go-back-N transport under packet loss. The bench self-checks
+# (exit code) that every get is answered at every loss rate, that goodput
+# degrades monotonically with loss, and that a same-seed rerun reproduces
+# every simulated field bit for bit. CI adds a goodput floor at 1% loss —
+# recovery must not collapse throughput — plus the usual wall-clock floor.
+# (The transport unit/device tests run in every ctest stage above,
+# including the ASan+UBSan build.)
+bench_out="$(./build-release/bench_scale_lossy --quick)"
+echo "${bench_out}"
+check_floor scale_lossy events_per_sec "${MIN_LOSSY_EPS}" "scale_lossy events/sec"
+check_floor scale_lossy goodput_gbps "${MIN_LOSSY_GOODPUT}" "scale_lossy goodput @1% loss"
+check_floor scale_lossy deterministic 1 "scale_lossy seed-stable rerun"
 
 # Determinism guard: these benches print only simulated-time results, so
 # their stdout must match the committed goldens bit for bit. A diff here

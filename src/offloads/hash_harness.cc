@@ -32,7 +32,9 @@ HashGetHarness::HashGetHarness(rnic::RnicDevice& client_dev,
     c.send_cq = cdev_.CreateCq();
     c.recv_cq = cli_recv_cq_ ? cli_recv_cq_ : (cli_recv_cq_ = cdev_.CreateCq());
     cli = cdev_.CreateQp(c);
-    if (cfg_.fabric != nullptr) {
+    if (cfg_.transport != nullptr) {
+      rnic::ConnectOverTransport(cli, srv, *cfg_.transport);
+    } else if (cfg_.fabric != nullptr) {
       rnic::ConnectOverFabric(cli, srv);
     } else {
       rnic::Connect(cli, srv, one_way);

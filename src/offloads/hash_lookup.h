@@ -28,6 +28,10 @@
 #include "kv/table.h"
 #include "redn/program.h"
 
+namespace redn::sim {
+class Transport;
+}  // namespace redn::sim
+
 namespace redn::offloads {
 
 using core::Program;
@@ -50,6 +54,11 @@ class HashGetOffload {
     // (both devices' ports must already be attached) instead of a private
     // constant-latency wire — the N-clients-one-server scale-out topology.
     sim::Fabric* fabric = nullptr;
+    // When additionally set (requires `fabric`), the QPs connect through
+    // the packetized go-back-N transport: payloads segment into MTU
+    // packets, links drop/corrupt them per the transport's config, and
+    // retransmission recovers — the lossy-wire scenario.
+    sim::Transport* transport = nullptr;
   };
 
   // `client_qp` (and `client_qp2` iff parallel) are server-side QPs already

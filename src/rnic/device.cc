@@ -5,7 +5,16 @@
 #include <memory>
 #include <utility>
 
+#include "sim/transport.h"
+
 namespace redn::rnic {
+
+namespace {
+// Wire payload of a READ request riding the packetized transport: the RETH
+// (virtual address, rkey, length) beyond the per-packet header the
+// transport already charges.
+constexpr std::uint64_t kReadRequestBytes = 16;
+}  // namespace
 
 RnicDevice::RnicDevice(sim::Simulator& sim, NicConfig cfg, Calibration cal,
                        std::string name)
@@ -488,6 +497,12 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
       const std::uint64_t len = pl->bytes.size();
       const sim::Nanos pcie_done = pcie_.Reserve(t_issue, len);
       const sim::Nanos mem_done = membw_.Reserve(t_issue, len);
+      if (via_fabric && qp->transport != nullptr) {
+        const sim::Nanos ready = std::max(
+            {t_issue + ExecCost(op) + HostDataDelay(len), pcie_done, mem_done});
+        SendOverTransport(wq, qp, peer, pl, op, ready);
+        return;
+      }
       sim::Nanos t_arrive;
       if (via_fabric) {
         // Egress waits for the host-side DMA, then the payload queues
@@ -547,6 +562,10 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
       if (peer == nullptr || !peer->alive) {
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
         payloads_.Release(pl);
+        return;
+      }
+      if (via_fabric && qp->transport != nullptr) {
+        ReadOverTransport(wq, qp, peer, pl, t_issue, ow);
         return;
       }
       const sim::Nanos t_req = t_issue + ow;
@@ -751,6 +770,133 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
       payloads_.Release(pl);
       return;
   }
+}
+
+void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
+                                   QueuePair* peer, Payload* pl, Opcode op,
+                                   sim::Nanos ready) {
+  pl->st = WcStatus::kSuccess;
+  pl->flushed = false;
+  qp->transport->SendMessage(
+      qp->flow, ready, pl->bytes.size(),
+      /*on_deliver=*/
+      [this, &wq, qp, peer, pl, op](sim::Nanos) {
+        if (wq.error) {  // QP flushed after an earlier failure: no CQE
+          pl->flushed = true;
+          return;
+        }
+        const std::uint64_t len = pl->bytes.size();
+        WcStatus st = WcStatus::kSuccess;
+        if (!peer->alive) {
+          st = WcStatus::kRemoteAccessError;
+        } else if (op == Opcode::kWrite || op == Opcode::kWriteImm) {
+          st = peer->device->AcceptWrite(peer, pl->img.remote_addr,
+                                         pl->img.rkey, pl->bytes.data(), len);
+          if (st == WcStatus::kSuccess && op == Opcode::kWriteImm) {
+            st = peer->device->AcceptSend(peer, nullptr, 0, pl->img.imm,
+                                          /*has_imm=*/true, len);
+          }
+        } else {
+          st = peer->device->AcceptSend(peer, pl->bytes.data(), len,
+                                        pl->img.imm,
+                                        /*has_imm=*/op == Opcode::kSendImm,
+                                        len);
+        }
+        if (!qp->alive) {
+          pl->flushed = true;
+          return;
+        }
+        if (st != WcStatus::kSuccess && st != WcStatus::kRnrError) {
+          wq.error = true;
+          ++counters_.error_completions;
+        }
+        pl->st = st;
+      },
+      /*on_acked=*/
+      [this, qp, pl](sim::Nanos) {
+        if (pl->flushed || !qp->alive) {
+          payloads_.Release(pl);
+          return;
+        }
+        CompleteWr(qp, qp->send_cq, pl->img,
+                   sim_.now() + cal_.remote_ack_extra, pl->st,
+                   static_cast<std::uint32_t>(pl->bytes.size()));
+        payloads_.Release(pl);
+      });
+}
+
+void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
+                                   QueuePair* peer, Payload* pl,
+                                   sim::Nanos t_issue, sim::Nanos ow) {
+  // Protection and dead-peer NAKs return as constant-latency control
+  // messages (`ow`): they are tiny, generated unconditionally by the
+  // responder, and the requester must never hang on them — so they bypass
+  // the loss injector, while the request and the data-bearing response ride
+  // the lossy packetized flows.
+  qp->transport->SendMessage(
+      qp->flow, t_issue, kReadRequestBytes,
+      /*on_deliver=*/
+      [this, &wq, qp, peer, pl, ow](sim::Nanos) {
+        if (!qp->alive) {  // requester died: flush silently
+          payloads_.Release(pl);
+          return;
+        }
+        if (!peer->alive) {
+          // Target died before the (possibly retransmitted) request landed:
+          // NAK instead of silently dropping — the requester must not hang
+          // even when the loss injector ate the original transmission.
+          FailWr(wq, pl->img, sim_.now() + ow, WcStatus::kRemoteAccessError);
+          payloads_.Release(pl);
+          return;
+        }
+        RnicDevice* rdev = peer->device;
+        const WqeImage& img = pl->img;
+        std::uint64_t len = img.length;
+        if (img.uses_sge_table()) {
+          SgeScratch sges;
+          ResolveSges(img, sges);
+          len = 0;
+          for (const Sge& sge : sges) len += sge.length;
+        }
+        const MemCheck mc =
+            rdev->pd_.CheckRemote(img.remote_addr, len, img.rkey, kRemoteRead,
+                                  &peer->remote_mr_cache);
+        if (mc != MemCheck::kOk) {
+          FailWr(wq, img, sim_.now() + ow, WcStatus::kRemoteAccessError);
+          payloads_.Release(pl);
+          return;
+        }
+        // Data captured at the remote memory now (request delivery).
+        if (len > 0) dma::ReadAppend(pl->bytes, img.remote_addr, len);
+        const sim::Nanos now = sim_.now();
+        const sim::Nanos pcie_done = rdev->pcie_.Reserve(now, len);
+        const sim::Nanos mem_done = rdev->membw_.Reserve(now, len);
+        const sim::Nanos ready = std::max(
+            {now + ExecCost(Opcode::kRead) + rdev->HostDataDelay(len),
+             pcie_done, mem_done});
+        // The response payload rides the responder's flow back; READs
+        // complete at in-order data delivery (no extra ack leg).
+        peer->transport->SendMessage(
+            peer->flow, ready, len,
+            /*on_deliver=*/[this, &wq, qp, pl](sim::Nanos) {
+              if (!qp->alive) {
+                payloads_.Release(pl);
+                return;
+              }
+              WcStatus st = WcStatus::kSuccess;
+              if (!ScatterList(wq, pl->slot, pl->img, pl->bytes.data(),
+                               pl->bytes.size(), &st)) {
+                FailWr(wq, pl->img, sim_.now(), st);
+                payloads_.Release(pl);
+                return;
+              }
+              CompleteWr(qp, qp->send_cq, pl->img,
+                         sim_.now() + cal_.remote_ack_extra,
+                         WcStatus::kSuccess,
+                         static_cast<std::uint32_t>(pl->bytes.size()));
+              payloads_.Release(pl);
+            });
+      });
 }
 
 WcStatus RnicDevice::AcceptWrite(QueuePair* dst_qp, std::uint64_t addr,
@@ -1014,12 +1160,15 @@ void Connect(QueuePair* a, QueuePair* b, sim::Nanos one_way) {
   b->net_one_way = one_way;
   a->via_fabric = false;
   b->via_fabric = false;
+  a->transport = nullptr;
+  b->transport = nullptr;
 }
 
 void ConnectSelf(QueuePair* qp) {
   qp->peer = qp;
   qp->net_one_way = 0;
   qp->via_fabric = false;
+  qp->transport = nullptr;
 }
 
 void ConnectOverFabric(QueuePair* a, QueuePair* b) {
@@ -1034,9 +1183,23 @@ void ConnectOverFabric(QueuePair* a, QueuePair* b) {
   b->peer = a;
   a->via_fabric = true;
   b->via_fabric = true;
+  a->transport = nullptr;
+  b->transport = nullptr;
   // Unused on the fabric path; kept zero so nothing falls back silently.
   a->net_one_way = 0;
   b->net_one_way = 0;
+}
+
+void ConnectOverTransport(QueuePair* a, QueuePair* b, sim::Transport& t) {
+  ConnectOverFabric(a, b);
+  assert(&t.fabric() == a->device->fabric(a->port) &&
+         "transport must be built over the QPs' fabric");
+  a->transport = &t;
+  b->transport = &t;
+  a->flow = t.OpenFlow(a->device->fabric_endpoint(a->port),
+                       b->device->fabric_endpoint(b->port));
+  b->flow = t.OpenFlow(b->device->fabric_endpoint(b->port),
+                       a->device->fabric_endpoint(a->port));
 }
 
 }  // namespace redn::rnic

@@ -35,6 +35,10 @@
 #include "sim/simulator.h"
 #include "sim/time.h"
 
+namespace redn::sim {
+class Transport;
+}  // namespace redn::sim
+
 namespace redn::rnic {
 
 class RnicDevice;
@@ -53,6 +57,12 @@ struct QueuePair {
   // ConnectOverFabric): latency and serialization come from the contended
   // links instead of the constant net_one_way above.
   bool via_fabric = false;
+  // Non-null when the connection additionally rides the packetized
+  // go-back-N transport (ConnectOverTransport): WRITE/SEND/READ payloads
+  // segment into MTU packets subject to per-link loss, and requester
+  // completions wait for the transport-level cumulative ACK.
+  sim::Transport* transport = nullptr;
+  int flow = -1;  // outbound transport flow (this QP -> peer)
   int port = 0;
   bool alive = true;             // false once the owning process died
   int owner_pid = 0;             // resource-ownership for failure experiments
@@ -140,6 +150,11 @@ struct Payload {
   std::uint64_t slot = 0;     // absolute WQE index (SgePlan lookup at scatter)
   std::uint64_t scratch = 0;  // atomics: old value returned to the requester
   bool rmw_done = false;      // atomics: the RMW actually executed remotely
+  // Transport path only: the Accept* status carried from message delivery
+  // to the ACK-time completion, and whether that completion was flushed
+  // (QP/WQ died in between — release the payload, deliver no CQE).
+  WcStatus st = WcStatus::kSuccess;
+  bool flushed = false;
   Payload* next_free = nullptr;
 
   void Recycle() { bytes.clear(); }  // keeps capacity for the next op
@@ -297,6 +312,16 @@ class RnicDevice {
   // path releases it back to the pool when the op retires.
   void ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
                    sim::Nanos t_issue);
+  // Packetized-transport variants of the data paths (QP connected with
+  // ConnectOverTransport). WRITE/SEND: the gathered payload goes out as one
+  // transport message from `ready`; the responder Accept runs at in-order
+  // delivery and the requester CQE waits for the go-back-N cumulative ACK.
+  // READ: a header-only request message; the response payload rides back on
+  // the responder's flow and completes the requester at delivery.
+  void SendOverTransport(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
+                         Payload* pl, Opcode op, sim::Nanos ready);
+  void ReadOverTransport(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
+                         Payload* pl, sim::Nanos t_issue, sim::Nanos ow);
   // Snapshots slot `idx` through the translation cache: a verified cached
   // decode is a hit (no reload); anything else decodes and refills. Charges
   // no simulated time itself — callers pay the fetch latency exactly as
@@ -412,5 +437,13 @@ void ConnectSelf(QueuePair* qp);
 // latency and serialization then come from the contended links instead of a
 // per-QP constant, so N clients genuinely share the server's port.
 void ConnectOverFabric(QueuePair* a, QueuePair* b);
+
+// ConnectOverFabric plus the packetized go-back-N transport: opens one
+// transport flow per direction, so WRITE/SEND/READ payloads between these
+// QPs segment into MTU packets, experience the transport's configured
+// loss/corruption, and recover via retransmission. `t` must be built over
+// the same fabric the QPs' ports are attached to. NOOPs and atomics keep
+// the constant-latency control path (see docs/NET.md).
+void ConnectOverTransport(QueuePair* a, QueuePair* b, sim::Transport& t);
 
 }  // namespace redn::rnic

@@ -78,6 +78,18 @@ class Fabric {
     return eps_[ep].tx.SerializationDelay(bytes);
   }
 
+  // --- packet-level access (sim::Transport) ---------------------------------
+  // One side of the path at a time, so the packetized transport can model
+  // partial traversals: a packet eaten at the sender's egress reserves TX
+  // only and never occupies the receiver's pipe, while one dropped or
+  // corrupted at the receiver has already burned both pipes' bandwidth.
+  Nanos ReserveTx(int ep, Nanos t, std::uint64_t bytes) {
+    return eps_[ep].tx.Reserve(t, bytes);
+  }
+  Nanos ReserveRx(int ep, Nanos t, std::uint64_t bytes) {
+    return eps_[ep].rx.Reserve(t, bytes);
+  }
+
   // --- utilisation / accounting (bottleneck reporting) ---------------------
   double TxUtilisation(int ep, Nanos window) const {
     return Util(eps_[ep].tx, window);
@@ -94,10 +106,17 @@ class Fabric {
     std::string name;
   };
 
+  // Fraction of [0, window] the pipe spent busy. A reservation extending
+  // past `window` is truncated at the boundary (busy_time_before), and the
+  // result is clamped to 1.0: a raw busy_time() / window quotient exceeds
+  // 1.0 whenever the measurement window is shorter than the accumulated
+  // busy time (e.g. a warmup-excluded window), which is a meaningless
+  // utilisation.
   static double Util(const BandwidthResource& r, Nanos window) {
-    return window <= 0 ? 0.0
-                       : static_cast<double>(r.busy_time()) /
-                             static_cast<double>(window);
+    if (window <= 0) return 0.0;
+    const double u = static_cast<double>(r.busy_time_before(window)) /
+                     static_cast<double>(window);
+    return u > 1.0 ? 1.0 : u;
   }
 
   std::vector<Endpoint> eps_;

@@ -86,6 +86,19 @@ class BandwidthResource {
 
   double gbps() const { return 8.0 / ns_per_byte_; }
   Nanos busy_time() const { return busy_time_; }
+  Nanos free_at() const { return free_at_; }
+  // Busy time accumulated inside [0, t]: a reservation extending past `t`
+  // is truncated at the boundary. The overhang beyond `t` belongs to the
+  // final contiguous busy run ending at free_at_ (reservations start no
+  // later than they are made), so subtracting it is exact for any `t` at
+  // or after the last reservation instant — the utilisation-window case.
+  // For earlier `t` the subtraction over-counts the overhang; clamping at
+  // zero keeps the result a valid lower bound either way.
+  Nanos busy_time_before(Nanos t) const {
+    const Nanos over = free_at_ - t;
+    if (over <= 0) return busy_time_;
+    return over < busy_time_ ? busy_time_ - over : 0;
+  }
   std::uint64_t bytes_moved() const { return bytes_moved_; }
 
   void Reset() {

@@ -33,7 +33,8 @@ Nanos LatencyRecorder::MaxNs() const {
 
 Nanos LatencyRecorder::PercentileNs(double p) const {
   if (samples_.empty()) return 0;
-  sorted_ = false;  // samples may have been appended since last sort
+  // Add()/Clear() invalidate sorted_, so back-to-back percentile queries
+  // reuse one sort instead of re-sorting O(n log n) on every call.
   EnsureSorted();
   if (p <= 0) return samples_.front();
   if (p >= 100) return samples_.back();

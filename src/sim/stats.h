@@ -13,7 +13,10 @@ namespace redn::sim {
 // Collects individual latency samples (ns) and reports summary statistics.
 class LatencyRecorder {
  public:
-  void Add(Nanos sample) { samples_.push_back(sample); }
+  void Add(Nanos sample) {
+    samples_.push_back(sample);
+    sorted_ = false;  // invalidate here, not in the percentile query
+  }
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
@@ -27,7 +30,10 @@ class LatencyRecorder {
   double PercentileUs(double p) const { return ToMicros(PercentileNs(p)); }
   double MedianUs() const { return PercentileUs(50.0); }
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
   const std::vector<Nanos>& samples() const { return samples_; }
 
  private:

@@ -1,0 +1,249 @@
+#include "sim/transport.h"
+
+#include <cassert>
+
+namespace redn::sim {
+
+Transport::Transport(Simulator& sim, Fabric& fabric, TransportConfig cfg)
+    : sim_(sim),
+      fabric_(fabric),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      default_fault_{cfg.loss, cfg.corrupt} {
+  assert(cfg_.mtu > 0 && "mtu must be positive");
+  assert(cfg_.window > 0 && "window must be positive");
+}
+
+int Transport::OpenFlow(int src_ep, int dst_ep) {
+  flows_.push_back(std::make_unique<Flow>());
+  Flow& f = *flows_.back();
+  f.src = src_ep;
+  f.dst = dst_ep;
+  return static_cast<int>(flows_.size()) - 1;
+}
+
+void Transport::SetLinkFaults(int ep, double loss, double corrupt) {
+  if (faults_.size() <= static_cast<std::size_t>(ep)) {
+    faults_.resize(static_cast<std::size_t>(ep) + 1, default_fault_);
+  }
+  faults_[static_cast<std::size_t>(ep)] = LinkFault{loss, corrupt};
+}
+
+const Transport::LinkFault& Transport::FaultAt(int ep) const {
+  const auto i = static_cast<std::size_t>(ep);
+  return i < faults_.size() ? faults_[i] : default_fault_;
+}
+
+Transport::PacketView Transport::PacketOf(const Flow& f,
+                                          std::uint64_t psn) const {
+  // Linear from the front: the deque holds only unacked messages and
+  // go-back-N never transmits below base, so the walk is bounded by the
+  // window's message count.
+  for (const Message& m : f.msgs) {
+    if (psn <= m.last_psn) {
+      const std::uint64_t off = (psn - m.first_psn) *
+                                static_cast<std::uint64_t>(cfg_.mtu);
+      const std::uint64_t rem = m.len > off ? m.len - off : 0;
+      const std::uint64_t take = rem < cfg_.mtu ? rem : cfg_.mtu;
+      return PacketView{static_cast<std::uint32_t>(take), m.ready};
+    }
+  }
+  assert(false && "psn not covered by any queued message");
+  return PacketView{0, 0};
+}
+
+void Transport::SendMessage(int flow, Nanos t, std::uint64_t bytes,
+                            Callback on_deliver, Callback on_acked) {
+  Flow& f = *flows_[static_cast<std::size_t>(flow)];
+  if (t < sim_.now()) t = sim_.now();
+  const std::uint64_t segs =
+      bytes == 0 ? 1 : (bytes + cfg_.mtu - 1) / cfg_.mtu;
+  Message m;
+  m.len = bytes;
+  m.ready = t;
+  m.first_psn = f.next_psn;
+  m.last_psn = f.next_psn + segs - 1;
+  m.on_deliver = std::move(on_deliver);
+  m.on_acked = std::move(on_acked);
+  const bool was_idle = f.base == f.next_psn;
+  f.next_psn += segs;
+  f.msgs.push_back(std::move(m));
+  ++counters_.messages_sent;
+  TrySend(f);
+  // Only an idle->busy transition arms the timer: re-arming on every
+  // enqueue would let a steady message stream postpone the RTO forever
+  // while the base PSN sits unacked.
+  if (was_idle) ArmRto(f);
+}
+
+void Transport::TrySend(Flow& f) {
+  const std::uint64_t limit = f.base + cfg_.window;
+  while (f.send_cursor < f.next_psn && f.send_cursor < limit) {
+    SendPacket(f, f.send_cursor, PacketOf(f, f.send_cursor));
+    ++f.send_cursor;
+  }
+}
+
+void Transport::SendPacket(Flow& f, std::uint64_t psn, const PacketView& p) {
+  const Nanos t = p.ready > sim_.now() ? p.ready : sim_.now();
+  const std::uint64_t wire = p.bytes + cfg_.header_bytes;
+  if (psn < f.high_water) {
+    ++counters_.retransmits;
+  } else {
+    ++counters_.data_packets;
+    f.high_water = psn + 1;
+  }
+  counters_.wire_bytes_sent += wire;
+  // The packet serializes out of the sender's pipe whether or not anything
+  // downstream eats it; losses only decide how far along the path the
+  // bytes billed.
+  const Nanos tx_done = fabric_.ReserveTx(f.src, t, wire);
+  if (TakeForced(&force_drop_data_) || Lost(FaultAt(f.src).loss)) {
+    ++counters_.dropped_tx;
+    return;
+  }
+  const Nanos at_dst = tx_done + fabric_.OneWay(f.src, f.dst);
+  const Nanos arrive = fabric_.ReserveRx(f.dst, at_dst, wire);
+  if (Lost(FaultAt(f.dst).loss)) {
+    ++counters_.dropped_rx;
+    return;
+  }
+  if (Lost(FaultAt(f.src).corrupt) || Lost(FaultAt(f.dst).corrupt)) {
+    // Bad ICRC at the receiver: silently discarded, exactly like a loss
+    // except the bytes crossed the whole path first.
+    ++counters_.corrupted;
+    return;
+  }
+  sim_.At(arrive, [this, fp = &f, psn] { OnData(*fp, psn); });
+}
+
+void Transport::OnData(Flow& f, std::uint64_t psn) {
+  if (psn == f.expected) {
+    ++f.expected;
+    bool boundary = false;
+    while (f.delivered < f.msgs.size()) {
+      // Deque references stay valid across push_back, so a callback that
+      // queues a response on this same flow cannot invalidate `m`.
+      Message& m = f.msgs[f.delivered];
+      if (m.last_psn >= f.expected) break;
+      ++f.delivered;
+      ++counters_.messages_delivered;
+      counters_.payload_bytes_delivered += m.len;
+      boundary = true;
+      if (m.on_deliver) m.on_deliver(sim_.now());
+    }
+    ++f.rx_unacked;
+    if (boundary || f.rx_unacked >= cfg_.ack_every) {
+      SendAck(f, /*nak=*/false);
+    } else {
+      ArmAckTimer(f);
+    }
+  } else if (psn > f.expected) {
+    // Gap: a go-back-N receiver buffers nothing. NAK so the sender rewinds
+    // without waiting out the RTO.
+    ++counters_.out_of_order;
+    SendAck(f, /*nak=*/true);
+  } else {
+    // Duplicate from a spurious retransmit (e.g. an eaten ACK): discard —
+    // this filter is what guarantees single delivery — and re-ACK so the
+    // sender's base can advance.
+    ++counters_.duplicates;
+    SendAck(f, /*nak=*/false);
+  }
+}
+
+void Transport::SendAck(Flow& f, bool nak) {
+  f.rx_unacked = 0;
+  ++f.ack_epoch;  // cancels any pending delayed ACK
+  ++counters_.acks_sent;
+  counters_.wire_bytes_sent += cfg_.ack_bytes;
+  const std::uint64_t upto = f.expected;
+  const Nanos tx_done = fabric_.ReserveTx(f.dst, sim_.now(), cfg_.ack_bytes);
+  if (TakeForced(&force_drop_acks_) || Lost(FaultAt(f.dst).loss)) {
+    ++counters_.acks_dropped;
+    return;
+  }
+  const Nanos at_src = tx_done + fabric_.OneWay(f.dst, f.src);
+  const Nanos arrive = fabric_.ReserveRx(f.src, at_src, cfg_.ack_bytes);
+  if (Lost(FaultAt(f.src).loss)) {
+    ++counters_.acks_dropped;
+    return;
+  }
+  sim_.At(arrive, [this, fp = &f, upto, nak] { OnAck(*fp, upto, nak); });
+}
+
+void Transport::OnAck(Flow& f, std::uint64_t upto, bool nak) {
+  bool progressed = false;
+  if (upto > f.base) {
+    progressed = true;
+    f.base = upto;
+    f.goback_armed = false;
+    while (!f.msgs.empty() && f.msgs.front().last_psn < f.base) {
+      // A cumulative ACK past last_psn implies the receiver delivered the
+      // message, so `delivered` always covers the popped entry.
+      Message m = std::move(f.msgs.front());
+      f.msgs.pop_front();
+      --f.delivered;
+      ++counters_.messages_acked;
+      if (m.on_acked) m.on_acked(sim_.now());
+    }
+    if (f.send_cursor < f.base) f.send_cursor = f.base;
+  }
+  // Decide the NAK rewind BEFORE transmitting anything: a NAK that also
+  // carries cumulative progress must not first slide the window forward
+  // (sending fresh packets the gapped receiver would only discard) and
+  // rewind afterwards — that would transmit every post-gap packet twice.
+  if (nak && upto == f.base && f.base < f.next_psn && !f.goback_armed) {
+    // The receiver reported a gap at our current base: rewind once per
+    // loss event (repeated NAKs for the same gap are already answered by
+    // the retransmission in flight).
+    f.goback_armed = true;
+    ++counters_.nak_gobacks;
+    f.send_cursor = f.base;
+    TrySend(f);
+    ArmRto(f);
+  } else if (progressed) {
+    TrySend(f);  // the window slid open
+    ArmRto(f);
+  }
+  // upto < base (and no gap at base): a stale ACK overtaken by progress.
+}
+
+void Transport::ArmRto(Flow& f) {
+  const std::uint64_t epoch = ++f.rto_epoch;  // supersede any pending timer
+  if (f.base == f.next_psn) return;           // nothing outstanding
+  sim_.After(cfg_.rto, [this, fp = &f, epoch] {
+    if (epoch != fp->rto_epoch) return;
+    OnRto(*fp);
+  });
+}
+
+void Transport::OnRto(Flow& f) {
+  if (f.base == f.next_psn) return;
+  ++counters_.timeouts;
+  f.goback_armed = false;
+  f.send_cursor = f.base;
+  TrySend(f);
+  ArmRto(f);
+}
+
+void Transport::ArmAckTimer(Flow& f) {
+  if (f.ack_timer_armed) return;
+  f.ack_timer_armed = true;
+  const std::uint64_t epoch = f.ack_epoch;
+  sim_.After(cfg_.ack_delay, [this, fp = &f, epoch] { OnAckTimer(*fp, epoch); });
+}
+
+void Transport::OnAckTimer(Flow& f, std::uint64_t epoch) {
+  f.ack_timer_armed = false;
+  if (f.rx_unacked == 0) return;
+  if (epoch != f.ack_epoch) {
+    // An eager ACK superseded this timer but packets arrived since; cover
+    // the current batch with a fresh delay.
+    ArmAckTimer(f);
+    return;
+  }
+  SendAck(f, /*nak=*/false);
+}
+
+}  // namespace redn::sim

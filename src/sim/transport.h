@@ -1,0 +1,205 @@
+// Packetized reliable-connection transport over the shared fabric.
+//
+// sim::Fabric moves whole messages, in order, losslessly: a transfer is one
+// pair of pipe reservations and one delivery instant. That is exact for a
+// healthy RC connection but cannot express the paper's resilience story
+// (fig16) on the wire — nothing is ever dropped, reordered relative to a
+// retransmission, or late because of one.
+//
+// Transport adds the missing layer, modeled on an InfiniBand RC engine:
+//
+//  - MTU segmentation: a message of L bytes becomes ceil(L/mtu) packets
+//    (min 1 — a header-only message still crosses the wire), each carrying
+//    `header_bytes` of overhead. Every packet pays its own TX and RX pipe
+//    reservations, so packetized flows contend on the fabric exactly where
+//    whole-message flows do, plus header tax.
+//  - Per-flow PSN sequencing: a flow is one direction of one QP connection.
+//    Packets carry consecutive PSNs; the receiver accepts only the expected
+//    PSN, so delivery is in order and duplicates are filtered by design.
+//  - Loss/corruption injection: each endpoint link has independent loss and
+//    corruption probabilities (defaults from the config, overridable per
+//    link). A packet eaten at the sender's egress reserves TX bandwidth
+//    only; one dropped or corrupted on ingress has burned both pipes. All
+//    draws come from one seeded sim::Rng in event order, so a given
+//    (config, seed) replays bit-identically.
+//  - Go-back-N recovery: the receiver NAKs the first out-of-order packet of
+//    a gap (an IB "NAK sequence error"); the sender rewinds to the lowest
+//    unacked PSN once per loss event, and a retransmission timeout clocked
+//    off the simulator covers tail losses and eaten ACKs. Duplicates
+//    arriving after a spurious retransmit are discarded and re-ACKed, never
+//    re-delivered.
+//  - ACK coalescing: cumulative ACKs are sent on message boundaries, every
+//    `ack_every` in-order packets, and after at most `ack_delay` (the
+//    delayed-ACK backstop that keeps a window-limited sender alive). ACKs
+//    ride the reverse-direction pipes and are themselves subject to loss.
+//
+// Callers observe two instants per message: `on_deliver` fires when the
+// last byte lands in order at the receiver, `on_acked` when the sender's
+// cumulative ACK covers the message. The RNIC maps WRITE/SEND requester
+// completions to on_acked and READ/receiver semantics to on_deliver — see
+// RnicDevice::SendOverTransport / ReadOverTransport and docs/NET.md.
+//
+// The transport is pure protocol + timing: like the fabric it moves no
+// payload bytes (the device's pooled Payload carries them) and it knows
+// nothing about verbs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/fabric.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace redn::sim {
+
+struct TransportConfig {
+  std::uint32_t mtu = 4096;         // payload bytes per packet
+  std::uint32_t header_bytes = 30;  // per-packet wire overhead (LRH+BTH+ICRC)
+  std::uint32_t ack_bytes = 30;     // ACK/NAK wire size
+  std::uint32_t window = 64;        // go-back-N window, packets
+  std::uint32_t ack_every = 4;      // coalesce: ack every Nth in-order packet
+  Nanos ack_delay = 2'000;          // delayed-ACK backstop
+  Nanos rto = 50'000;               // retransmission timeout
+  double loss = 0.0;                // default per-link packet-loss probability
+  double corrupt = 0.0;             // default per-link corruption probability
+  std::uint64_t seed = 0x7a115eedULL;
+};
+
+struct TransportCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_acked = 0;
+  std::uint64_t payload_bytes_delivered = 0;  // goodput numerator
+  std::uint64_t wire_bytes_sent = 0;  // headers + retransmits + acks included
+  std::uint64_t data_packets = 0;     // first transmissions
+  std::uint64_t retransmits = 0;      // go-back-N resends
+  std::uint64_t timeouts = 0;         // RTO firings that rewound a flow
+  std::uint64_t nak_gobacks = 0;      // NAK-triggered rewinds (pre-timeout)
+  std::uint64_t dropped_tx = 0;       // eaten at the sender's egress
+  std::uint64_t dropped_rx = 0;       // eaten at the receiver's ingress
+  std::uint64_t corrupted = 0;        // delivered, failed the CRC, discarded
+  std::uint64_t duplicates = 0;       // PSN below expected, discarded
+  std::uint64_t out_of_order = 0;     // PSN above expected (a gap), discarded
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_dropped = 0;
+
+  std::uint64_t PacketsLost() const {
+    return dropped_tx + dropped_rx + corrupted;
+  }
+};
+
+class Transport {
+ public:
+  // Fires with the simulated instant of the event (delivery or ack).
+  using Callback = std::function<void(Nanos)>;
+
+  Transport(Simulator& sim, Fabric& fabric, TransportConfig cfg = {});
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  Fabric& fabric() { return fabric_; }
+  const TransportConfig& config() const { return cfg_; }
+  const TransportCounters& counters() const { return counters_; }
+
+  // Opens a unidirectional reliable flow src_ep -> dst_ep (fabric endpoint
+  // ids). An RC connection uses one flow per direction.
+  int OpenFlow(int src_ep, int dst_ep);
+
+  // Queues a message of `bytes` payload on `flow`, transmissible from `t`
+  // (clamped to now; messages on one flow go out in SendMessage order).
+  // `on_deliver` fires when the last byte lands in order at the receiver;
+  // `on_acked` (optional) when the sender's cumulative ACK covers it.
+  // on_deliver always fires before on_acked. Both fire exactly once.
+  void SendMessage(int flow, Nanos t, std::uint64_t bytes,
+                   Callback on_deliver, Callback on_acked = {});
+
+  // Overrides the loss/corruption probabilities of one endpoint's link
+  // (both directions); endpoints default to the config-wide values.
+  void SetLinkFaults(int ep, double loss, double corrupt);
+
+  // Deterministic fault hooks for tests: eat the next `n` data packets /
+  // ACKs crossing the fabric, bypassing the probabilistic model (and
+  // consuming no randomness).
+  void DropNextData(int n) { force_drop_data_ += n; }
+  void DropNextAcks(int n) { force_drop_acks_ += n; }
+
+ private:
+  struct Message {
+    std::uint64_t len = 0;
+    std::uint64_t first_psn = 0;
+    std::uint64_t last_psn = 0;
+    Nanos ready = 0;  // earliest transmission instant (DMA/exec done)
+    Callback on_deliver;
+    Callback on_acked;
+  };
+
+  // Both directions' protocol state for one flow lives here; the sender and
+  // receiver halves touch disjoint fields. unique_ptr keeps the address
+  // stable — in-flight events capture Flow*.
+  struct Flow {
+    int src = -1;
+    int dst = -1;
+    // Sender.
+    std::uint64_t next_psn = 0;     // next PSN to assign
+    std::uint64_t base = 0;         // lowest unacked PSN
+    std::uint64_t send_cursor = 0;  // next PSN to (re)transmit
+    std::uint64_t high_water = 0;   // PSNs transmitted at least once
+    std::uint64_t rto_epoch = 0;    // invalidates superseded RTO events
+    bool goback_armed = false;      // one NAK rewind per loss event
+    std::deque<Message> msgs;       // FIFO, not yet fully acked
+    std::size_t delivered = 0;      // msgs[0..delivered) fired on_deliver
+    // Receiver.
+    std::uint64_t expected = 0;     // next in-order PSN
+    std::uint32_t rx_unacked = 0;   // in-order packets since the last ACK
+    std::uint64_t ack_epoch = 0;    // invalidates superseded delayed ACKs
+    bool ack_timer_armed = false;
+  };
+
+  struct LinkFault {
+    double loss = 0.0;
+    double corrupt = 0.0;
+  };
+
+  struct PacketView {
+    std::uint32_t bytes;  // payload bytes (wire adds header_bytes)
+    Nanos ready;
+  };
+
+  PacketView PacketOf(const Flow& f, std::uint64_t psn) const;
+  const LinkFault& FaultAt(int ep) const;
+  bool Lost(double p) { return p > 0.0 && rng_.NextDouble() < p; }
+  static bool TakeForced(int* budget) {
+    if (*budget <= 0) return false;
+    --*budget;
+    return true;
+  }
+
+  void TrySend(Flow& f);
+  void SendPacket(Flow& f, std::uint64_t psn, const PacketView& p);
+  void OnData(Flow& f, std::uint64_t psn);
+  void SendAck(Flow& f, bool nak);
+  void OnAck(Flow& f, std::uint64_t upto, bool nak);
+  void ArmRto(Flow& f);
+  void OnRto(Flow& f);
+  void ArmAckTimer(Flow& f);
+  void OnAckTimer(Flow& f, std::uint64_t epoch);
+
+  Simulator& sim_;
+  Fabric& fabric_;
+  TransportConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::vector<LinkFault> faults_;  // indexed by endpoint; lazily grown
+  LinkFault default_fault_;
+  int force_drop_data_ = 0;
+  int force_drop_acks_ = 0;
+  TransportCounters counters_;
+};
+
+}  // namespace redn::sim

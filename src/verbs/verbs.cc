@@ -93,6 +93,14 @@ SendWr MakeSend(std::uint64_t laddr, std::uint32_t len, std::uint32_t lkey,
   return wr;
 }
 
+SendWr MakeSendImm(std::uint64_t laddr, std::uint32_t len, std::uint32_t lkey,
+                   std::uint32_t imm, bool signaled) {
+  SendWr wr = MakeSend(laddr, len, lkey, signaled);
+  wr.opcode = Opcode::kSendImm;
+  wr.imm = imm;
+  return wr;
+}
+
 SendWr MakeCas(std::uint64_t raddr, std::uint32_t rkey, std::uint64_t compare,
                std::uint64_t swap, std::uint64_t result_addr,
                std::uint32_t result_lkey, bool signaled) {

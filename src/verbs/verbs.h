@@ -73,6 +73,8 @@ SendWr MakeRead(std::uint64_t laddr, std::uint32_t len, std::uint32_t lkey,
                 std::uint64_t raddr, std::uint32_t rkey, bool signaled = true);
 SendWr MakeSend(std::uint64_t laddr, std::uint32_t len, std::uint32_t lkey,
                 bool signaled = true);
+SendWr MakeSendImm(std::uint64_t laddr, std::uint32_t len, std::uint32_t lkey,
+                   std::uint32_t imm, bool signaled = true);
 SendWr MakeCas(std::uint64_t raddr, std::uint32_t rkey, std::uint64_t compare,
                std::uint64_t swap, std::uint64_t result_addr = 0,
                std::uint32_t result_lkey = 0, bool signaled = true);

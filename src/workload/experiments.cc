@@ -11,6 +11,7 @@
 #include "rnic/device.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "sim/transport.h"
 #include "verbs/verbs.h"
 
 namespace redn::workload {
@@ -57,6 +58,16 @@ std::vector<Writer> StartWriters(rnic::RnicDevice& cdev,
 FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
   sim::Simulator sim;
   sim::Fabric fabric(cfg.switch_latency);
+  std::unique_ptr<sim::Transport> transport;
+  if (cfg.packetized) {
+    sim::TransportConfig tc;
+    tc.mtu = cfg.mtu;
+    tc.loss = cfg.loss;
+    tc.corrupt = cfg.corrupt;
+    tc.rto = cfg.rto;
+    tc.seed = cfg.transport_seed;
+    transport = std::make_unique<sim::Transport>(sim, fabric, tc);
+  }
   rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
   sdev.AttachPort(0, fabric, {cfg.server_gbps, cfg.propagation});
 
@@ -86,7 +97,8 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
         // depth-1 closed loop can never starve on a hash collision.
         offloads::HashGetOffload::Config{.buckets = 2,
                                          .max_requests = cfg.gets_per_client + 8,
-                                         .fabric = &fabric},
+                                         .fabric = &fabric,
+                                         .transport = transport.get()},
         kv::RdmaHashTable::Config{.buckets = 1 << 12}, heap_bytes,
         /*max_value=*/cfg.value_len + 64);
     for (int k = 1; k <= cfg.keys; ++k) {
@@ -147,6 +159,16 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
   out.server_tx_util = fabric.TxUtilisation(sep, last_resp);
   out.server_rx_util = fabric.RxUtilisation(sep, last_resp);
   out.events = sim.events_processed();
+  if (transport != nullptr) {
+    const sim::TransportCounters& tc = transport->counters();
+    out.data_packets = tc.data_packets;
+    out.retransmits = tc.retransmits;
+    out.timeouts = tc.timeouts;
+    out.packets_lost = tc.PacketsLost();
+    out.acks = tc.acks_sent;
+    out.goodput_gbps = 8.0 * static_cast<double>(tc.payload_bytes_delivered) /
+                       static_cast<double>(span);
+  }
   return out;
 }
 

@@ -36,6 +36,18 @@ struct FabricScaleConfig {
   sim::Nanos propagation = 125;    // endpoint <-> switch one-way
   sim::Nanos switch_latency = 0;
   std::uint64_t seed = 1;
+
+  // --- packetized lossy transport ------------------------------------------
+  // When true, client<->server QPs ride sim::Transport: payloads segment
+  // into `mtu` packets, every link drops/corrupts packets with the given
+  // probabilities, and go-back-N recovers. false keeps the lossless
+  // message-level fabric path (bit-identical to pre-transport behaviour).
+  bool packetized = false;
+  double loss = 0.0;               // per-link per-packet loss probability
+  double corrupt = 0.0;            // per-link corruption probability
+  std::uint32_t mtu = 4096;
+  sim::Nanos rto = 60'000;         // retransmission timeout
+  std::uint64_t transport_seed = 0x7a115eedULL;
 };
 
 struct FabricScaleResult {
@@ -47,6 +59,13 @@ struct FabricScaleResult {
   double server_tx_util = 0;       // server-link TX busy fraction
   double server_rx_util = 0;
   std::uint64_t events = 0;        // engine events processed (perf floors)
+  // Transport accounting (all zero unless cfg.packetized).
+  std::uint64_t data_packets = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t packets_lost = 0;  // dropped at egress/ingress + corrupted
+  std::uint64_t acks = 0;
+  double goodput_gbps = 0;         // delivered payload bits / duration
 };
 
 FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg);

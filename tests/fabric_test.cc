@@ -51,6 +51,25 @@ TEST(Fabric, SameSourceSerializesOnItsTxLink) {
   EXPECT_EQ(f.Deliver(a, b, 0, 1000), 3000);
 }
 
+TEST(Fabric, UtilisationTruncatesAtWindowAndNeverExceedsOne) {
+  sim::Fabric f;
+  const int a = f.Attach({8.0, 0});  // 1 ns/byte
+  const int b = f.Attach({8.0, 0});
+  f.Deliver(a, b, 0, 10'000);  // both pipes busy for 10 us
+  // A window shorter than the accumulated busy time used to report > 1.0;
+  // the busy interval is truncated at the window boundary instead.
+  EXPECT_EQ(f.TxUtilisation(a, 100), 1.0);  // TX busy solid over [0, 10000]
+  EXPECT_EQ(f.TxUtilisation(a, 0), 0.0);
+  // Store-and-forward: the RX pipe serializes over [10000, 20000], so it
+  // was idle inside a [0, 100] window and exactly 1/3 busy inside
+  // [0, 15000] — never the old busy/window quotient of 100x.
+  EXPECT_EQ(f.RxUtilisation(b, 100), 0.0);
+  EXPECT_DOUBLE_EQ(f.RxUtilisation(b, 15'000), 5'000.0 / 15'000.0);
+  // A window covering everything reports the exact busy fraction.
+  EXPECT_DOUBLE_EQ(f.TxUtilisation(a, 20'000), 0.5);
+  EXPECT_DOUBLE_EQ(f.TxUtilisation(a, 10'000), 1.0);
+}
+
 class FabricBed : public ::testing::Test {
  protected:
   // A server and two clients on a shared fabric (server link = client link).

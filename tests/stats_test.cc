@@ -1,0 +1,89 @@
+// LatencyRecorder regression tests: percentile queries must stay correct
+// when interleaved with Record calls (the sort-validity flag is invalidated
+// by Add/Clear, not reset inside the query), and repeated queries must not
+// re-sort an already-sorted sample set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace redn::test {
+namespace {
+
+using sim::LatencyRecorder;
+using sim::Nanos;
+
+// Nearest-rank reference implementation, independent of the recorder.
+Nanos NearestRank(std::vector<Nanos> v, double p) {
+  std::sort(v.begin(), v.end());
+  if (v.empty()) return 0;
+  if (p <= 0) return v.front();
+  if (p >= 100) return v.back();
+  std::size_t idx = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size())));
+  if (idx == 0) idx = 1;
+  if (idx > v.size()) idx = v.size();
+  return v[idx - 1];
+}
+
+TEST(LatencyRecorder, InterleavedRecordAndPercentileStaysCorrect) {
+  sim::Rng rng(7);
+  LatencyRecorder rec;
+  std::vector<Nanos> all;
+  for (int round = 0; round < 16; ++round) {
+    for (int i = 0; i < 37; ++i) {
+      const Nanos v = static_cast<Nanos>(rng.NextBelow(1'000'000));
+      rec.Add(v);
+      all.push_back(v);
+    }
+    for (double p : {0.0, 13.0, 50.0, 90.0, 99.0, 100.0}) {
+      EXPECT_EQ(rec.PercentileNs(p), NearestRank(all, p))
+          << "round " << round << " p" << p;
+    }
+  }
+}
+
+TEST(LatencyRecorder, SampleAddedAfterSortedQueryIsVisible) {
+  // The regression this PR fixes the other half of: if the sorted flag were
+  // left stale-true after a query, a later Add would be invisible to the
+  // next percentile. Descending inserts make the stale answer detectable.
+  LatencyRecorder rec;
+  rec.Add(100);
+  rec.Add(50);
+  EXPECT_EQ(rec.PercentileNs(0), 50);    // sorts {50, 100}
+  rec.Add(1);                            // must invalidate the sort
+  EXPECT_EQ(rec.PercentileNs(0), 1);
+  EXPECT_EQ(rec.PercentileNs(100), 100);
+}
+
+TEST(LatencyRecorder, ClearInvalidatesAndResets) {
+  LatencyRecorder rec;
+  rec.Add(10);
+  rec.Add(20);
+  EXPECT_EQ(rec.PercentileNs(50), 10);
+  rec.Clear();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.PercentileNs(50), 0);
+  rec.Add(5);
+  EXPECT_EQ(rec.PercentileNs(50), 5);
+  EXPECT_EQ(rec.MinNs(), 5);
+  EXPECT_EQ(rec.MaxNs(), 5);
+}
+
+TEST(LatencyRecorder, RepeatQueriesMatchAndMeanUnaffected) {
+  LatencyRecorder rec;
+  for (Nanos v : {9, 3, 7, 1, 5}) rec.Add(v);
+  const Nanos p50 = rec.PercentileNs(50);
+  EXPECT_EQ(p50, 5);
+  EXPECT_EQ(rec.PercentileNs(50), p50);  // idempotent on a sorted set
+  EXPECT_DOUBLE_EQ(rec.MeanNs(), 5.0);
+  EXPECT_EQ(rec.MinNs(), 1);
+  EXPECT_EQ(rec.MaxNs(), 9);
+}
+
+}  // namespace
+}  // namespace redn::test

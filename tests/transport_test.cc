@@ -1,0 +1,388 @@
+// Packetized go-back-N transport tests: protocol-level unit tests (flows
+// over raw fabric endpoints) and device-level tests (verbs over
+// ConnectOverTransport), with emphasis on the loss-path edge cases:
+// duplicate delivery after a spurious retransmit must not double-scatter or
+// double-complete, and the dead-peer NAK path must still fire when the loss
+// injector eats the original transmission.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fabric.h"
+#include "sim/transport.h"
+#include "testbed.h"
+#include "workload/experiments.h"
+
+namespace redn::test {
+namespace {
+
+using rnic::ConnectOverTransport;
+using sim::Nanos;
+using sim::Transport;
+using sim::TransportConfig;
+using verbs::AwaitCqe;
+using verbs::Cqe;
+using verbs::MakeRead;
+using verbs::MakeSend;
+using verbs::MakeSendImm;
+using verbs::MakeWrite;
+using verbs::PostRecv;
+using verbs::PostSendNow;
+
+// 8 Gbps = 1 ns/byte and small fixed overheads keep the arithmetic legible.
+TransportConfig LegibleConfig() {
+  TransportConfig cfg;
+  cfg.mtu = 1000;
+  cfg.header_bytes = 30;
+  cfg.ack_bytes = 30;
+  cfg.ack_every = 4;
+  cfg.ack_delay = 2'000;
+  cfg.rto = 20'000;
+  return cfg;
+}
+
+// --- protocol-level ---------------------------------------------------------
+
+TEST(Transport, SegmentsAndDeliversExactTiming) {
+  sim::Simulator s;
+  sim::Fabric f;
+  const int a = f.Attach({8.0, 100});
+  const int b = f.Attach({8.0, 100});
+  Transport tr(s, f, LegibleConfig());
+  const int flow = tr.OpenFlow(a, b);
+
+  std::vector<Nanos> delivered, acked;
+  tr.SendMessage(flow, 0, 2500,
+                 [&](Nanos t) { delivered.push_back(t); },
+                 [&](Nanos t) { acked.push_back(t); });
+  s.Run();
+
+  // 2500 B at mtu 1000 = packets of 1000/1000/500 payload (+30 header).
+  // TX reservations finish at 1030/2060/2590; each packet then rides
+  // prop(100) + prop(100) and queues into b's RX pipe, where the last one
+  // clears at 3820. The boundary ACK (30 B) goes straight back:
+  // 3820 + 30 + 200 + 30 = 4080.
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], 3820);
+  ASSERT_EQ(acked.size(), 1u);
+  EXPECT_EQ(acked[0], 4080);
+  EXPECT_EQ(tr.counters().data_packets, 3u);
+  EXPECT_EQ(tr.counters().retransmits, 0u);
+  EXPECT_EQ(tr.counters().acks_sent, 1u);  // coalesced: one boundary ACK
+  EXPECT_EQ(tr.counters().payload_bytes_delivered, 2500u);
+}
+
+TEST(Transport, ZeroByteMessageStillCrossesTheWire) {
+  sim::Simulator s;
+  sim::Fabric f;
+  const int a = f.Attach({8.0, 100});
+  const int b = f.Attach({8.0, 100});
+  Transport tr(s, f, LegibleConfig());
+  const int flow = tr.OpenFlow(a, b);
+  int delivered = 0;
+  tr.SendMessage(flow, 0, 0, [&](Nanos) { ++delivered; });
+  s.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(tr.counters().data_packets, 1u);  // header-only packet
+}
+
+TEST(Transport, GapTriggersNakGoBackBeforeRto) {
+  sim::Simulator s;
+  sim::Fabric f;
+  const int a = f.Attach({8.0, 100});
+  const int b = f.Attach({8.0, 100});
+  Transport tr(s, f, LegibleConfig());
+  const int flow = tr.OpenFlow(a, b);
+
+  tr.DropNextData(1);  // eat the first packet of the message
+  std::vector<Nanos> delivered;
+  tr.SendMessage(flow, 0, 3000, [&](Nanos t) { delivered.push_back(t); });
+  s.Run();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  // Recovered well before the 20 us RTO: packets 1-2 arrive out of order,
+  // the NAK rewinds the sender, and the full window retransmits.
+  EXPECT_LT(delivered[0], LegibleConfig().rto);
+  EXPECT_EQ(tr.counters().timeouts, 0u);
+  EXPECT_EQ(tr.counters().nak_gobacks, 1u);
+  EXPECT_EQ(tr.counters().out_of_order, 2u);
+  EXPECT_EQ(tr.counters().retransmits, 3u);  // go-back-N resends 0,1,2
+  EXPECT_EQ(tr.counters().dropped_tx, 1u);
+}
+
+TEST(Transport, EatenAckCausesSpuriousRetransmitButSingleDelivery) {
+  sim::Simulator s;
+  sim::Fabric f;
+  const int a = f.Attach({8.0, 100});
+  const int b = f.Attach({8.0, 100});
+  Transport tr(s, f, LegibleConfig());
+  const int flow = tr.OpenFlow(a, b);
+
+  tr.DropNextAcks(1);  // the boundary ACK evaporates
+  int delivered = 0;
+  std::vector<Nanos> acked;
+  tr.SendMessage(flow, 0, 500, [&](Nanos) { ++delivered; },
+                 [&](Nanos t) { acked.push_back(t); });
+  s.Run();
+
+  // RTO fires, the packet retransmits, the receiver discards the duplicate
+  // and re-ACKs; the message is delivered exactly once and acked late.
+  EXPECT_EQ(delivered, 1);
+  ASSERT_EQ(acked.size(), 1u);
+  EXPECT_GT(acked[0], LegibleConfig().rto);
+  EXPECT_EQ(tr.counters().timeouts, 1u);
+  EXPECT_EQ(tr.counters().duplicates, 1u);
+  EXPECT_EQ(tr.counters().retransmits, 1u);
+  EXPECT_EQ(tr.counters().acks_dropped, 1u);
+  EXPECT_EQ(tr.counters().messages_delivered, 1u);
+  EXPECT_EQ(tr.counters().messages_acked, 1u);
+}
+
+TEST(Transport, WindowStallRescuedByDelayedAck) {
+  sim::Simulator s;
+  sim::Fabric f;
+  const int a = f.Attach({8.0, 100});
+  const int b = f.Attach({8.0, 100});
+  TransportConfig cfg = LegibleConfig();
+  cfg.window = 2;     // stalls mid-message
+  cfg.ack_every = 8;  // never reaches the count threshold mid-message
+  Transport tr(s, f, cfg);
+  const int flow = tr.OpenFlow(a, b);
+  int delivered = 0;
+  tr.SendMessage(flow, 0, 5000, [&](Nanos) { ++delivered; });
+  s.Run();
+  // Interior packets only ever ACK via the delayed-ACK backstop, so the
+  // 5-packet message needs it repeatedly to slide the 2-packet window.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GE(tr.counters().acks_sent, 2u);
+  EXPECT_EQ(tr.counters().retransmits, 0u);
+}
+
+TEST(Transport, CorruptionCountsAndRecovers) {
+  sim::Simulator s;
+  sim::Fabric f;
+  const int a = f.Attach({8.0, 100});
+  const int b = f.Attach({8.0, 100});
+  TransportConfig cfg = LegibleConfig();
+  Transport tr(s, f, cfg);
+  tr.SetLinkFaults(b, /*loss=*/0.0, /*corrupt=*/0.4);
+  const int flow = tr.OpenFlow(a, b);
+  int delivered = 0;
+  for (int i = 0; i < 20; ++i) {
+    tr.SendMessage(flow, 0, 3000, [&](Nanos) { ++delivered; });
+  }
+  s.Run();
+  EXPECT_EQ(delivered, 20);
+  EXPECT_GT(tr.counters().corrupted, 0u);
+  EXPECT_GT(tr.counters().retransmits, 0u);
+}
+
+TEST(Transport, SameSeedReplaysBitIdentically) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s;
+    sim::Fabric f;
+    const int a = f.Attach({8.0, 100});
+    const int b = f.Attach({8.0, 100});
+    TransportConfig cfg = LegibleConfig();
+    cfg.loss = 0.1;
+    cfg.seed = seed;
+    Transport tr(s, f, cfg);
+    const int flow = tr.OpenFlow(a, b);
+    std::vector<Nanos> times;
+    for (int i = 0; i < 30; ++i) {
+      tr.SendMessage(flow, 0, 2500, [&](Nanos t) { times.push_back(t); });
+    }
+    s.Run();
+    times.push_back(static_cast<Nanos>(tr.counters().retransmits));
+    times.push_back(static_cast<Nanos>(tr.counters().acks_sent));
+    return times;
+  };
+  const auto r1 = run(42);
+  const auto r2 = run(42);
+  EXPECT_EQ(r1, r2);
+  // A different seed must actually change the loss pattern.
+  const auto r3 = run(43);
+  EXPECT_NE(r1, r3);
+}
+
+// --- device-level -----------------------------------------------------------
+
+class TransportBed : public ::testing::Test {
+ protected:
+  TransportBed() : tr(bed.sim, fabric, DeviceConfig()) {
+    bed.client.AttachPort(0, fabric, {25.0, 125});
+    bed.server.AttachPort(0, fabric, {25.0, 125});
+  }
+
+  static TransportConfig DeviceConfig() {
+    TransportConfig cfg;
+    cfg.mtu = 1024;
+    cfg.rto = 20'000;
+    return cfg;
+  }
+
+  rnic::QueuePair* MakeQp(RnicDevice& dev) {
+    QpConfig c;
+    c.send_cq = dev.CreateCq();
+    c.recv_cq = dev.CreateCq();
+    return dev.CreateQp(c);
+  }
+
+  std::pair<rnic::QueuePair*, rnic::QueuePair*> ConnectedPair() {
+    rnic::QueuePair* cqp = MakeQp(bed.client);
+    rnic::QueuePair* sqp = MakeQp(bed.server);
+    ConnectOverTransport(cqp, sqp, tr);
+    return {cqp, sqp};
+  }
+
+  TestBed bed;
+  sim::Fabric fabric;
+  Transport tr;
+};
+
+TEST_F(TransportBed, WriteSegmentsDeliversAndCompletes) {
+  auto [cqp, sqp] = ConnectedPair();
+  constexpr std::size_t kLen = 8192;
+  Buffer src = bed.Alloc(bed.client, kLen);
+  Buffer dst = bed.Alloc(bed.server, kLen);
+  src.Fill(0xab, kLen);
+  PostSendNow(cqp, MakeWrite(src.addr(), kLen, src.lkey(), dst.addr(),
+                             dst.rkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(cqe.byte_len, kLen);
+  EXPECT_EQ(std::memcmp(src.bytes(), dst.bytes(), kLen), 0);
+  // 8 KiB at mtu 1024 = 8 packets, and the completion waited for the
+  // transport-level cumulative ACK.
+  EXPECT_EQ(tr.counters().data_packets, 8u);
+  EXPECT_GE(tr.counters().acks_sent, 1u);
+  EXPECT_EQ(tr.counters().messages_acked, 1u);
+}
+
+TEST_F(TransportBed, SendImmCarriesImmAndPayloadThroughLoss) {
+  auto [cqp, sqp] = ConnectedPair();
+  constexpr std::size_t kLen = 3000;
+  Buffer src = bed.Alloc(bed.client, kLen);
+  Buffer dst = bed.Alloc(bed.server, kLen);
+  src.Fill(0x5c, kLen);
+  verbs::RecvWr rwr;
+  rwr.local_addr = dst.addr();
+  rwr.length = kLen;
+  rwr.lkey = dst.lkey();
+  PostRecv(sqp, rwr);
+  tr.DropNextData(1);  // first payload packet eaten; go-back-N recovers
+  PostSendNow(cqp, MakeSendImm(src.addr(), kLen, src.lkey(), 0xbeef));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.server, sqp->recv_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_TRUE(cqe.has_imm);
+  EXPECT_EQ(cqe.imm, 0xbeefu);
+  EXPECT_EQ(cqe.byte_len, kLen);
+  EXPECT_EQ(std::memcmp(src.bytes(), dst.bytes(), kLen), 0);
+  EXPECT_GT(tr.counters().retransmits, 0u);
+}
+
+TEST_F(TransportBed, SpuriousRetransmitDoesNotDoubleScatterOrDoubleComplete) {
+  auto [cqp, sqp] = ConnectedPair();
+  Buffer src = bed.Alloc(bed.client, 256);
+  Buffer dst = bed.Alloc(bed.server, 512);
+  src.SetU64(0, 0x1111);
+  // Two RECVs armed: a double delivery would consume the second one and
+  // scatter into its (different) buffer.
+  verbs::RecvWr r1;
+  r1.local_addr = dst.addr();
+  r1.length = 256;
+  r1.lkey = dst.lkey();
+  PostRecv(sqp, r1);
+  verbs::RecvWr r2;
+  r2.local_addr = dst.addr() + 256;
+  r2.length = 256;
+  r2.lkey = dst.lkey();
+  PostRecv(sqp, r2);
+
+  tr.DropNextAcks(1);  // force the spurious retransmit of the SEND
+  PostSendNow(cqp, MakeSend(src.addr(), 256, src.lkey()));
+
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.server, sqp->recv_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  // The send CQE arrives only after the RTO-retransmit round recovers the
+  // eaten ACK.
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_GT(bed.sim.now(), DeviceConfig().rto);
+  bed.sim.Run();  // drain every straggler event
+
+  // Exactly one RECV consumed, one scatter, one completion per side.
+  EXPECT_GT(tr.counters().duplicates, 0u);  // the scenario really happened
+  EXPECT_EQ(sqp->rq.consumed, 1u);
+  EXPECT_EQ(dst.U64(0), 0x1111u);
+  EXPECT_EQ(dst.U64(32), 0u);  // second RECV's buffer untouched
+  EXPECT_EQ(bed.server.PollCq(sqp->recv_cq, 1, &cqe), 0);
+  EXPECT_EQ(bed.client.PollCq(cqp->send_cq, 1, &cqe), 0);
+}
+
+TEST_F(TransportBed, ReadRecoversFromLostRequest) {
+  auto [cqp, sqp] = ConnectedPair();
+  Buffer local = bed.Alloc(bed.client, 64);
+  Buffer remote = bed.Alloc(bed.server, 64);
+  remote.SetU64(0, 0xd00d);
+  tr.DropNextData(1);  // the READ request itself is eaten
+  PostSendNow(cqp, MakeRead(local.addr(), 8, local.lkey(), remote.addr(),
+                            remote.rkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(local.U64(0), 0xd00du);
+  // Only the RTO can recover a solo lost packet (no later packet to NAK).
+  EXPECT_GE(bed.sim.now(), DeviceConfig().rto);
+  EXPECT_EQ(tr.counters().timeouts, 1u);
+}
+
+TEST_F(TransportBed, DeadPeerNaksEvenWhenLossAteTheOriginalRequest) {
+  auto [cqp, sqp] = ConnectedPair();
+  Buffer local = bed.Alloc(bed.client, 64);
+  Buffer remote = bed.Alloc(bed.server, 64);
+  tr.DropNextData(1);  // the original READ request never arrives...
+  PostSendNow(cqp, MakeRead(local.addr(), 8, local.lkey(), remote.addr(),
+                            remote.rkey()));
+  // ...and the server dies before the retransmission lands.
+  bed.sim.At(5'000, [&] { bed.server.KillProcessResources(sqp->owner_pid); });
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe,
+                       sim::Millis(5)))
+      << "requester hung instead of receiving the dead-peer NAK";
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kRemoteAccessError);
+  EXPECT_TRUE(cqp->sq.error);  // the QP is flushed, like every NAK path
+}
+
+TEST(TransportScale, LossyRunFabricScaleIsDeterministicAndDegrades) {
+  workload::FabricScaleConfig cfg;
+  cfg.clients = 2;
+  cfg.gets_per_client = 20;
+  cfg.value_len = 8192;
+  cfg.keys = 64;
+  cfg.packetized = true;
+  cfg.loss = 0.02;
+  const auto r1 = workload::RunFabricScale(cfg);
+  EXPECT_EQ(r1.gets, 40u);  // go-back-N answered every get despite loss
+  EXPECT_GT(r1.retransmits, 0u);
+  const auto r2 = workload::RunFabricScale(cfg);
+  EXPECT_EQ(r1.duration_us, r2.duration_us);
+  EXPECT_EQ(r1.avg_us, r2.avg_us);
+  EXPECT_EQ(r1.p99_us, r2.p99_us);
+  EXPECT_EQ(r1.retransmits, r2.retransmits);
+  EXPECT_EQ(r1.goodput_gbps, r2.goodput_gbps);
+  // The same workload without loss is strictly faster and retransmit-free.
+  cfg.loss = 0.0;
+  const auto clean = workload::RunFabricScale(cfg);
+  EXPECT_EQ(clean.gets, 40u);
+  EXPECT_EQ(clean.retransmits, 0u);
+  EXPECT_EQ(clean.timeouts, 0u);
+  EXPECT_GT(r1.duration_us, clean.duration_us);
+  EXPECT_GE(r1.p99_us, clean.p99_us);
+}
+
+}  // namespace
+}  // namespace redn::test
