@@ -1,6 +1,6 @@
 // Lossy packetized-transport scale bench: N clients x RedN NIC-served gets
 // through one congested server port, with per-link packet loss and
-// go-back-N recovery.
+// loss recovery in both transport modes.
 //
 // Same topology as bench_scale_netfabric, but every client<->server QP
 // rides sim::Transport: trigger SENDs and the offloaded WRITE_IMM responses
@@ -8,7 +8,10 @@
 // probability, and the connection recovers via NAK rewinds and RTOs. The
 // sweep raises the loss rate and watches goodput collapse and tail latency
 // inflate — the wire-level failure behaviour the lossless fabric cannot
-// express.
+// express. Each loss rate runs twice with the same seed: once under
+// go-back-N and once under selective repeat, so the A/B isolates the
+// recovery strategy (SACK-targeted resends vs window rewinds) with an
+// identical loss pattern at the first divergence point.
 //
 // All per-loss results are pure simulated time: the bench re-runs the
 // lossiest configuration and fails if any simulated field differs (the
@@ -30,7 +33,7 @@ using namespace redn;
 int main(int argc, char** argv) {
   int gets = 150;
   int clients = 4;
-  std::uint32_t value_len = 16384;
+  std::uint32_t value_len = 65536;
   for (int i = 1; i < argc; ++i) {
     auto val = [&]() -> double { return i + 1 < argc ? std::atof(argv[++i]) : 0; };
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -45,58 +48,86 @@ int main(int argc, char** argv) {
   }
 
   bench::Title("Lossy-transport N-client scale-out",
-               "wire-level resilience in the spirit of fig16; go-back-N");
+               "wire-level resilience in the spirit of fig16; GBN vs SR");
   std::printf("  %d clients, %u B values, %d gets/client, packetized "
-              "transport (mtu 4096, go-back-N)\n", clients, value_len, gets);
+              "transport (mtu 4096)\n", clients, value_len, gets);
 
   const double losses[] = {0.0, 0.002, 0.01, 0.05};
-  auto run = [&](double loss) {
+  auto run = [&](double loss, bool selective_repeat) {
     workload::FabricScaleConfig cfg;
     cfg.clients = clients;
     cfg.gets_per_client = gets;
     cfg.value_len = value_len;
     cfg.packetized = true;
     cfg.loss = loss;
+    cfg.selective_repeat = selective_repeat;
+    // IB-style timeout exponent: base RTO 4096ns << 6 = 262us, doubling on
+    // consecutive fires. Large enough that queueing on the shared server
+    // link (4 clients x 16-packet responses) never fires a spurious RTO at
+    // zero loss; the doubling keeps the 5% rows from retransmit storms.
+    cfg.timeout_exp = 6;
     return workload::RunFabricScale(cfg);
   };
 
-  bench::Section("loss sweep (simulated, deterministic)");
-  std::printf("  %8s %10s %12s %10s %10s %12s %10s %10s\n", "loss", "gets",
-              "kgets/s", "avg us", "p99 us", "goodput Gb", "rexmits",
-              "timeouts");
-  std::vector<workload::FabricScaleResult> results;
+  bench::Section("loss sweep, same seed per mode (simulated, deterministic)");
+  std::printf("  %8s %4s %8s %12s %10s %12s %9s %9s %9s %9s\n", "loss",
+              "mode", "gets", "kgets/s", "p99 us", "goodput Gb", "rexmits",
+              "sack rtx", "rto", "spurious");
+  std::vector<workload::FabricScaleResult> results;     // go-back-N rows
+  std::vector<workload::FabricScaleResult> sr_results;  // selective repeat
   std::uint64_t total_events = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (double loss : losses) {
-    const auto r = run(loss);
-    results.push_back(r);
-    total_events += r.events;
-    std::printf("  %7.2f%% %10llu %12.1f %10.2f %10.2f %12.2f %10llu %10llu\n",
-                100.0 * loss, static_cast<unsigned long long>(r.gets),
-                r.gets_per_sec / 1e3, r.avg_us, r.p99_us, r.goodput_gbps,
-                static_cast<unsigned long long>(r.retransmits),
-                static_cast<unsigned long long>(r.timeouts));
+    for (const bool sr : {false, true}) {
+      const auto r = run(loss, sr);
+      (sr ? sr_results : results).push_back(r);
+      total_events += r.events;
+      std::printf(
+          "  %7.2f%% %4s %8llu %12.1f %10.2f %12.2f %9llu %9llu %9llu %9llu\n",
+          100.0 * loss, sr ? "sr" : "gbn",
+          static_cast<unsigned long long>(r.gets), r.gets_per_sec / 1e3,
+          r.p99_us, r.goodput_gbps,
+          static_cast<unsigned long long>(r.retransmits),
+          static_cast<unsigned long long>(r.sack_retransmits),
+          static_cast<unsigned long long>(r.rto_fires),
+          static_cast<unsigned long long>(r.spurious_retransmits));
+    }
   }
   // Seed-stability: the lossiest config must reproduce every simulated
   // field exactly — the loss injector is part of the deterministic replay.
-  const auto again = run(losses[3]);
-  total_events += again.events;
+  // Both modes are checked: the SR engine adds draws-in-event-order state
+  // (SACK ranges, reassembly) that must replay just as exactly.
+  const auto again = run(losses[3], false);
+  const auto sr_again = run(losses[3], true);
+  total_events += again.events + sr_again.events;
   const double wall_secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   const auto& lossiest = results.back();
+  const auto& sr_lossiest = sr_results.back();
   const bool stable = again.gets == lossiest.gets &&
                       again.duration_us == lossiest.duration_us &&
                       again.avg_us == lossiest.avg_us &&
                       again.p99_us == lossiest.p99_us &&
                       again.retransmits == lossiest.retransmits &&
-                      again.goodput_gbps == lossiest.goodput_gbps;
+                      again.goodput_gbps == lossiest.goodput_gbps &&
+                      sr_again.gets == sr_lossiest.gets &&
+                      sr_again.duration_us == sr_lossiest.duration_us &&
+                      sr_again.retransmits == sr_lossiest.retransmits &&
+                      sr_again.sack_retransmits == sr_lossiest.sack_retransmits &&
+                      sr_again.goodput_gbps == sr_lossiest.goodput_gbps;
 
-  bench::Section("collapse");
-  std::printf("  goodput %.2f -> %.2f Gb/s and p99 %.1f -> %.1f us from "
+  bench::Section("collapse and recovery-mode delta");
+  std::printf("  gbn goodput %.2f -> %.2f Gb/s and p99 %.1f -> %.1f us from "
               "0%% to %.0f%% loss\n", results[0].goodput_gbps,
               lossiest.goodput_gbps, results[0].p99_us, lossiest.p99_us,
               100.0 * losses[3]);
+  std::printf("  sr keeps %.2f Gb/s at %.0f%% loss (+%.1f%% over gbn, "
+              "%llu targeted vs %llu rewound resends)\n",
+              sr_lossiest.goodput_gbps, 100.0 * losses[3],
+              100.0 * (sr_lossiest.goodput_gbps / lossiest.goodput_gbps - 1.0),
+              static_cast<unsigned long long>(sr_lossiest.retransmits),
+              static_cast<unsigned long long>(lossiest.retransmits));
 
   const double events_per_sec = static_cast<double>(total_events) / wall_secs;
   // The JSON goodput field is the 1% row: high enough loss to exercise
@@ -107,8 +138,15 @@ int main(int argc, char** argv) {
       .Field("gets", lossiest.gets)
       .Field("goodput_gbps", results[2].goodput_gbps)
       .Field("goodput_gbps_lossless", results[0].goodput_gbps)
+      .Field("goodput_gbps_lossiest", lossiest.goodput_gbps)
+      .Field("sr_goodput_gbps", sr_results[2].goodput_gbps)
+      .Field("sr_goodput_gbps_lossiest", sr_lossiest.goodput_gbps)
       .Field("p99_us_lossiest", lossiest.p99_us)
       .Field("retransmits", lossiest.retransmits)
+      .Field("sr_retransmits", sr_lossiest.retransmits)
+      .Field("sr_sack_retransmits", sr_lossiest.sack_retransmits)
+      .Field("rto_fires", lossiest.rto_fires)
+      .Field("spurious_retransmits", lossiest.spurious_retransmits)
       .Field("packets_lost", lossiest.packets_lost)
       .Field("deterministic", static_cast<std::uint64_t>(stable ? 1 : 0))
       .Field("events_per_sec", events_per_sec)
@@ -151,6 +189,31 @@ int main(int argc, char** argv) {
   }
   if (lossiest.retransmits == 0 || lossiest.packets_lost == 0) {
     std::fprintf(stderr, "FAIL: loss injector inert at %.0f%% loss\n",
+                 100.0 * losses[3]);
+    ok = false;
+  }
+  for (std::size_t i = 0; i < sr_results.size(); ++i) {
+    if (sr_results[i].gets != expect) {
+      std::fprintf(stderr,
+                   "FAIL: lost responses at loss %.3f (%llu != %llu) — "
+                   "selective repeat failed to recover\n", losses[i],
+                   static_cast<unsigned long long>(sr_results[i].gets),
+                   static_cast<unsigned long long>(expect));
+      ok = false;
+    }
+  }
+  if (sr_lossiest.sack_retransmits == 0) {
+    std::fprintf(stderr,
+                 "FAIL: SACK machinery inert at %.0f%% loss under sr\n",
+                 100.0 * losses[3]);
+    ok = false;
+  }
+  // The acceptance criterion: targeted resends must beat window rewinds
+  // under the identical loss pattern at the highest loss rate.
+  if (sr_lossiest.goodput_gbps <= lossiest.goodput_gbps) {
+    std::fprintf(stderr,
+                 "FAIL: sr goodput %.3f Gb/s <= gbn %.3f Gb/s at %.0f%% "
+                 "loss\n", sr_lossiest.goodput_gbps, lossiest.goodput_gbps,
                  100.0 * losses[3]);
     ok = false;
   }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "rnic/device.h"
+
 namespace redn::offloads {
 
 HashGetHarness::HashGetHarness(rnic::RnicDevice& client_dev,
@@ -77,6 +79,33 @@ bool HashGetHarness::ResponseMatchesPattern(std::uint64_t key,
 
 void HashGetHarness::Arm(int n) {
   offload_->Arm(n, resp_mr_.addr, resp_mr_.rkey);
+}
+
+void HashGetHarness::RearmTransport(int n) {
+  auto cycle = [](rnic::QueuePair* qp) {
+    if (qp == nullptr) return;
+    rnic::RnicDevice* dev = qp->device;
+    dev->ModifyQp(qp, rnic::QpState::kReset);
+    dev->ModifyQp(qp, rnic::QpState::kInit);
+    dev->ModifyQp(qp, rnic::QpState::kRtr);
+    dev->ModifyQp(qp, rnic::QpState::kRts);
+  };
+  cycle(cli_qp1_);
+  cycle(cli_qp2_);
+  cycle(srv_qp1_);
+  cycle(srv_qp2_);
+  // The reset discarded every pending RECV — client response buffers and
+  // server trigger slots alike.
+  recvs_outstanding_1_ = 0;
+  recvs_outstanding_2_ = 0;
+  // The replacement program's chain r gates on trigger-CQ count
+  // first_seq + r; seed it with what the wrecked program consumed (error
+  // flushes bumped the count too, so read the CQ rather than triggers_).
+  retired_.push_back(std::move(offload_));
+  cfg_.first_seq = srv_qp1_->recv_cq->hw_count();
+  offload_ = std::make_unique<HashGetOffload>(sdev_, table_, heap_, srv_qp1_,
+                                              srv_qp2_, cfg_);
+  Arm(n);
 }
 
 void HashGetHarness::EnsureRecvs() {

@@ -36,6 +36,14 @@ class HashGetHarness {
   // Pre-posts chains for `n` more requests.
   void Arm(int n);
 
+  // Transport-connected recovery (the kill-and-reconnect path): cycles every
+  // QP through reset->init->rtr->rts, retires the current offload program in
+  // place (a QP error flushed its pre-posted responses and trigger RECVs,
+  // so its surviving chains can never run usefully again), and arms a fresh
+  // program for `n` further requests whose trigger thresholds continue from
+  // the CQ count the server has already consumed.
+  void RearmTransport(int n);
+
   // Issues one offloaded get and runs the simulator until the response
   // lands (or `timeout` of simulated time passes -> miss).
   Result Get(std::uint64_t key, sim::Nanos timeout = sim::Micros(200));
@@ -89,6 +97,11 @@ class HashGetHarness {
   rnic::MemoryRegion msg_mr_;
 
   std::unique_ptr<HashGetOffload> offload_;
+  // Offloads abandoned by RearmTransport. Kept alive: their control queues
+  // still reference WQEs and SGE tables they own, and a stale trigger-CQ
+  // waiter may fire them once more (harmlessly — every enable they issue
+  // lands below the reset queues' execution horizon) before going quiet.
+  std::vector<std::unique_ptr<HashGetOffload>> retired_;
   int recvs_outstanding_1_ = 0;
   int recvs_outstanding_2_ = 0;
   std::uint64_t responses_ = 0;

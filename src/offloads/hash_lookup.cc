@@ -21,7 +21,8 @@ HashGetOffload::HashGetOffload(rnic::RnicDevice& server,
       client_qp2_(client_qp2),
       cfg_(cfg),
       prog_(server, cfg.port, /*control_depth=*/16u * cfg.max_requests + 64),
-      prog2_(server, cfg.port, /*control_depth=*/16u * cfg.max_requests + 64) {
+      prog2_(server, cfg.port, /*control_depth=*/16u * cfg.max_requests + 64),
+      armed_(cfg.first_seq) {
   assert(client_qp_->sq.managed() && "response queue must be managed");
   assert(cfg_.buckets == 1 || cfg_.buckets == 2);
   const std::uint32_t chain_depth = 4u * cfg.max_requests + 16;

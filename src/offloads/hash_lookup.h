@@ -59,6 +59,11 @@ class HashGetOffload {
     // packets, links drop/corrupt them per the transport's config, and
     // retransmission recovers — the lossy-wire scenario.
     sim::Transport* transport = nullptr;
+    // Starting request sequence number. Chain r waits for the trigger CQ's
+    // hw count to reach first_seq + r, so a replacement offload built after
+    // a QP error must seed this with the CQ count already consumed by its
+    // predecessor (HashGetHarness::RearmTransport does).
+    std::uint64_t first_seq = 0;
   };
 
   // `client_qp` (and `client_qp2` iff parallel) are server-side QPs already

@@ -154,6 +154,7 @@ void RnicDevice::KillProcessResources(int pid) {
   for (auto& qp : qps_) {
     if (qp->owner_pid == pid && qp->alive) {
       qp->alive = false;
+      qp->state = QpState::kError;
       qp->sq.error = true;
       qp->rq.error = true;
     }
@@ -777,9 +778,28 @@ void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
                                    sim::Nanos ready) {
   pl->st = WcStatus::kSuccess;
   pl->flushed = false;
-  qp->transport->SendMessage(
-      qp->flow, ready, pl->bytes.size(),
-      /*on_deliver=*/
+  sim::Transport::MessageOps ops;
+  // Ops that consume a RECV probe the responder's RQ before delivery: an
+  // empty RQ (or an injected stall) answers RNR NAK and the transport
+  // retries after backoff instead of completing with kRnrError. Only wired
+  // when the transport's RNR engine is on — with rnr_retry_count == 0 the
+  // probe is never consulted and AcceptSend keeps the legacy drop.
+  if (op == Opcode::kSend || op == Opcode::kSendImm || op == Opcode::kWriteImm) {
+    ops.rnr_probe = [this, peer](sim::Nanos) {
+      if (!peer->alive) return true;  // let delivery surface the real error
+      if (peer->stall_recvs > 0) {
+        --peer->stall_recvs;
+        ++peer->device->counters_.rnr_naks;
+        return false;
+      }
+      if (peer->rq.consumed >= peer->rq.posted) {
+        ++peer->device->counters_.rnr_naks;
+        return false;
+      }
+      return true;
+    };
+  }
+  ops.on_deliver =
       [this, &wq, qp, peer, pl, op](sim::Nanos) {
         if (wq.error) {  // QP flushed after an earlier failure: no CQE
           pl->flushed = true;
@@ -811,8 +831,8 @@ void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
           ++counters_.error_completions;
         }
         pl->st = st;
-      },
-      /*on_acked=*/
+      };
+  ops.on_acked =
       [this, qp, pl](sim::Nanos) {
         if (pl->flushed || !qp->alive) {
           payloads_.Release(pl);
@@ -822,7 +842,18 @@ void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
                    sim_.now() + cal_.remote_ack_extra, pl->st,
                    static_cast<std::uint32_t>(pl->bytes.size()));
         payloads_.Release(pl);
-      });
+      };
+  ops.on_failed =
+      [this, qp, pl](sim::Nanos t, sim::MsgFailure why) {
+        if (pl->flushed || !qp->alive) {
+          payloads_.Release(pl);
+          return;
+        }
+        FailQpOverTransport(qp, pl->img, t, StatusOf(why));
+        payloads_.Release(pl);
+      };
+  qp->transport->SendMessageEx(qp->flow, ready, pl->bytes.size(),
+                               std::move(ops));
 }
 
 void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
@@ -833,9 +864,8 @@ void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
   // responder, and the requester must never hang on them — so they bypass
   // the loss injector, while the request and the data-bearing response ride
   // the lossy packetized flows.
-  qp->transport->SendMessage(
-      qp->flow, t_issue, kReadRequestBytes,
-      /*on_deliver=*/
+  sim::Transport::MessageOps req;
+  req.on_deliver =
       [this, &wq, qp, peer, pl, ow](sim::Nanos) {
         if (!qp->alive) {  // requester died: flush silently
           payloads_.Release(pl);
@@ -876,9 +906,9 @@ void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
              pcie_done, mem_done});
         // The response payload rides the responder's flow back; READs
         // complete at in-order data delivery (no extra ack leg).
-        peer->transport->SendMessage(
-            peer->flow, ready, len,
-            /*on_deliver=*/[this, &wq, qp, pl](sim::Nanos) {
+        sim::Transport::MessageOps resp;
+        resp.on_deliver =
+            [this, &wq, qp, pl](sim::Nanos) {
               if (!qp->alive) {
                 payloads_.Release(pl);
                 return;
@@ -895,8 +925,36 @@ void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
                          WcStatus::kSuccess,
                          static_cast<std::uint32_t>(pl->bytes.size()));
               payloads_.Release(pl);
-            });
-      });
+            };
+        resp.on_failed =
+            [this, qp, peer, pl](sim::Nanos t, sim::MsgFailure why) {
+              // The responder's flow died under the response: the READ must
+              // still resolve on the requester CQ, and both ends of the
+              // connection are now broken.
+              if (peer->alive) peer->device->TransitionToError(peer);
+              if (!qp->alive) {
+                payloads_.Release(pl);
+                return;
+              }
+              FailQpOverTransport(qp, pl->img, t, StatusOf(why));
+              payloads_.Release(pl);
+            };
+        peer->transport->SendMessageEx(peer->flow, ready, len,
+                                       std::move(resp));
+      };
+  req.on_failed =
+      [this, qp, pl](sim::Nanos t, sim::MsgFailure why) {
+        // A lost READ request exhausting its retries surfaces on the
+        // requester CQ instead of waiting forever on the response flow.
+        if (!qp->alive) {
+          payloads_.Release(pl);
+          return;
+        }
+        FailQpOverTransport(qp, pl->img, t, StatusOf(why));
+        payloads_.Release(pl);
+      };
+  qp->transport->SendMessageEx(qp->flow, t_issue, kReadRequestBytes,
+                               std::move(req));
 }
 
 WcStatus RnicDevice::AcceptWrite(QueuePair* dst_qp, std::uint64_t addr,
@@ -1032,6 +1090,105 @@ void RnicDevice::FailWr(WorkQueue& wq, const WqeImage& img, sim::Nanos t,
   DeliverCqe(wq.cq(), cqe, t + cal_.cq_internal);
 }
 
+WcStatus RnicDevice::StatusOf(sim::MsgFailure why) {
+  switch (why) {
+    case sim::MsgFailure::kRetryExceeded: return WcStatus::kRetryExcError;
+    case sim::MsgFailure::kRnrRetryExceeded: return WcStatus::kRnrRetryExcError;
+    case sim::MsgFailure::kFlushed: return WcStatus::kWrFlushError;
+  }
+  return WcStatus::kWrFlushError;
+}
+
+void RnicDevice::FailQpOverTransport(QueuePair* qp, const WqeImage& img,
+                                     sim::Nanos t, WcStatus status) {
+  ++counters_.error_completions;
+  if (status == WcStatus::kWrFlushError) ++counters_.wrs_flushed;
+  Cqe cqe;
+  cqe.qp_id = qp->id;
+  cqe.wr_id = img.wr_id();
+  cqe.opcode = img.opcode();
+  cqe.status = status;
+  DeliverCqe(qp->send_cq, cqe, t + cal_.cq_internal);
+  TransitionToError(qp);
+}
+
+void RnicDevice::TransitionToError(QueuePair* qp) {
+  if (qp->state == QpState::kError) return;
+  qp->state = QpState::kError;
+  ++counters_.qp_errors;
+  qp->sq.error = true;
+  qp->sq.busy = false;
+  qp->rq.error = true;
+  // Flush one same-instant event later: a flow failure fans out on_failed
+  // over every in-flight WR first, and their error CQEs should precede the
+  // flush CQEs of WRs that never executed.
+  sim_.At(sim_.now(), [this, qp] { FlushQueued(qp); });
+}
+
+void RnicDevice::FlushQueued(QueuePair* qp) {
+  if (qp->state != QpState::kError) return;  // re-armed before the flush ran
+  const sim::Nanos t = sim_.now() + cal_.cq_internal;
+  for (std::uint64_t idx = qp->sq.next_exec; idx < qp->sq.posted; ++idx) {
+    const WqeImage img = qp->sq.Slot(idx).Load();
+    ++counters_.error_completions;
+    ++counters_.wrs_flushed;
+    Cqe cqe;
+    cqe.qp_id = qp->id;
+    cqe.wr_id = img.wr_id();
+    cqe.opcode = img.opcode();
+    cqe.status = WcStatus::kWrFlushError;
+    DeliverCqe(qp->send_cq, cqe, t);
+  }
+  qp->sq.next_exec = qp->sq.posted;
+  qp->sq.fetch_horizon = std::max(qp->sq.fetch_horizon, qp->sq.posted);
+  for (std::uint64_t idx = qp->rq.consumed; idx < qp->rq.posted; ++idx) {
+    const WqeImage img = qp->rq.Slot(idx).Load();
+    ++counters_.error_completions;
+    ++counters_.wrs_flushed;
+    Cqe cqe;
+    cqe.qp_id = qp->id;
+    cqe.wr_id = img.wr_id();
+    cqe.opcode = Opcode::kRecv;
+    cqe.status = WcStatus::kWrFlushError;
+    DeliverCqe(qp->recv_cq, cqe, t);
+  }
+  qp->rq.consumed = qp->rq.posted;
+}
+
+void RnicDevice::ModifyQp(QueuePair* qp, QpState next) {
+  switch (next) {
+    case QpState::kReset: {
+      const bool rearming = qp->state == QpState::kError;
+      qp->state = QpState::kReset;
+      // Drop the backlog (anything worth completing was flushed on the way
+      // to ERROR; a reset from a healthy state discards silently, like
+      // ibv_modify_qp →RESET). Progress counters stay monotonic.
+      qp->sq.error = false;
+      qp->sq.busy = false;
+      qp->sq.waiting = false;
+      qp->sq.next_exec = qp->sq.posted;
+      qp->sq.fetch_horizon = std::max(qp->sq.fetch_horizon, qp->sq.posted);
+      qp->rq.error = false;
+      qp->rq.busy = false;
+      qp->rq.consumed = qp->rq.posted;
+      qp->stall_recvs = 0;
+      if (qp->transport != nullptr && qp->flow >= 0) {
+        qp->transport->ResetFlow(qp->flow);
+      }
+      if (rearming) ++counters_.qp_rearms;
+      break;
+    }
+    case QpState::kInit:
+    case QpState::kRtr:
+    case QpState::kRts:
+      qp->state = next;
+      break;
+    case QpState::kError:
+      TransitionToError(qp);
+      break;
+  }
+}
+
 sim::Nanos RnicDevice::PuService(Opcode op) const {
   switch (op) {
     case Opcode::kNoop: return cal_.pu_noop;
@@ -1151,6 +1308,17 @@ const char* RnicDevice::BusiestResource(sim::Nanos window) const {
     who = "PCIe bw";
   }
   return who;
+}
+
+const char* QpStateName(QpState s) {
+  switch (s) {
+    case QpState::kReset: return "RESET";
+    case QpState::kInit: return "INIT";
+    case QpState::kRtr: return "RTR";
+    case QpState::kRts: return "RTS";
+    case QpState::kError: return "ERROR";
+  }
+  return "UNKNOWN";
 }
 
 void Connect(QueuePair* a, QueuePair* b, sim::Nanos one_way) {

@@ -37,11 +37,21 @@
 
 namespace redn::sim {
 class Transport;
+enum class MsgFailure : std::uint8_t;
 }  // namespace redn::sim
 
 namespace redn::rnic {
 
 class RnicDevice;
+
+// ibv_qp_state analogue. QPs are born RTS (the simulator's historical
+// behaviour — Connect* does the whole handshake); the machine only matters
+// on the error path: a transport retry budget dying moves the QP to kError
+// (in-flight WR completes with RETRY_EXC/RNR_RETRY_EXC, queued WRs flush),
+// and ModifyQp kReset -> kInit -> kRtr -> kRts re-arms it.
+enum class QpState : std::uint8_t { kReset, kInit, kRtr, kRts, kError };
+
+const char* QpStateName(QpState s);
 
 // Queue pair: a send queue + receive queue bound to CQs and a port.
 struct QueuePair {
@@ -66,6 +76,10 @@ struct QueuePair {
   int port = 0;
   bool alive = true;             // false once the owning process died
   int owner_pid = 0;             // resource-ownership for failure experiments
+  QpState state = QpState::kRts;
+  // Receiver-stall fault injection (StallRecvsFor): the next N inbound
+  // transport SENDs see "no RECV posted" regardless of the RQ's depth.
+  int stall_recvs = 0;
 
   // WQ rate limiter (ibv_modify_qp_rate_limit analogue): minimum gap
   // between issued WQEs. 0 = unlimited.
@@ -105,7 +119,11 @@ struct DeviceCounters {
   std::uint64_t doorbells = 0;
   std::uint64_t cqes = 0;
   std::uint64_t rnr_drops = 0;
-  std::uint64_t error_completions = 0;
+  std::uint64_t rnr_naks = 0;          // transport RNR probes answered not-ready
+  std::uint64_t error_completions = 0; // every non-success CQE delivered
+  std::uint64_t wrs_flushed = 0;       // WR_FLUSH_ERR CQEs (SQ + RQ)
+  std::uint64_t qp_errors = 0;         // RTS->ERROR transitions
+  std::uint64_t qp_rearms = 0;         // ERROR->...->RTS recoveries
   // Decoded-WQE translation cache: fetches served by a verified cached
   // decode / fetches that had to decode / cache entries a write killed or
   // refreshed (tracked stores and verify failures both count).
@@ -242,6 +260,16 @@ class RnicDevice {
   // the first WQE after a reconfigure paces from now rather than waiting
   // out a slot computed from the old gap.
   void SetRateLimit(QueuePair* qp, double ops_per_sec);
+  // ibv_modify_qp analogue for the state machine. kReset drops the WQ
+  // backlog, clears the error latches, and (transport connections) resets
+  // the QP's outbound flow to a fresh PSN space; kInit/kRtr/kRts record the
+  // re-arm handshake (an ERROR->RTS recovery bumps counters().qp_rearms);
+  // kError force-transitions with the same flush semantics as a transport
+  // budget death.
+  void ModifyQp(QueuePair* qp, QpState next);
+  // Deterministic receiver-stall fault injection: the next `n` inbound
+  // transport SENDs targeting `qp` are RNR-NAKed as if no RECV were posted.
+  void StallRecvsFor(QueuePair* qp, int n) { qp->stall_recvs += n; }
 
   // --- Shared fabric --------------------------------------------------------
   // Plugs `port` into a shared fabric. QPs on this port connected with
@@ -342,6 +370,17 @@ class RnicDevice {
   // new limit, and kicks the queue.
   void ApplyEnable(WorkQueue& wq, std::uint64_t limit);
   void FailWr(WorkQueue& wq, const WqeImage& img, sim::Nanos t, WcStatus status);
+  // Transport retry-budget death: delivers the in-flight WR's error CQE
+  // (always signaled — errors never complete silently) and moves the QP to
+  // ERROR, flushing everything queued behind it.
+  void FailQpOverTransport(QueuePair* qp, const WqeImage& img, sim::Nanos t,
+                           WcStatus status);
+  // RTS->ERROR: latches the WQ error flags and flushes queued-but-
+  // unexecuted SQ WQEs and unconsumed RECVs with WR_FLUSH_ERR CQEs (one
+  // same-instant event later, so in-flight failures complete first).
+  void TransitionToError(QueuePair* qp);
+  void FlushQueued(QueuePair* qp);
+  static WcStatus StatusOf(sim::MsgFailure why);
 
   // Incoming traffic from a peer device (or loopback), executed at arrival
   // time on the responder device.

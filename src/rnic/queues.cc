@@ -12,6 +12,9 @@ const char* WcStatusName(WcStatus s) {
     case WcStatus::kRnrError: return "RNR_ERROR";
     case WcStatus::kAlignmentError: return "ALIGNMENT_ERROR";
     case WcStatus::kBadOpcode: return "BAD_OPCODE";
+    case WcStatus::kRetryExcError: return "RETRY_EXC_ERR";
+    case WcStatus::kRnrRetryExcError: return "RNR_RETRY_EXC_ERR";
+    case WcStatus::kWrFlushError: return "WR_FLUSH_ERR";
   }
   return "UNKNOWN";
 }

@@ -34,6 +34,9 @@ enum class WcStatus : std::uint8_t {
   kRnrError,           // SEND arrived with no RECV posted
   kAlignmentError,     // atomic target not 8-byte aligned
   kBadOpcode,          // malformed WQE (e.g. RECV opcode in a send queue)
+  kRetryExcError,      // transport retry budget spent (peer unreachable)
+  kRnrRetryExcError,   // RNR retry budget spent (receiver never ready)
+  kWrFlushError,       // WR flushed: queued behind a failure / QP in ERROR
 };
 
 const char* WcStatusName(WcStatus s);

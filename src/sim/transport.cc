@@ -1,8 +1,19 @@
 #include "sim/transport.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace redn::sim {
+
+namespace {
+// Bounds the exponential backoff shifts: 2^10 on a 50µs base is ~51ms,
+// already far past any budget a test or bench configures.
+constexpr std::uint32_t kMaxBackoffShift = 10;
+// SACK ranges carried per ACK; holes past the cap wait for the next ACK
+// or the RTO (the sender must never mis-learn an unreported hole as
+// received, so `high` clamps to the last reported range).
+constexpr std::size_t kMaxSackRanges = 8;
+}  // namespace
 
 Transport::Transport(Simulator& sim, Fabric& fabric, TransportConfig cfg)
     : sim_(sim),
@@ -34,10 +45,16 @@ const Transport::LinkFault& Transport::FaultAt(int ep) const {
   return i < faults_.size() ? faults_[i] : default_fault_;
 }
 
+Nanos Transport::RnrDelay(std::uint32_t attempt) const {
+  const std::uint32_t shift =
+      std::min(attempt > 0 ? attempt - 1 : 0u, kMaxBackoffShift);
+  return (Nanos{4096} << cfg_.min_rnr_timer) << shift;
+}
+
 Transport::PacketView Transport::PacketOf(const Flow& f,
                                           std::uint64_t psn) const {
   // Linear from the front: the deque holds only unacked messages and
-  // go-back-N never transmits below base, so the walk is bounded by the
+  // the sender never transmits below base, so the walk is bounded by the
   // window's message count.
   for (const Message& m : f.msgs) {
     if (psn <= m.last_psn) {
@@ -54,7 +71,27 @@ Transport::PacketView Transport::PacketOf(const Flow& f,
 
 void Transport::SendMessage(int flow, Nanos t, std::uint64_t bytes,
                             Callback on_deliver, Callback on_acked) {
+  MessageOps ops;
+  ops.on_deliver = std::move(on_deliver);
+  ops.on_acked = std::move(on_acked);
+  SendMessageEx(flow, t, bytes, std::move(ops));
+}
+
+void Transport::SendMessageEx(int flow, Nanos t, std::uint64_t bytes,
+                              MessageOps ops) {
   Flow& f = *flows_[static_cast<std::size_t>(flow)];
+  ++counters_.messages_sent;
+  if (f.error) {
+    // The flow's budget already died: fail fast (asynchronously, so the
+    // caller never re-enters itself) instead of queueing into a void.
+    ++counters_.messages_failed;
+    if (ops.on_failed) {
+      sim_.At(sim_.now(), [this, cb = std::move(ops.on_failed)] {
+        cb(sim_.now(), MsgFailure::kFlushed);
+      });
+    }
+    return;
+  }
   if (t < sim_.now()) t = sim_.now();
   const std::uint64_t segs =
       bytes == 0 ? 1 : (bytes + cfg_.mtu - 1) / cfg_.mtu;
@@ -63,17 +100,15 @@ void Transport::SendMessage(int flow, Nanos t, std::uint64_t bytes,
   m.ready = t;
   m.first_psn = f.next_psn;
   m.last_psn = f.next_psn + segs - 1;
-  m.on_deliver = std::move(on_deliver);
-  m.on_acked = std::move(on_acked);
+  m.ops = std::move(ops);
   const bool was_idle = f.base == f.next_psn;
   f.next_psn += segs;
   f.msgs.push_back(std::move(m));
-  ++counters_.messages_sent;
-  TrySend(f);
+  if (!f.rnr_paused) TrySend(f);
   // Only an idle->busy transition arms the timer: re-arming on every
   // enqueue would let a steady message stream postpone the RTO forever
   // while the base PSN sits unacked.
-  if (was_idle) ArmRto(f);
+  if (was_idle && !f.rnr_paused) ArmRto(f);
 }
 
 void Transport::TrySend(Flow& f) {
@@ -114,70 +149,191 @@ void Transport::SendPacket(Flow& f, std::uint64_t psn, const PacketView& p) {
     ++counters_.corrupted;
     return;
   }
-  sim_.At(arrive, [this, fp = &f, psn] { OnData(*fp, psn); });
+  sim_.At(arrive, [this, fp = &f, psn, gen = f.gen] {
+    if (gen != fp->gen) return;  // a reset/failure outlived this packet
+    OnData(*fp, psn);
+  });
 }
 
 void Transport::OnData(Flow& f, std::uint64_t psn) {
+  if (f.error) return;
   if (psn == f.expected) {
     ++f.expected;
-    bool boundary = false;
-    while (f.delivered < f.msgs.size()) {
-      // Deque references stay valid across push_back, so a callback that
-      // queues a response on this same flow cannot invalidate `m`.
-      Message& m = f.msgs[f.delivered];
-      if (m.last_psn >= f.expected) break;
-      ++f.delivered;
-      ++counters_.messages_delivered;
-      counters_.payload_bytes_delivered += m.len;
-      boundary = true;
-      if (m.on_deliver) m.on_deliver(sim_.now());
+    if (Sr()) {
+      // Drain the reassembly window: contiguous held packets are as good
+      // as arrived now.
+      auto it = f.rx_ooo.begin();
+      while (it != f.rx_ooo.end() && *it == f.expected) {
+        it = f.rx_ooo.erase(it);
+        ++f.expected;
+      }
     }
+    bool boundary = false;
+    const bool ready = DeliverReady(f, &boundary);
     ++f.rx_unacked;
+    if (!ready) {
+      // An rnr_probe rejected the head message: expected has been rewound
+      // to its first PSN; tell the sender to back off and retry.
+      SendAck(f, AckKind::kRnr);
+      return;
+    }
     if (boundary || f.rx_unacked >= cfg_.ack_every) {
-      SendAck(f, /*nak=*/false);
+      SendAck(f, AckKind::kAck);
     } else {
       ArmAckTimer(f);
     }
   } else if (psn > f.expected) {
-    // Gap: a go-back-N receiver buffers nothing. NAK so the sender rewinds
-    // without waiting out the RTO.
     ++counters_.out_of_order;
-    SendAck(f, /*nak=*/true);
+    if (Sr()) {
+      if (!f.rx_ooo.insert(psn).second) {
+        // Already held: the sender resent something we have.
+        ++counters_.duplicates;
+        ++counters_.spurious_retransmits;
+      }
+      // Either way the ACK carries the current missing ranges, so the
+      // sender learns exactly which holes remain.
+      SendAck(f, AckKind::kAck);
+    } else {
+      // Gap: a go-back-N receiver buffers nothing. NAK so the sender
+      // rewinds without waiting out the RTO.
+      SendAck(f, AckKind::kNak);
+    }
   } else {
     // Duplicate from a spurious retransmit (e.g. an eaten ACK): discard —
     // this filter is what guarantees single delivery — and re-ACK so the
     // sender's base can advance.
     ++counters_.duplicates;
-    SendAck(f, /*nak=*/false);
+    ++counters_.spurious_retransmits;
+    SendAck(f, AckKind::kAck);
   }
 }
 
-void Transport::SendAck(Flow& f, bool nak) {
+bool Transport::DeliverReady(Flow& f, bool* boundary) {
+  while (f.delivered < f.msgs.size()) {
+    // Deque references stay valid across push_back, so a callback that
+    // queues a response on this same flow cannot invalidate `m`.
+    Message& m = f.msgs[f.delivered];
+    if (m.last_psn >= f.expected) break;
+    if (cfg_.rnr_retry_count > 0 && m.ops.rnr_probe &&
+        !m.ops.rnr_probe(sim_.now())) {
+      // Receiver not ready (no RECV posted): rewind to the message start.
+      // Selective repeat re-holds what already arrived past the first
+      // packet; go-back-N discards it — the sender rewinds anyway.
+      const std::uint64_t arrived_to = f.expected;
+      f.expected = m.first_psn;
+      if (Sr()) {
+        for (std::uint64_t p = m.first_psn + 1; p < arrived_to; ++p) {
+          f.rx_ooo.insert(p);
+        }
+      }
+      ++counters_.rnr_naks;
+      return false;
+    }
+    ++f.delivered;
+    ++counters_.messages_delivered;
+    counters_.payload_bytes_delivered += m.len;
+    *boundary = true;
+    if (m.ops.on_deliver) m.ops.on_deliver(sim_.now());
+  }
+  return true;
+}
+
+Transport::SackRanges Transport::MissingRanges(const Flow& f) const {
+  SackRanges r;
+  std::uint64_t need = f.expected;
+  for (const std::uint64_t psn : f.rx_ooo) {
+    if (psn > need) {
+      if (r.size() == kMaxSackRanges) break;
+      r.push_back({need, psn - 1});
+    }
+    need = psn + 1;
+  }
+  return r;
+}
+
+void Transport::SendAck(Flow& f, AckKind kind) {
   f.rx_unacked = 0;
   ++f.ack_epoch;  // cancels any pending delayed ACK
   ++counters_.acks_sent;
-  counters_.wire_bytes_sent += cfg_.ack_bytes;
+  SackRanges ranges;
+  std::uint64_t high = 0;
+  if (Sr() && !f.rx_ooo.empty()) {
+    ranges = MissingRanges(f);
+    if (!ranges.empty()) {
+      ++counters_.sacks_sent;
+      // Everything in [upto, high] not named missing is known-received at
+      // the sender. When the range cap truncated the report, high clamps
+      // to the last reported hole so unreported holes are not mis-learned.
+      high = ranges.size() == kMaxSackRanges ? ranges.back().second
+                                             : *f.rx_ooo.rbegin();
+    }
+  }
+  const std::uint64_t wire =
+      cfg_.ack_bytes + ranges.size() * cfg_.sack_range_bytes;
+  counters_.wire_bytes_sent += wire;
   const std::uint64_t upto = f.expected;
-  const Nanos tx_done = fabric_.ReserveTx(f.dst, sim_.now(), cfg_.ack_bytes);
+  const Nanos tx_done = fabric_.ReserveTx(f.dst, sim_.now(), wire);
   if (TakeForced(&force_drop_acks_) || Lost(FaultAt(f.dst).loss)) {
     ++counters_.acks_dropped;
     return;
   }
   const Nanos at_src = tx_done + fabric_.OneWay(f.dst, f.src);
-  const Nanos arrive = fabric_.ReserveRx(f.src, at_src, cfg_.ack_bytes);
+  const Nanos arrive = fabric_.ReserveRx(f.src, at_src, wire);
   if (Lost(FaultAt(f.src).loss)) {
     ++counters_.acks_dropped;
     return;
   }
-  sim_.At(arrive, [this, fp = &f, upto, nak] { OnAck(*fp, upto, nak); });
+  sim_.At(arrive, [this, fp = &f, upto, kind, gen = f.gen,
+                   high, ranges = std::move(ranges)] {
+    if (gen != fp->gen) return;
+    OnAck(*fp, upto, kind, high, ranges);
+  });
 }
 
-void Transport::OnAck(Flow& f, std::uint64_t upto, bool nak) {
+void Transport::MarkKnownReceived(Flow& f, std::uint64_t upto,
+                                  std::uint64_t high,
+                                  const SackRanges& ranges) {
+  if (!Sr() || ranges.empty()) return;
+  std::size_t ri = 0;
+  for (std::uint64_t psn = std::max(upto, f.base); psn <= high; ++psn) {
+    while (ri < ranges.size() && psn > ranges[ri].second) ++ri;
+    const bool missing = ri < ranges.size() && psn >= ranges[ri].first &&
+                         psn <= ranges[ri].second;
+    if (!missing) f.known_received.insert(psn);
+  }
+}
+
+int Transport::SackRetransmit(Flow& f, const SackRanges& ranges) {
+  int resent = 0;
+  for (const auto& [first, last] : ranges) {
+    const std::uint64_t lo = std::max(first, f.base);
+    const std::uint64_t hi = std::min(last + 1, f.high_water);
+    for (std::uint64_t psn = lo; psn < hi; ++psn) {
+      if (f.known_received.count(psn) != 0) continue;
+      // Once per loss event: a hole named by several SACKs (every arrival
+      // behind it generates one) is resent on the first report only; the
+      // RTO clears the set and covers a lost retransmission.
+      if (!f.retx_outstanding.insert(psn).second) continue;
+      ++counters_.sack_retransmits;
+      SendPacket(f, psn, PacketOf(f, psn));
+      ++resent;
+    }
+  }
+  return resent;
+}
+
+void Transport::OnAck(Flow& f, std::uint64_t upto, AckKind kind,
+                      std::uint64_t high, const SackRanges& ranges) {
+  if (f.error) return;
   bool progressed = false;
   if (upto > f.base) {
     progressed = true;
     f.base = upto;
     f.goback_armed = false;
+    // Cumulative progress proves the path and the peer are alive: both
+    // backoff ladders restart.
+    f.consec_rtos = 0;
+    f.rnr_attempts = 0;
     while (!f.msgs.empty() && f.msgs.front().last_psn < f.base) {
       // A cumulative ACK past last_psn implies the receiver delivered the
       // message, so `delivered` always covers the popped entry.
@@ -185,15 +341,54 @@ void Transport::OnAck(Flow& f, std::uint64_t upto, bool nak) {
       f.msgs.pop_front();
       --f.delivered;
       ++counters_.messages_acked;
-      if (m.on_acked) m.on_acked(sim_.now());
+      if (m.ops.on_acked) m.ops.on_acked(sim_.now());
     }
     if (f.send_cursor < f.base) f.send_cursor = f.base;
+    if (Sr()) {
+      f.known_received.erase(f.known_received.begin(),
+                             f.known_received.lower_bound(f.base));
+      f.retx_outstanding.erase(f.retx_outstanding.begin(),
+                               f.retx_outstanding.lower_bound(f.base));
+    }
   }
-  // Decide the NAK rewind BEFORE transmitting anything: a NAK that also
-  // carries cumulative progress must not first slide the window forward
-  // (sending fresh packets the gapped receiver would only discard) and
-  // rewind afterwards — that would transmit every post-gap packet twice.
-  if (nak && upto == f.base && f.base < f.next_psn && !f.goback_armed) {
+  if (kind == AckKind::kRnr) {
+    if (f.rnr_attempts >= 1 && f.rnr_paused) return;  // NAK burst: one pause
+    ++f.rnr_attempts;
+    if (cfg_.rnr_retry_count > 0 &&
+        f.rnr_attempts > cfg_.rnr_retry_count) {
+      FailFlow(f, MsgFailure::kRnrRetryExceeded);
+      return;
+    }
+    MarkKnownReceived(f, upto, high, ranges);
+    ++counters_.rnr_backoffs;
+    f.rnr_paused = true;
+    ++f.rto_epoch;  // the backoff owns the clock; silence the RTO
+    sim_.After(RnrDelay(f.rnr_attempts), [this, fp = &f, gen = f.gen] {
+      if (gen != fp->gen) return;
+      OnRnrResume(*fp);
+    });
+    return;
+  }
+  if (f.rnr_paused) {
+    // Stragglers during the backoff still teach us what arrived, but the
+    // resume event owns all transmission.
+    MarkKnownReceived(f, upto, high, ranges);
+    return;
+  }
+  if (Sr()) {
+    MarkKnownReceived(f, upto, high, ranges);
+    const int resent = ranges.empty() ? 0 : SackRetransmit(f, ranges);
+    if (progressed) TrySend(f);  // the window slid open
+    if (progressed || resent > 0) ArmRto(f);
+    return;
+  }
+  // Go-back-N. Decide the NAK rewind BEFORE transmitting anything: a NAK
+  // that also carries cumulative progress must not first slide the window
+  // forward (sending fresh packets the gapped receiver would only discard)
+  // and rewind afterwards — that would transmit every post-gap packet
+  // twice.
+  if (kind == AckKind::kNak && upto == f.base && f.base < f.next_psn &&
+      !f.goback_armed) {
     // The receiver reported a gap at our current base: rewind once per
     // loss event (repeated NAKs for the same gap are already answered by
     // the retransmission in flight).
@@ -209,21 +404,63 @@ void Transport::OnAck(Flow& f, std::uint64_t upto, bool nak) {
   // upto < base (and no gap at base): a stale ACK overtaken by progress.
 }
 
+void Transport::RetransmitMissing(Flow& f) {
+  const std::uint64_t hi = std::min(f.high_water, f.base + cfg_.window);
+  for (std::uint64_t psn = f.base; psn < hi; ++psn) {
+    if (f.known_received.count(psn) != 0) continue;
+    SendPacket(f, psn, PacketOf(f, psn));
+  }
+}
+
 void Transport::ArmRto(Flow& f) {
   const std::uint64_t epoch = ++f.rto_epoch;  // supersede any pending timer
-  if (f.base == f.next_psn) return;           // nothing outstanding
-  sim_.After(cfg_.rto, [this, fp = &f, epoch] {
+  if (f.base == f.next_psn || f.error) return;  // nothing outstanding
+  // Consecutive timeouts on one base PSN double the interval: a feedback
+  // loop with a fixed period and a lossy channel otherwise retransmits in
+  // lockstep with whatever is eating the packets.
+  const std::uint32_t shift = std::min(f.consec_rtos, kMaxBackoffShift);
+  sim_.After(BaseRto() << shift, [this, fp = &f, epoch] {
     if (epoch != fp->rto_epoch) return;
     OnRto(*fp);
   });
 }
 
 void Transport::OnRto(Flow& f) {
+  if (f.error || f.rnr_paused) return;
   if (f.base == f.next_psn) return;
+  ++counters_.rto_fires;
+  ++f.consec_rtos;
+  if (cfg_.retry_count > 0 && f.consec_rtos > cfg_.retry_count) {
+    FailFlow(f, MsgFailure::kRetryExceeded);
+    return;
+  }
   ++counters_.timeouts;
   f.goback_armed = false;
-  f.send_cursor = f.base;
-  TrySend(f);
+  if (Sr()) {
+    // The timeout invalidates what we thought was in flight: every hole
+    // may be resent again on the next SACK.
+    f.retx_outstanding.clear();
+    RetransmitMissing(f);
+  } else {
+    f.send_cursor = f.base;
+    TrySend(f);
+  }
+  ArmRto(f);
+}
+
+void Transport::OnRnrResume(Flow& f) {
+  if (f.error || !f.rnr_paused) return;
+  f.rnr_paused = false;
+  if (f.base == f.next_psn) return;  // acked away during the pause
+  if (Sr()) {
+    f.retx_outstanding.clear();
+    RetransmitMissing(f);
+    TrySend(f);
+  } else {
+    f.goback_armed = false;
+    f.send_cursor = f.base;
+    TrySend(f);
+  }
   ArmRto(f);
 }
 
@@ -236,14 +473,73 @@ void Transport::ArmAckTimer(Flow& f) {
 
 void Transport::OnAckTimer(Flow& f, std::uint64_t epoch) {
   f.ack_timer_armed = false;
-  if (f.rx_unacked == 0) return;
+  if (f.error || f.rx_unacked == 0) return;
   if (epoch != f.ack_epoch) {
     // An eager ACK superseded this timer but packets arrived since; cover
     // the current batch with a fresh delay.
     ArmAckTimer(f);
     return;
   }
-  SendAck(f, /*nak=*/false);
+  SendAck(f, AckKind::kAck);
+}
+
+void Transport::FailFlow(Flow& f, MsgFailure why) {
+  if (f.error) return;
+  f.error = true;
+  ++f.gen;  // in-flight packets, ACKs, and timers of this life die
+  ++f.rto_epoch;
+  ++f.ack_epoch;
+  f.ack_timer_armed = false;
+  f.rnr_paused = false;
+  if (why == MsgFailure::kRetryExceeded) {
+    ++counters_.retry_exhausted;
+  } else {
+    ++counters_.rnr_exhausted;
+  }
+  // The message under the exhausted budget carries the reason; everything
+  // queued behind it flushes. on_failed is the *only* hook fired — a
+  // delivered-but-unacked message is indistinguishable from an undelivered
+  // one at the requester, exactly the IB ambiguity ERROR state models.
+  bool first = true;
+  while (!f.msgs.empty()) {
+    Message m = std::move(f.msgs.front());
+    f.msgs.pop_front();
+    ++counters_.messages_failed;
+    if (m.ops.on_failed) {
+      m.ops.on_failed(sim_.now(), first ? why : MsgFailure::kFlushed);
+    }
+    first = false;
+  }
+  f.delivered = 0;
+  f.rx_ooo.clear();
+  f.known_received.clear();
+  f.retx_outstanding.clear();
+}
+
+void Transport::ResetFlow(int flow) {
+  Flow& f = *flows_[static_cast<std::size_t>(flow)];
+  // Tearing down a live flow flushes whatever is still queued; an errored
+  // flow already flushed everything in FailFlow.
+  while (!f.msgs.empty()) {
+    Message m = std::move(f.msgs.front());
+    f.msgs.pop_front();
+    ++counters_.messages_failed;
+    if (m.ops.on_failed) m.ops.on_failed(sim_.now(), MsgFailure::kFlushed);
+  }
+  const int src = f.src;
+  const int dst = f.dst;
+  // Epochs and the generation survive the reset monotonically so events
+  // of the old incarnation can never match the new one's.
+  const std::uint64_t gen = f.gen + 1;
+  const std::uint64_t rto_epoch = f.rto_epoch + 1;
+  const std::uint64_t ack_epoch = f.ack_epoch + 1;
+  f = Flow{};
+  f.src = src;
+  f.dst = dst;
+  f.gen = gen;
+  f.rto_epoch = rto_epoch;
+  f.ack_epoch = ack_epoch;
+  ++counters_.flow_resets;
 }
 
 }  // namespace redn::sim

@@ -14,20 +14,37 @@
 //    reservations, so packetized flows contend on the fabric exactly where
 //    whole-message flows do, plus header tax.
 //  - Per-flow PSN sequencing: a flow is one direction of one QP connection.
-//    Packets carry consecutive PSNs; the receiver accepts only the expected
-//    PSN, so delivery is in order and duplicates are filtered by design.
+//    Packets carry consecutive PSNs; delivery to the caller is always in
+//    order and duplicates are filtered by design.
 //  - Loss/corruption injection: each endpoint link has independent loss and
 //    corruption probabilities (defaults from the config, overridable per
 //    link). A packet eaten at the sender's egress reserves TX bandwidth
 //    only; one dropped or corrupted on ingress has burned both pipes. All
 //    draws come from one seeded sim::Rng in event order, so a given
 //    (config, seed) replays bit-identically.
-//  - Go-back-N recovery: the receiver NAKs the first out-of-order packet of
-//    a gap (an IB "NAK sequence error"); the sender rewinds to the lowest
-//    unacked PSN once per loss event, and a retransmission timeout clocked
-//    off the simulator covers tail losses and eaten ACKs. Duplicates
-//    arriving after a spurious retransmit are discarded and re-ACKed, never
-//    re-delivered.
+//  - Loss recovery, two modes (TransportConfig::mode):
+//      * go-back-N (default): the receiver buffers nothing and NAKs the
+//        first out-of-order packet of a gap; the sender rewinds to the
+//        lowest unacked PSN once per loss event.
+//      * selective repeat: the receiver holds out-of-order packets in a
+//        reassembly window and every NAK/ACK carries SACK ranges naming the
+//        missing PSNs; the sender retransmits exactly those (once per SACK
+//        event), so one lost packet costs one retransmission.
+//    In both modes a retransmission timeout clocked off the simulator
+//    covers tail losses and eaten ACKs. Consecutive timeouts on the same
+//    base PSN double the interval (bounded exponential backoff, the
+//    D2TCP-instability lesson); cumulative progress resets the exponent.
+//  - Retry budgets: `retry_count` bounds consecutive timeouts on one base
+//    PSN and `rnr_retry_count` bounds consecutive RNR NAKs; exhausting
+//    either fails the flow — every unacked message fires `on_failed`
+//    (first with the exhaustion reason, the rest flushed), later sends
+//    fail immediately, and only ResetFlow() revives the flow. 0 keeps the
+//    legacy retry-forever behaviour.
+//  - RNR NAK + backoff: a message whose `rnr_probe` reports the receiver
+//    not-ready (no RECV posted) is not delivered — the receiver rewinds to
+//    the message's first PSN and answers an RNR NAK; the requester backs
+//    off 4096ns × 2^min_rnr_timer, doubling per consecutive NAK, then
+//    retransmits. A late-posted RECV lets the retry complete normally.
 //  - ACK coalescing: cumulative ACKs are sent on message boundaries, every
 //    `ack_every` in-order packets, and after at most `ack_delay` (the
 //    delayed-ACK backstop that keeps a window-limited sender alive). ACKs
@@ -48,6 +65,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "sim/fabric.h"
@@ -57,46 +75,102 @@
 
 namespace redn::sim {
 
+enum class TransportMode : std::uint8_t {
+  kGoBackN,          // receiver buffers nothing; a gap rewinds the window
+  kSelectiveRepeat,  // out-of-order reassembly + SACK-range retransmission
+};
+
 struct TransportConfig {
   std::uint32_t mtu = 4096;         // payload bytes per packet
   std::uint32_t header_bytes = 30;  // per-packet wire overhead (LRH+BTH+ICRC)
   std::uint32_t ack_bytes = 30;     // ACK/NAK wire size
-  std::uint32_t window = 64;        // go-back-N window, packets
+  std::uint32_t window = 64;        // send window, packets
   std::uint32_t ack_every = 4;      // coalesce: ack every Nth in-order packet
   Nanos ack_delay = 2'000;          // delayed-ACK backstop
-  Nanos rto = 50'000;               // retransmission timeout
+  Nanos rto = 50'000;               // base retransmission timeout (see below)
   double loss = 0.0;                // default per-link packet-loss probability
   double corrupt = 0.0;             // default per-link corruption probability
   std::uint64_t seed = 0x7a115eedULL;
+
+  // --- RoCEv2-style reliability engine --------------------------------------
+  TransportMode mode = TransportMode::kGoBackN;
+  // Consecutive-RTO budget on one base PSN before the flow fails with
+  // kRetryExceeded. 0 = unlimited (the legacy retry-forever default).
+  std::uint32_t retry_count = 0;
+  // Consecutive-RNR budget before kRnrRetryExceeded. 0 disables the RNR
+  // NAK path entirely: rnr_probe is never consulted and SENDs racing an
+  // empty RQ keep the legacy accept-as-dropped semantics.
+  std::uint32_t rnr_retry_count = 0;
+  // When nonzero, the base RTO becomes 4096ns × 2^timeout_exp (the IB
+  // ibv_qp_attr::timeout encoding) instead of `rto`. Either base doubles
+  // per consecutive timeout on the same PSN.
+  std::uint32_t timeout_exp = 0;
+  // RNR backoff base: the requester waits 4096ns × 2^min_rnr_timer after an
+  // RNR NAK, doubling per consecutive NAK on the same message.
+  std::uint32_t min_rnr_timer = 5;
+  // SACK wire cost: bytes added to ack_bytes per missing-PSN range carried.
+  std::uint32_t sack_range_bytes = 8;
 };
 
 struct TransportCounters {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_acked = 0;
+  std::uint64_t messages_failed = 0;  // on_failed deliveries (incl. flushes)
   std::uint64_t payload_bytes_delivered = 0;  // goodput numerator
   std::uint64_t wire_bytes_sent = 0;  // headers + retransmits + acks included
   std::uint64_t data_packets = 0;     // first transmissions
-  std::uint64_t retransmits = 0;      // go-back-N resends
-  std::uint64_t timeouts = 0;         // RTO firings that rewound a flow
-  std::uint64_t nak_gobacks = 0;      // NAK-triggered rewinds (pre-timeout)
+  std::uint64_t retransmits = 0;      // resends of any kind
+  std::uint64_t sack_retransmits = 0; // resends targeted by SACK ranges
+  std::uint64_t timeouts = 0;         // RTO firings that resent something
+  std::uint64_t rto_fires = 0;        // every RTO firing with unacked data
+  std::uint64_t spurious_retransmits = 0;  // arrived but receiver had it
+  std::uint64_t nak_gobacks = 0;      // NAK-triggered go-back-N rewinds
   std::uint64_t dropped_tx = 0;       // eaten at the sender's egress
   std::uint64_t dropped_rx = 0;       // eaten at the receiver's ingress
   std::uint64_t corrupted = 0;        // delivered, failed the CRC, discarded
   std::uint64_t duplicates = 0;       // PSN below expected, discarded
-  std::uint64_t out_of_order = 0;     // PSN above expected (a gap), discarded
+  std::uint64_t out_of_order = 0;     // PSN above expected (a gap)
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_dropped = 0;
+  std::uint64_t sacks_sent = 0;       // ACK/NAKs that carried SACK ranges
+  std::uint64_t rnr_naks = 0;         // receiver-not-ready NAKs sent
+  std::uint64_t rnr_backoffs = 0;     // requester backoff pauses taken
+  std::uint64_t retry_exhausted = 0;  // flows failed: retry budget spent
+  std::uint64_t rnr_exhausted = 0;    // flows failed: RNR budget spent
+  std::uint64_t flow_resets = 0;      // ResetFlow() re-arms
 
   std::uint64_t PacketsLost() const {
     return dropped_tx + dropped_rx + corrupted;
   }
 };
 
+// Why a message failed (MessageOps::on_failed). The first unacked message
+// of a failing flow carries the exhaustion reason; everything queued behind
+// it flushes.
+enum class MsgFailure : std::uint8_t {
+  kRetryExceeded,     // consecutive-RTO budget spent (peer unreachable)
+  kRnrRetryExceeded,  // consecutive-RNR budget spent (receiver never ready)
+  kFlushed,           // queued behind a failure / sent on an errored flow
+};
+
 class Transport {
  public:
   // Fires with the simulated instant of the event (delivery or ack).
   using Callback = std::function<void(Nanos)>;
+
+  // Extended per-message hooks. `rnr_probe` (optional) is consulted before
+  // delivery: returning false means "receiver not ready" — the message is
+  // NAKed and retried after backoff instead of delivered. It is only ever
+  // consulted when cfg.rnr_retry_count > 0. `on_failed` (optional) fires
+  // exactly once if the flow's retry budget dies under the message;
+  // a message fires either {on_deliver, on_acked} or on_failed, never both.
+  struct MessageOps {
+    std::function<bool(Nanos)> rnr_probe;
+    Callback on_deliver;
+    Callback on_acked;
+    std::function<void(Nanos, MsgFailure)> on_failed;
+  };
 
   Transport(Simulator& sim, Fabric& fabric, TransportConfig cfg = {});
 
@@ -119,6 +193,20 @@ class Transport {
   void SendMessage(int flow, Nanos t, std::uint64_t bytes,
                    Callback on_deliver, Callback on_acked = {});
 
+  // SendMessage with the full hook set (RNR probe + failure notification).
+  void SendMessageEx(int flow, Nanos t, std::uint64_t bytes, MessageOps ops);
+
+  // True once the flow's retry budget died; only ResetFlow revives it.
+  bool FlowErrored(int flow) const {
+    return flows_[static_cast<std::size_t>(flow)]->error;
+  }
+
+  // Tears the flow back to a fresh PSN space (the ibv_modify_qp →RESET
+  // analogue): pending messages flush via on_failed(kFlushed), in-flight
+  // packets and timers of the old incarnation die, and both the sender and
+  // receiver halves restart from PSN 0.
+  void ResetFlow(int flow);
+
   // Overrides the loss/corruption probabilities of one endpoint's link
   // (both directions); endpoints default to the config-wide values.
   void SetLinkFaults(int ep, double loss, double corrupt);
@@ -130,13 +218,17 @@ class Transport {
   void DropNextAcks(int n) { force_drop_acks_ += n; }
 
  private:
+  // ACK-leg flavours. kAck may still carry SACK ranges (selective repeat
+  // acking around a hole); kNak is the go-back-N sequence-error NAK; kRnr
+  // is receiver-not-ready, answered with backoff instead of retransmission.
+  enum class AckKind : std::uint8_t { kAck, kNak, kRnr };
+
   struct Message {
     std::uint64_t len = 0;
     std::uint64_t first_psn = 0;
     std::uint64_t last_psn = 0;
     Nanos ready = 0;  // earliest transmission instant (DMA/exec done)
-    Callback on_deliver;
-    Callback on_acked;
+    MessageOps ops;
   };
 
   // Both directions' protocol state for one flow lives here; the sender and
@@ -145,13 +237,22 @@ class Transport {
   struct Flow {
     int src = -1;
     int dst = -1;
+    // Incarnation: bumped by ResetFlow/FailFlow so in-flight packet and ACK
+    // events of the old life are dropped on arrival.
+    std::uint64_t gen = 0;
+    bool error = false;  // budget exhausted; dead until ResetFlow
     // Sender.
     std::uint64_t next_psn = 0;     // next PSN to assign
     std::uint64_t base = 0;         // lowest unacked PSN
     std::uint64_t send_cursor = 0;  // next PSN to (re)transmit
     std::uint64_t high_water = 0;   // PSNs transmitted at least once
     std::uint64_t rto_epoch = 0;    // invalidates superseded RTO events
+    std::uint32_t consec_rtos = 0;  // RTO fires since last cumulative progress
+    std::uint32_t rnr_attempts = 0; // consecutive RNR NAKs received
     bool goback_armed = false;      // one NAK rewind per loss event
+    bool rnr_paused = false;        // backing off; transmit nothing
+    std::set<std::uint64_t> known_received;   // SACKed above base (SR)
+    std::set<std::uint64_t> retx_outstanding; // SACK-resent, once per event
     std::deque<Message> msgs;       // FIFO, not yet fully acked
     std::size_t delivered = 0;      // msgs[0..delivered) fired on_deliver
     // Receiver.
@@ -159,6 +260,7 @@ class Transport {
     std::uint32_t rx_unacked = 0;   // in-order packets since the last ACK
     std::uint64_t ack_epoch = 0;    // invalidates superseded delayed ACKs
     bool ack_timer_armed = false;
+    std::set<std::uint64_t> rx_ooo; // held out-of-order PSNs (SR only)
   };
 
   struct LinkFault {
@@ -171,6 +273,9 @@ class Transport {
     Nanos ready;
   };
 
+  // Missing-PSN ranges [first, last] carried by a selective-repeat ACK.
+  using SackRanges = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
   PacketView PacketOf(const Flow& f, std::uint64_t psn) const;
   const LinkFault& FaultAt(int ep) const;
   bool Lost(double p) { return p > 0.0 && rng_.NextDouble() < p; }
@@ -179,16 +284,40 @@ class Transport {
     --*budget;
     return true;
   }
+  bool Sr() const { return cfg_.mode == TransportMode::kSelectiveRepeat; }
+  Nanos BaseRto() const {
+    return cfg_.timeout_exp == 0 ? cfg_.rto
+                                 : (Nanos{4096} << cfg_.timeout_exp);
+  }
+  Nanos RnrDelay(std::uint32_t attempt) const;
 
   void TrySend(Flow& f);
   void SendPacket(Flow& f, std::uint64_t psn, const PacketView& p);
   void OnData(Flow& f, std::uint64_t psn);
-  void SendAck(Flow& f, bool nak);
-  void OnAck(Flow& f, std::uint64_t upto, bool nak);
+  // Delivers every fully-arrived message at the head of the queue; returns
+  // false if an rnr_probe rejected one (expected already rewound to its
+  // first PSN, arrived packets of the tail re-held when selective repeat).
+  bool DeliverReady(Flow& f, bool* boundary);
+  void SendAck(Flow& f, AckKind kind);
+  SackRanges MissingRanges(const Flow& f) const;
+  // Records what a SACK proves arrived ([upto, high] minus the missing
+  // ranges) in f.known_received.
+  void MarkKnownReceived(Flow& f, std::uint64_t upto, std::uint64_t high,
+                         const SackRanges& ranges);
+  // Retransmits the SACK-named holes, at most once each per loss event;
+  // returns how many packets went out.
+  int SackRetransmit(Flow& f, const SackRanges& ranges);
+  void OnAck(Flow& f, std::uint64_t upto, AckKind kind, std::uint64_t high,
+             const SackRanges& ranges);
+  // RTO/RNR-resume path: retransmits everything in [base, high_water) not
+  // known received.
+  void RetransmitMissing(Flow& f);
   void ArmRto(Flow& f);
   void OnRto(Flow& f);
+  void OnRnrResume(Flow& f);
   void ArmAckTimer(Flow& f);
   void OnAckTimer(Flow& f, std::uint64_t epoch);
+  void FailFlow(Flow& f, MsgFailure why);
 
   Simulator& sim_;
   Fabric& fabric_;

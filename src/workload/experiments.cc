@@ -66,6 +66,12 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
     tc.corrupt = cfg.corrupt;
     tc.rto = cfg.rto;
     tc.seed = cfg.transport_seed;
+    tc.mode = cfg.selective_repeat ? sim::TransportMode::kSelectiveRepeat
+                                   : sim::TransportMode::kGoBackN;
+    tc.retry_count = cfg.retry_count;
+    tc.rnr_retry_count = cfg.rnr_retry_count;
+    tc.timeout_exp = cfg.timeout_exp;
+    tc.min_rnr_timer = cfg.min_rnr_timer;
     transport = std::make_unique<sim::Transport>(sim, fabric, tc);
   }
   rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
@@ -75,7 +81,8 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
     std::unique_ptr<rnic::RnicDevice> dev;
     std::unique_ptr<offloads::HashGetHarness> harness;
     int remaining = 0;
-    sim::Nanos t_sent = 0;  // closed loop depth 1: one outstanding get
+    sim::Nanos t_sent = 0;   // closed loop depth 1: one outstanding get
+    bool waiting = false;    // a get is outstanding (no response counted yet)
   };
   std::vector<Client> clients(static_cast<std::size_t>(cfg.clients));
   sim::Rng rng(cfg.seed);
@@ -124,9 +131,11 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
         "RunFabricScale: no NIC-visible keys — table too small for keyspace");
   }
 
+  std::uint64_t error_cqes = 0;
   auto issue = [&](int i) {
     Client& c = clients[static_cast<std::size_t>(i)];
     c.t_sent = sim.now();
+    c.waiting = true;
     if (first_sent < 0) first_sent = sim.now();
     c.harness->SendTrigger(visible[rng.NextBelow(visible.size())]);
   };
@@ -136,7 +145,13 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
       Client& cl = clients[static_cast<std::size_t>(i)];
       rnic::Cqe cqe;
       while (cl.dev->PollCq(cl.harness->client_recv_cq(), 1, &cqe) == 1) {
+        if (cqe.status != rnic::WcStatus::kSuccess) {
+          // Flushed RECVs from a QP that died mid-partition; not a get.
+          ++error_cqes;
+          continue;
+        }
         cl.harness->NoteOpenLoopResponse(cqe.qp_id);
+        cl.waiting = false;
         rec.Add(sim.now() - cl.t_sent);
         last_resp = std::max(last_resp, sim.now());
         if (--cl.remaining > 0) issue(i);
@@ -144,6 +159,20 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
     });
     // Staggered starts so clients do not issue in artificial lockstep.
     sim.At(static_cast<sim::Nanos>(i) * 200, [&, i] { issue(i); });
+  }
+
+  if (cfg.packetized && cfg.partition_at > 0) {
+    const int ep0 = clients[0].dev->fabric_endpoint(0);
+    sim.At(cfg.partition_at,
+           [&, ep0] { transport->SetLinkFaults(ep0, 1.0, 0.0); });
+    sim.At(cfg.heal_at, [&, ep0] {
+      transport->SetLinkFaults(ep0, cfg.loss, cfg.corrupt);
+      Client& c0 = clients[0];
+      c0.harness->RearmTransport(c0.remaining + 4);
+      // Depth-1 loop: if the outstanding get died with the partition,
+      // nothing will ever poke the notify hook again — reissue it.
+      if (c0.waiting && c0.remaining > 0) issue(0);
+    });
   }
 
   sim.RunUntil(sim::Seconds(30));  // drains when the last response lands
@@ -168,6 +197,18 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
     out.acks = tc.acks_sent;
     out.goodput_gbps = 8.0 * static_cast<double>(tc.payload_bytes_delivered) /
                        static_cast<double>(span);
+    out.rto_fires = tc.rto_fires;
+    out.spurious_retransmits = tc.spurious_retransmits;
+    out.sack_retransmits = tc.sack_retransmits;
+    out.rnr_naks = tc.rnr_naks;
+    out.flow_resets = tc.flow_resets;
+    out.error_cqes = error_cqes;
+    out.qp_errors = sdev.counters().qp_errors;
+    out.qp_rearms = sdev.counters().qp_rearms;
+    for (const Client& c : clients) {
+      out.qp_errors += c.dev->counters().qp_errors;
+      out.qp_rearms += c.dev->counters().qp_rearms;
+    }
   }
   return out;
 }

@@ -48,6 +48,26 @@ struct FabricScaleConfig {
   std::uint32_t mtu = 4096;
   sim::Nanos rto = 60'000;         // retransmission timeout
   std::uint64_t transport_seed = 0x7a115eedULL;
+
+  // --- reliability engine (requires packetized) -----------------------------
+  // Selective repeat (SACK-range retransmission) instead of go-back-N.
+  bool selective_repeat = false;
+  // Consecutive-RTO budget before a flow fails and its QP enters ERROR;
+  // 0 keeps retry-forever.
+  std::uint32_t retry_count = 0;
+  std::uint32_t rnr_retry_count = 0;  // RNR NAK budget; 0 disables RNR path
+  std::uint32_t timeout_exp = 0;      // base RTO = 4096ns << exp when nonzero
+  std::uint32_t min_rnr_timer = 5;    // RNR backoff base exponent
+
+  // --- kill-and-reconnect ---------------------------------------------------
+  // When nonzero (requires packetized), client 0's link blackholes at
+  // `partition_at` (loss = 1.0 both directions): its in-flight gets exhaust
+  // their retry budgets, the QPs on both ends enter ERROR and flush. At
+  // `heal_at` the link heals, the client re-arms through the
+  // reset->init->rtr->rts cycle and resumes its remaining gets — aggregate
+  // goodput dips and recovers instead of the run hanging.
+  sim::Nanos partition_at = 0;
+  sim::Nanos heal_at = 0;
 };
 
 struct FabricScaleResult {
@@ -66,6 +86,15 @@ struct FabricScaleResult {
   std::uint64_t packets_lost = 0;  // dropped at egress/ingress + corrupted
   std::uint64_t acks = 0;
   double goodput_gbps = 0;         // delivered payload bits / duration
+  // Reliability-engine accounting (all zero on the default config).
+  std::uint64_t rto_fires = 0;
+  std::uint64_t spurious_retransmits = 0;
+  std::uint64_t sack_retransmits = 0;
+  std::uint64_t rnr_naks = 0;          // transport-level RNR NAKs sent
+  std::uint64_t flow_resets = 0;
+  std::uint64_t error_cqes = 0;        // non-success CQEs seen by client loops
+  std::uint64_t qp_errors = 0;         // QPs that entered ERROR (all devices)
+  std::uint64_t qp_rearms = 0;         // ERROR -> reset -> RTS recoveries
 };
 
 FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg);
