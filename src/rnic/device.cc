@@ -845,7 +845,10 @@ void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
       };
   ops.on_failed =
       [this, qp, pl](sim::Nanos t, sim::MsgFailure why) {
-        if (pl->flushed || !qp->alive) {
+        // kReset: ModifyQp is tearing the flow down under us — a reset
+        // discards in-flight work silently instead of erroring the QP it
+        // just cleared.
+        if (pl->flushed || !qp->alive || qp->state == QpState::kReset) {
           payloads_.Release(pl);
           return;
         }
@@ -930,9 +933,13 @@ void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
             [this, qp, peer, pl](sim::Nanos t, sim::MsgFailure why) {
               // The responder's flow died under the response: the READ must
               // still resolve on the requester CQ, and both ends of the
-              // connection are now broken.
-              if (peer->alive) peer->device->TransitionToError(peer);
-              if (!qp->alive) {
+              // connection are now broken — except a responder mid-reset,
+              // whose flow is being re-armed (not dying) and must stay
+              // clear of the error latches the reset just dropped.
+              if (peer->alive && peer->state != QpState::kReset) {
+                peer->device->TransitionToError(peer);
+              }
+              if (!qp->alive || qp->state == QpState::kReset) {
                 payloads_.Release(pl);
                 return;
               }
@@ -945,8 +952,9 @@ void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
   req.on_failed =
       [this, qp, pl](sim::Nanos t, sim::MsgFailure why) {
         // A lost READ request exhausting its retries surfaces on the
-        // requester CQ instead of waiting forever on the response flow.
-        if (!qp->alive) {
+        // requester CQ instead of waiting forever on the response flow. A
+        // requester mid-reset flushes silently (see SendOverTransport).
+        if (!qp->alive || qp->state == QpState::kReset) {
           payloads_.Release(pl);
           return;
         }

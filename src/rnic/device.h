@@ -78,7 +78,9 @@ struct QueuePair {
   int owner_pid = 0;             // resource-ownership for failure experiments
   QpState state = QpState::kRts;
   // Receiver-stall fault injection (StallRecvsFor): the next N inbound
-  // transport SENDs see "no RECV posted" regardless of the RQ's depth.
+  // transport delivery attempts see "no RECV posted" regardless of the
+  // RQ's depth. Counted per rnr_probe invocation, so each backoff retry of
+  // one SEND consumes one — N models attempts, not distinct messages.
   int stall_recvs = 0;
 
   // WQ rate limiter (ibv_modify_qp_rate_limit analogue): minimum gap
@@ -267,8 +269,11 @@ class RnicDevice {
   // kError force-transitions with the same flush semantics as a transport
   // budget death.
   void ModifyQp(QueuePair* qp, QpState next);
-  // Deterministic receiver-stall fault injection: the next `n` inbound
-  // transport SENDs targeting `qp` are RNR-NAKed as if no RECV were posted.
+  // Deterministic receiver-stall fault injection: the next `n` delivery
+  // attempts of inbound transport SENDs targeting `qp` are RNR-NAKed as if
+  // no RECV were posted. `n` counts probe attempts — each backoff retry of
+  // the same SEND consumes one — so `n` NAK+backoff rounds hit one message
+  // that keeps retrying.
   void StallRecvsFor(QueuePair* qp, int n) { qp->stall_recvs += n; }
 
   // --- Shared fabric --------------------------------------------------------

@@ -352,6 +352,18 @@ void Transport::OnAck(Flow& f, std::uint64_t upto, AckKind kind,
     }
   }
   if (kind == AckKind::kRnr) {
+    // An ack_every/delayed ACK can advance base into a multi-segment SEND
+    // before the rnr_probe rejects it at the message boundary; the RNR NAK
+    // then carries the receiver's rewound expected (the message's first
+    // PSN), below base. Take those PSNs back as unacked — every retransmit
+    // path clamps at base, so without this rewind the receiver would wait
+    // forever on packets the sender believes are acked. Nothing needs
+    // un-popping: base never passes the blocked message's last PSN, so the
+    // message (and everything behind it) is still queued.
+    if (upto < f.base) f.base = upto;
+    // Recorded even for deduped burst NAKs: their SACK ranges still teach
+    // us what the receiver holds, so the resume resends only true holes.
+    MarkKnownReceived(f, upto, high, ranges);
     if (f.rnr_attempts >= 1 && f.rnr_paused) return;  // NAK burst: one pause
     ++f.rnr_attempts;
     if (cfg_.rnr_retry_count > 0 &&
@@ -359,7 +371,6 @@ void Transport::OnAck(Flow& f, std::uint64_t upto, AckKind kind,
       FailFlow(f, MsgFailure::kRnrRetryExceeded);
       return;
     }
-    MarkKnownReceived(f, upto, high, ranges);
     ++counters_.rnr_backoffs;
     f.rnr_paused = true;
     ++f.rto_epoch;  // the backoff owns the clock; silence the RTO

@@ -369,6 +369,49 @@ TEST_F(TransportBed, DeadPeerNaksEvenWhenLossAteTheOriginalRequest) {
   EXPECT_TRUE(cqp->sq.error);  // the QP is flushed, like every NAK path
 }
 
+TEST_F(TransportBed, ResetOfHealthyQpWithInflightWrDiscardsSilentlyAndRearms) {
+  auto [cqp, sqp] = ConnectedPair();
+  constexpr std::size_t kLen = 2048;
+  Buffer src = bed.Alloc(bed.client, kLen);
+  Buffer dst = bed.Alloc(bed.server, kLen);
+  src.Fill(0x44, kLen);
+
+  // Blackhole the server's link so the WRITE stays in flight (unacked; no
+  // retry budget configured, so it would retry forever), then reset the
+  // *healthy* client QP mid-flight. ibv_modify_qp ->RESET discards such
+  // work silently: no CQE, no ERROR transition — the flush fired by the
+  // flow teardown must not re-latch the error state the reset just cleared.
+  const int server_ep = bed.server.fabric_endpoint(0);
+  tr.SetLinkFaults(server_ep, /*loss=*/1.0, /*corrupt=*/0.0);
+  PostSendNow(cqp, MakeWrite(src.addr(), kLen, src.lkey(), dst.addr(),
+                             dst.rkey()));
+  bed.sim.RunUntil(100'000);  // a few RTO rounds in; the WR is still queued
+
+  bed.client.ModifyQp(cqp, rnic::QpState::kReset);
+  bed.client.ModifyQp(cqp, rnic::QpState::kInit);
+  bed.client.ModifyQp(cqp, rnic::QpState::kRtr);
+  bed.client.ModifyQp(cqp, rnic::QpState::kRts);
+  EXPECT_EQ(cqp->state, rnic::QpState::kRts);
+  EXPECT_FALSE(cqp->sq.error);
+  EXPECT_FALSE(cqp->rq.error);
+  EXPECT_EQ(bed.client.counters().qp_errors, 0u);
+
+  // Heal the link: the re-armed QP moves fresh traffic, and the discarded
+  // WRITE never surfaces a CQE — the success below is the only completion.
+  tr.SetLinkFaults(server_ep, 0.0, 0.0);
+  src.SetU64(0, 0xabcd);
+  PostSendNow(cqp, MakeWrite(src.addr(), 8, src.lkey(), dst.addr(),
+                             dst.rkey()));
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe,
+                       sim::Millis(50)));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(dst.U64(0), 0xabcdu);
+  bed.sim.RunUntil(bed.sim.now() + 200'000);  // drain any straggler events
+  EXPECT_EQ(bed.client.counters().error_completions, 0u);
+  EXPECT_EQ(bed.client.PollCq(cqp->send_cq, 1, &cqe), 0);
+}
+
 // --- reliability engine: selective repeat, RNR, budgets, QP recovery --------
 
 TEST(TransportSr, SingleLossRetransmitsOnePacketWhereGoBackNRewinds) {
@@ -524,6 +567,58 @@ TEST(TransportRnr, BudgetExhaustionFailsFlowFlushesQueueAndResetRevives) {
   EXPECT_EQ(tr.counters().flow_resets, 1u);
 }
 
+TEST(TransportRnr, MidMessageAckedIntoBodyThenRnrRewindStillRecovers) {
+  // Regression: ack_every/delayed ACKs land mid-message (advancing the
+  // sender's base into the 8-segment SEND) before the rnr_probe rejects it
+  // at the boundary; the RNR rewind then drops the receiver's expected to
+  // PSN 0, *below* the acked base. The sender must reclaim [0, base) as
+  // unacked — every retransmit path clamps at base, so without the rewind
+  // the receiver waits forever on packets the sender believes are acked
+  // and the flow dies by RTO budget for a transient RNR condition.
+  auto run = [](sim::TransportMode mode) {
+    sim::Simulator s;
+    sim::Fabric f;
+    const int a = f.Attach({8.0, 100});
+    const int b = f.Attach({8.0, 100});
+    TransportConfig cfg = LegibleConfig();
+    cfg.mode = mode;
+    cfg.rnr_retry_count = 7;
+    cfg.min_rnr_timer = 1;
+    cfg.retry_count = 3;  // a regression fails fast here instead of hanging
+    Transport tr(s, f, cfg);
+    const int flow = tr.OpenFlow(a, b);
+
+    int rejects = 1;
+    std::vector<Nanos> delivered, acked;
+    std::vector<sim::MsgFailure> failures;
+    Transport::MessageOps ops;
+    ops.rnr_probe = [&](Nanos) { return rejects-- <= 0; };
+    ops.on_deliver = [&](Nanos t) { delivered.push_back(t); };
+    ops.on_acked = [&](Nanos t) { acked.push_back(t); };
+    ops.on_failed = [&](Nanos, sim::MsgFailure why) {
+      failures.push_back(why);
+    };
+    tr.SendMessageEx(flow, 0, 8000, std::move(ops));  // 8 segments
+    s.Run();
+
+    EXPECT_TRUE(failures.empty());
+    EXPECT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(acked.size(), 1u);
+    EXPECT_EQ(tr.counters().rnr_naks, 1u);
+    EXPECT_EQ(tr.counters().rnr_backoffs, 1u);
+    EXPECT_EQ(tr.counters().retry_exhausted, 0u);
+    EXPECT_EQ(tr.counters().rnr_exhausted, 0u);
+    return tr.counters();
+  };
+  // Go-back-N re-sends the whole message after the backoff; selective
+  // repeat re-held segments 1-7 at the receiver and the NAK's SACK ranges
+  // taught the sender so, costing exactly one retransmission (PSN 0).
+  const auto gbn = run(sim::TransportMode::kGoBackN);
+  EXPECT_EQ(gbn.retransmits, 8u);
+  const auto sr = run(sim::TransportMode::kSelectiveRepeat);
+  EXPECT_EQ(sr.retransmits, 1u);
+}
+
 TEST(Transport, TimeoutExponentSetsBaseRtoAndDoublesPerConsecutiveFire) {
   sim::Simulator s;
   sim::Fabric f;
@@ -664,6 +759,40 @@ TEST_F(ReliabilityBed, StalledReceiverRnrNaksThenLateRecvDelivers) {
   EXPECT_EQ(tr.counters().rnr_backoffs, 2u);
   EXPECT_EQ(bed.server.counters().rnr_naks, 2u);
   EXPECT_EQ(sqp->rq.consumed, 1u);
+}
+
+TEST_F(ReliabilityBed, MultiSegmentSendSurvivesRnrStallAfterMidMessageAck) {
+  auto [cqp, sqp] = ConnectedPair();
+  constexpr std::size_t kLen = 8192;  // 8 segments at mtu 1024, ack_every 4
+  Buffer src = bed.Alloc(bed.client, kLen);
+  Buffer dst = bed.Alloc(bed.server, kLen);
+  src.Fill(0x3d, kLen);
+  verbs::RecvWr rwr;
+  rwr.local_addr = dst.addr();
+  rwr.length = kLen;
+  rwr.lkey = dst.lkey();
+  PostRecv(sqp, rwr);
+
+  // Mid-message cumulative ACKs advance the sender's base into the SEND
+  // before the stalled probe RNR-NAKs it at the boundary; recovery must
+  // retransmit below that base instead of burning the RTO budget (2 here —
+  // a regression surfaces kRetryExcError instead of hanging).
+  bed.server.StallRecvsFor(sqp, 1);
+  PostSendNow(cqp, MakeSend(src.addr(), kLen, src.lkey()));
+
+  Cqe cqe;
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.server, sqp->recv_cq, &cqe,
+                       sim::Millis(50)));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(cqe.byte_len, kLen);
+  EXPECT_EQ(std::memcmp(src.bytes(), dst.bytes(), kLen), 0);
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe,
+                       sim::Millis(50)));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(cqp->state, rnic::QpState::kRts);
+  EXPECT_EQ(tr.counters().rnr_backoffs, 1u);
+  EXPECT_EQ(tr.counters().retry_exhausted, 0u);
+  EXPECT_EQ(bed.server.counters().rnr_naks, 1u);
 }
 
 TEST_F(ReliabilityBed, RnrBudgetExhaustionSurfacesRnrRetryExcError) {
