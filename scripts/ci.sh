@@ -46,6 +46,11 @@ MIN_LOSSY_GOODPUT="${MIN_LOSSY_GOODPUT:-10}"      # go-back-N Gb/s at 1% packet 
 # the same run via its exit code; this floor catches slow drift against
 # the recorded baseline.)
 MIN_LOSSY_SR_GOODPUT="${MIN_LOSSY_SR_GOODPUT:-10}"
+MIN_FAILOVER_EPS="${MIN_FAILOVER_EPS:-30000}"     # bench_scale_failover floor
+# Bounded-outage floor: host-baseline stall / offloaded-failover blip. The
+# detour chain answers a killed shard's gets ~170x faster than the host's
+# multi-RTO timer in the recorded runs; 10x is the do-not-regress line.
+MIN_FAILOVER_BLIP_RATIO="${MIN_FAILOVER_BLIP_RATIO:-10}"
 
 build_and_test() {
   local type="$1" dir="$2"
@@ -180,6 +185,28 @@ check_floor scale_lossy events_per_sec "${MIN_LOSSY_EPS}" "scale_lossy events/se
 check_floor scale_lossy goodput_gbps "${MIN_LOSSY_GOODPUT}" "scale_lossy gbn goodput @1% loss"
 check_floor scale_lossy sr_goodput_gbps_lossiest "${MIN_LOSSY_SR_GOODPUT}" "scale_lossy sr goodput @5% loss"
 check_floor scale_lossy deterministic 1 "scale_lossy seed-stable rerun"
+
+echo "=== bench_scale_failover bounded-outage floors + seed sweep ==="
+# Sharded KV chain-replication failover A/B (offloaded WAIT/ENABLE detour
+# vs host re-issue, same seed and FaultPlan). The bench self-checks (exit
+# code) that both policies answer every get, that the detour actually
+# fired, that the offload blip and p999 beat the host baseline outright,
+# and that a same-seed rerun replays bit for bit. CI adds the
+# bounded-outage floor (host stall / offload blip) and sweeps three seeds
+# so the claim holds beyond the default key/fault alignment.
+for seed in 1 2 3; do
+  bench_out="$(./build-release/bench_scale_failover --quick --seed "${seed}")"
+  if [[ "${seed}" == "1" ]]; then
+    echo "${bench_out}"
+  else
+    echo "${bench_out}" | grep '"bench":"scale_failover"'
+  fi
+  check_zero scale_failover unanswered "scale_failover seed ${seed} offload unanswered gets"
+  check_zero scale_failover host_unanswered "scale_failover seed ${seed} host unanswered gets"
+  check_floor scale_failover blip_ratio "${MIN_FAILOVER_BLIP_RATIO}" "scale_failover seed ${seed} host-stall/offload-blip ratio"
+  check_floor scale_failover deterministic 1 "scale_failover seed ${seed} seed-stable rerun"
+done
+check_floor scale_failover events_per_sec "${MIN_FAILOVER_EPS}" "scale_failover events/sec"
 
 # Determinism guard: these benches print only simulated-time results, so
 # their stdout must match the committed goldens bit for bit. A diff here

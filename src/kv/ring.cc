@@ -1,0 +1,64 @@
+#include "kv/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kv/table.h"
+
+namespace redn::kv {
+
+ConsistentHashRing::ConsistentHashRing(int shards, int vnodes,
+                                       std::uint64_t seed)
+    : shards_(shards) {
+  if (shards < 1) throw std::invalid_argument("ring: shards must be >= 1");
+  if (vnodes < 1) throw std::invalid_argument("ring: vnodes must be >= 1");
+  points_.reserve(static_cast<std::size_t>(shards) * vnodes);
+  for (int s = 0; s < shards; ++s) {
+    for (int v = 0; v < vnodes; ++v) {
+      // Hash1 is the table's 48-bit mixer; feed it a distinct nonzero word
+      // per (shard, vnode) so points are spread and deterministic.
+      const std::uint64_t word =
+          seed ^ (static_cast<std::uint64_t>(s + 1) << 32) ^
+          static_cast<std::uint64_t>(v + 1);
+      points_.push_back({Hash1(word), s});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    // Tie-break on shard id so equal hashes cannot make the ring order
+    // depend on sort stability.
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+
+  // Chain successor: the next distinct shard clockwise of each shard's
+  // lowest-hash point.
+  successor_.assign(static_cast<std::size_t>(shards), 0);
+  for (int s = 0; s < shards; ++s) {
+    std::size_t first = points_.size();
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].shard == s) {
+        first = i;
+        break;
+      }
+    }
+    int succ = s;  // single-shard ring: a shard is its own successor
+    for (std::size_t step = 1; step <= points_.size(); ++step) {
+      const Point& p = points_[(first + step) % points_.size()];
+      if (p.shard != s) {
+        succ = p.shard;
+        break;
+      }
+    }
+    successor_[static_cast<std::size_t>(s)] = succ;
+  }
+}
+
+int ConsistentHashRing::PrimaryOf(std::uint64_t key) const {
+  const std::uint64_t h = Hash1(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->shard;
+}
+
+}  // namespace redn::kv

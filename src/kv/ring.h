@@ -1,0 +1,51 @@
+// Consistent-hash ring with virtual nodes, plus the chain-replication
+// placement rule the sharded KV service uses.
+//
+// Each shard contributes `vnodes` points on a 48-bit hash ring; a key's
+// *primary* is the shard owning the first point clockwise of Hash1(key).
+// The *backup* is placed at node granularity: every shard has one fixed
+// chain successor — the next distinct shard clockwise of its lowest-hash
+// point — and all keys whose primary is S replicate to Successor(S).
+//
+// Node-granularity succession (FAWN/Chord-style chaining) rather than
+// per-vnode succession is deliberate: the client-side failover detour
+// (offloads::ClientFailoverChain) is a WQE chain pre-installed per
+// (tenant, primary) pair whose ENABLE target is fixed at arm time, so the
+// backup a primary fails over to must be a function of the primary alone,
+// not of the individual key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace redn::kv {
+
+class ConsistentHashRing {
+ public:
+  // `shards` >= 1; `vnodes` points per shard; `seed` perturbs point
+  // placement so different rings are decorrelated but deterministic.
+  ConsistentHashRing(int shards, int vnodes = 16,
+                     std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Shard owning the first ring point clockwise of Hash1(key).
+  int PrimaryOf(std::uint64_t key) const;
+  // The shard's fixed chain successor (== shard itself when shards == 1).
+  int SuccessorOf(int shard) const { return successor_[shard]; }
+  int BackupOf(std::uint64_t key) const {
+    return successor_[PrimaryOf(key)];
+  }
+
+  int shards() const { return shards_; }
+  std::size_t points() const { return points_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int shard;
+  };
+  int shards_;
+  std::vector<Point> points_;     // sorted by hash
+  std::vector<int> successor_;    // per shard
+};
+
+}  // namespace redn::kv

@@ -13,17 +13,37 @@ HashGetHarness::HashGetHarness(rnic::RnicDevice& client_dev,
                                std::size_t heap_bytes, std::size_t max_value)
     : cdev_(client_dev),
       sdev_(server_dev),
-      table_(server_dev, table_cfg),
-      heap_(server_dev, heap_bytes),
+      owned_table_(std::make_unique<kv::RdmaHashTable>(server_dev, table_cfg)),
+      owned_heap_(std::make_unique<kv::ValueHeap>(server_dev, heap_bytes)),
+      table_(owned_table_.get()),
+      heap_(owned_heap_.get()),
       cfg_(cfg) {
+  Init(max_value);
+}
+
+HashGetHarness::HashGetHarness(rnic::RnicDevice& client_dev,
+                               rnic::RnicDevice& server_dev,
+                               HashGetOffload::Config cfg,
+                               kv::RdmaHashTable& shared_table,
+                               kv::ValueHeap& shared_heap,
+                               std::size_t max_value)
+    : cdev_(client_dev),
+      sdev_(server_dev),
+      table_(&shared_table),
+      heap_(&shared_heap),
+      cfg_(cfg) {
+  Init(max_value);
+}
+
+void HashGetHarness::Init(std::size_t max_value) {
   const sim::Nanos one_way = sdev_.cal().net_one_way;
 
-  const std::uint32_t resp_depth = 2u * cfg.max_requests + 64;
+  const std::uint32_t resp_depth = 2u * cfg_.max_requests + 64;
   auto make_pair = [&](rnic::QueuePair*& srv, rnic::QueuePair*& cli) {
     rnic::QpConfig s;
     s.sq_depth = resp_depth;
     s.rq_depth = resp_depth;
-    s.port = cfg.port;
+    s.port = cfg_.port;
     s.managed = true;  // holds the pre-posted response WRs
     s.send_cq = sdev_.CreateCq();
     s.recv_cq = sdev_.CreateCq();
@@ -31,6 +51,7 @@ HashGetHarness::HashGetHarness(rnic::RnicDevice& client_dev,
     rnic::QpConfig c;
     c.sq_depth = 4096;
     c.rq_depth = 16384;
+    c.managed = cfg_.managed_client_sq;  // parked detour triggers
     c.send_cq = cdev_.CreateCq();
     c.recv_cq = cli_recv_cq_ ? cli_recv_cq_ : (cli_recv_cq_ = cdev_.CreateCq());
     cli = cdev_.CreateQp(c);
@@ -50,14 +71,14 @@ HashGetHarness::HashGetHarness(rnic::RnicDevice& client_dev,
   msg_buf_ = std::make_unique<std::byte[]>(64);
   msg_mr_ = cdev_.pd().Register(msg_buf_.get(), 64, rnic::kAccessAll);
 
-  offload_ = std::make_unique<HashGetOffload>(sdev_, table_, heap_, srv_qp1_,
+  offload_ = std::make_unique<HashGetOffload>(sdev_, *table_, *heap_, srv_qp1_,
                                               srv_qp2_, cfg_);
 }
 
 void HashGetHarness::Put(std::uint64_t key, const void* value,
                          std::uint32_t len, bool force_second) {
-  const std::uint64_t ptr = heap_.Store(value, len);
-  table_.Insert(key, ptr, len, force_second);
+  const std::uint64_t ptr = heap_->Store(value, len);
+  table_->Insert(key, ptr, len, force_second);
 }
 
 void HashGetHarness::PutPattern(std::uint64_t key, std::uint32_t len,
@@ -103,9 +124,23 @@ void HashGetHarness::RearmTransport(int n) {
   // flushes bumped the count too, so read the CQ rather than triggers_).
   retired_.push_back(std::move(offload_));
   cfg_.first_seq = srv_qp1_->recv_cq->hw_count();
-  offload_ = std::make_unique<HashGetOffload>(sdev_, table_, heap_, srv_qp1_,
+  offload_ = std::make_unique<HashGetOffload>(sdev_, *table_, *heap_, srv_qp1_,
                                               srv_qp2_, cfg_);
   Arm(n);
+}
+
+void HashGetHarness::PrepostResponseRecvs(int n) {
+  for (int i = 0; i < n; ++i) {
+    verbs::RecvWr rwr;
+    rwr.local_addr = 0;  // WRITE_IMM carries no SEND payload
+    rwr.length = 0;
+    verbs::PostRecv(cli_qp1_, rwr);
+    ++recvs_outstanding_1_;
+    if (cfg_.parallel) {
+      verbs::PostRecv(cli_qp2_, rwr);
+      ++recvs_outstanding_2_;
+    }
+  }
 }
 
 void HashGetHarness::EnsureRecvs() {
@@ -128,8 +163,15 @@ void HashGetHarness::EnsureRecvs() {
 }
 
 bool HashGetHarness::SendTrigger(std::uint64_t key) {
-  if (!srv_qp1_->alive || cli_qp1_->sq.error) {
+  if (!srv_qp1_->alive) {
     return false;  // connection torn down (e.g. §5.6 no-hull crash)
+  }
+  return SendTriggerBlind(key);
+}
+
+bool HashGetHarness::SendTriggerBlind(std::uint64_t key) {
+  if (cli_qp1_->sq.error || cli_qp1_->state == rnic::QpState::kError) {
+    return false;  // the local QP is wrecked; posting would just flush
   }
   EnsureRecvs();
   offload_->BuildTrigger(key, msg_buf_.get());

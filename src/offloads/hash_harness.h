@@ -25,6 +25,13 @@ class HashGetHarness {
                  std::size_t heap_bytes = 256 << 20,
                  std::size_t max_value = 64 << 10);
 
+  // Shared-store variant: the table and heap are owned elsewhere (a shard
+  // shared by several harnesses — the multi-tenant KV service). They must
+  // live on `server_dev` and outlive the harness.
+  HashGetHarness(rnic::RnicDevice& client_dev, rnic::RnicDevice& server_dev,
+                 HashGetOffload::Config cfg, kv::RdmaHashTable& shared_table,
+                 kv::ValueHeap& shared_heap, std::size_t max_value = 64 << 10);
+
   // Stores a value under `key`; `force_second` plants it in the H2 bucket
   // (the Fig 11 collision setup).
   void Put(std::uint64_t key, const void* value, std::uint32_t len,
@@ -54,12 +61,28 @@ class HashGetHarness {
   bool SendTrigger(std::uint64_t key);
   std::uint64_t response_count() const { return responses_; }
 
-  kv::RdmaHashTable& table() { return table_; }
-  kv::ValueHeap& heap() { return heap_; }
+  kv::RdmaHashTable& table() { return *table_; }
+  kv::ValueHeap& heap() { return *heap_; }
   HashGetOffload& offload() { return *offload_; }
   std::uint64_t resp_buffer_addr() const { return resp_mr_.addr; }
   // Client-side CQ where responses land (for open-loop notify hooks).
   rnic::CompletionQueue* client_recv_cq() { return cli_recv_cq_; }
+  // The (first) client- and server-side QPs: the failover chain WAITs on
+  // the client QP's send CQ, fault injection stalls the server QP's RQ.
+  rnic::QueuePair* client_qp() { return cli_qp1_; }
+  rnic::QueuePair* server_qp() { return srv_qp1_; }
+  rnic::RnicDevice& client_dev() { return cdev_; }
+  std::uint64_t trigger_count() const { return triggers_; }
+
+  // Like SendTrigger, but consults only client-side state. SendTrigger's
+  // peer-liveness check is host omniscience a real client doesn't have: a
+  // send to a crashed server must go out and come back as the dead-peer
+  // error CQE — the failure signal the detour chain WAITs on (RunKvService).
+  bool SendTriggerBlind(std::uint64_t key);
+  // Pre-posts `n` response RECVs on the client QP(s) without sending a
+  // trigger — for responses released by a detour chain rather than
+  // SendTrigger (which replenishes RECVs itself).
+  void PrepostResponseRecvs(int n);
   // Server-side resource ownership (§5.6 failure experiments).
   void SetServerOwner(int pid) {
     offload_->SetOwner(pid);
@@ -77,12 +100,17 @@ class HashGetHarness {
   bool ResponseMatchesPattern(std::uint64_t key, std::uint32_t len) const;
 
  private:
+  void Init(std::size_t max_value);
   void EnsureRecvs();
 
   rnic::RnicDevice& cdev_;
   rnic::RnicDevice& sdev_;
-  kv::RdmaHashTable table_;
-  kv::ValueHeap heap_;
+  // Owned for the classic per-harness store; null when sharing a shard's
+  // table/heap (table_/heap_ then point at the caller's).
+  std::unique_ptr<kv::RdmaHashTable> owned_table_;
+  std::unique_ptr<kv::ValueHeap> owned_heap_;
+  kv::RdmaHashTable* table_ = nullptr;
+  kv::ValueHeap* heap_ = nullptr;
   HashGetOffload::Config cfg_;
 
   rnic::QueuePair* srv_qp1_ = nullptr;

@@ -64,6 +64,12 @@ class HashGetOffload {
     // a QP error must seed this with the CQ count already consumed by its
     // predecessor (HashGetHarness::RearmTransport does).
     std::uint64_t first_seq = 0;
+    // Make the CLIENT-side send queues of a HashGetHarness built with this
+    // config managed (doorbell-ignoring): trigger SENDs posted to them park
+    // until an ENABLE raises the execution limit. The failover detour
+    // (offloads::ClientFailoverChain) needs this to hold a pre-built get
+    // against the backup shard that only its WAIT chain can release.
+    bool managed_client_sq = false;
   };
 
   // `client_qp` (and `client_qp2` iff parallel) are server-side QPs already

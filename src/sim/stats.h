@@ -10,6 +10,14 @@
 
 namespace redn::sim {
 
+// The avg/percentile bundle the workload drivers report (µs).
+struct LatencySummary {
+  double avg_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
 // Collects individual latency samples (ns) and reports summary statistics.
 class LatencyRecorder {
  public:
@@ -29,6 +37,11 @@ class LatencyRecorder {
   double MeanUs() const { return MeanNs() / 1e3; }
   double PercentileUs(double p) const { return ToMicros(PercentileNs(p)); }
   double MedianUs() const { return PercentileUs(50.0); }
+  LatencySummary Summarize() const {
+    if (empty()) return {};
+    return {MeanUs(), PercentileUs(50.0), PercentileUs(99.0),
+            PercentileUs(99.9)};
+  }
 
   void Clear() {
     samples_.clear();

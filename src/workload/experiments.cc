@@ -56,6 +56,35 @@ std::vector<Writer> StartWriters(rnic::RnicDevice& cdev,
 }  // namespace
 
 FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
+  // Fail fast: the reliability engine and fault scripting only exist on the
+  // packetized transport — silently ignoring these knobs on the lossless
+  // message path has burned people before.
+  if (!cfg.packetized &&
+      (cfg.selective_repeat || cfg.retry_count != 0 ||
+       cfg.rnr_retry_count != 0 || cfg.timeout_exp != 0 ||
+       !cfg.faults.empty())) {
+    throw std::invalid_argument(
+        "FabricScaleConfig: selective_repeat/retry_count/rnr_retry_count/"
+        "timeout_exp and FaultPlan entries require packetized = true");
+  }
+  for (const FaultEntry& e : cfg.faults.entries) {
+    if (e.client < 0 || e.client >= cfg.clients) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: FaultPlan entry needs a valid client index");
+    }
+    if (e.server != -1) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: shard-side faults belong to RunKvService");
+    }
+    if (e.kind == FaultKind::kCrash) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: kCrash is not supported by this driver");
+    }
+    if (e.up_at != 0 && e.up_at <= e.down_at) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: FaultPlan up_at must follow down_at");
+    }
+  }
   sim::Simulator sim;
   sim::Fabric fabric(cfg.switch_latency);
   std::unique_ptr<sim::Transport> transport;
@@ -161,18 +190,34 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
     sim.At(static_cast<sim::Nanos>(i) * 200, [&, i] { issue(i); });
   }
 
-  if (cfg.packetized && cfg.partition_at > 0) {
-    const int ep0 = clients[0].dev->fabric_endpoint(0);
-    sim.At(cfg.partition_at,
-           [&, ep0] { transport->SetLinkFaults(ep0, 1.0, 0.0); });
-    sim.At(cfg.heal_at, [&, ep0] {
-      transport->SetLinkFaults(ep0, cfg.loss, cfg.corrupt);
-      Client& c0 = clients[0];
-      c0.harness->RearmTransport(c0.remaining + 4);
-      // Depth-1 loop: if the outstanding get died with the partition,
-      // nothing will ever poke the notify hook again — reissue it.
-      if (c0.waiting && c0.remaining > 0) issue(0);
+  for (const FaultEntry& e : cfg.faults.entries) {
+    const int i = e.client;
+    sim.At(e.down_at, [&, e, i] {
+      if (e.kind == FaultKind::kBlackhole) {
+        transport->SetLinkFaults(clients[static_cast<std::size_t>(i)]
+                                     .dev->fabric_endpoint(0),
+                                 1.0, 0.0);
+      } else {  // kRnrStall: drop the next N receiver probe attempts
+        sdev.StallRecvsFor(
+            clients[static_cast<std::size_t>(i)].harness->server_qp(),
+            e.rnr_count);
+      }
     });
+    if (e.up_at > 0) {
+      sim.At(e.up_at, [&, e, i] {
+        Client& c = clients[static_cast<std::size_t>(i)];
+        if (e.kind == FaultKind::kBlackhole) {
+          transport->SetLinkFaults(c.dev->fabric_endpoint(0), cfg.loss,
+                                   cfg.corrupt);
+        } else if (c.harness->client_qp()->state != rnic::QpState::kError) {
+          return;  // stall drained transiently; nothing to repair
+        }
+        c.harness->RearmTransport(c.remaining + 4);
+        // Depth-1 loop: if the outstanding get died with the fault,
+        // nothing will ever poke the notify hook again — reissue it.
+        if (c.waiting && c.remaining > 0) issue(i);
+      });
+    }
   }
 
   sim.RunUntil(sim::Seconds(30));  // drains when the last response lands
@@ -182,8 +227,11 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
   const sim::Nanos span = last_resp > first_sent ? last_resp - first_sent : 1;
   out.duration_us = sim::ToMicros(span);
   out.gets_per_sec = static_cast<double>(out.gets) / sim::ToSeconds(span);
-  out.avg_us = rec.empty() ? 0 : rec.MeanUs();
-  out.p99_us = rec.empty() ? 0 : rec.PercentileUs(99);
+  const sim::LatencySummary sum = rec.Summarize();
+  out.avg_us = sum.avg_us;
+  out.p50_us = sum.p50_us;
+  out.p99_us = sum.p99_us;
+  out.p999_us = sum.p999_us;
   const int sep = sdev.fabric_endpoint(0);
   out.server_tx_util = fabric.TxUtilisation(sep, last_resp);
   out.server_rx_util = fabric.RxUtilisation(sep, last_resp);
@@ -238,7 +286,8 @@ ContentionResult RunTwoSidedContention(int writers, int n_gets,
     auto r = reader.Get(key, sim::Millis(50));
     if (r.ok) rec.Add(r.latency);
   }
-  return ContentionResult{rec.MeanUs(), rec.PercentileUs(99), rec.count()};
+  return ContentionResult{rec.MeanUs(), rec.PercentileUs(50), rec.PercentileUs(99),
+                          rec.PercentileUs(99.9), rec.count()};
 }
 
 ContentionResult RunRedNContention(int writers, int n_gets,
@@ -267,7 +316,8 @@ ContentionResult RunRedNContention(int writers, int n_gets,
     auto r = harness.Get(key, sim::Millis(5));
     if (r.found) rec.Add(r.latency);
   }
-  return ContentionResult{rec.MeanUs(), rec.PercentileUs(99), rec.count()};
+  return ContentionResult{rec.MeanUs(), rec.PercentileUs(50), rec.PercentileUs(99),
+                          rec.PercentileUs(99.9), rec.count()};
 }
 
 FailoverResult RunFailover(const FailoverConfig& cfg) {

@@ -11,6 +11,7 @@
 
 #include "sim/stats.h"
 #include "sim/time.h"
+#include "workload/fault_plan.h"
 
 namespace redn::workload {
 
@@ -59,15 +60,17 @@ struct FabricScaleConfig {
   std::uint32_t timeout_exp = 0;      // base RTO = 4096ns << exp when nonzero
   std::uint32_t min_rnr_timer = 5;    // RNR backoff base exponent
 
-  // --- kill-and-reconnect ---------------------------------------------------
-  // When nonzero (requires packetized), client 0's link blackholes at
-  // `partition_at` (loss = 1.0 both directions): its in-flight gets exhaust
-  // their retry budgets, the QPs on both ends enter ERROR and flush. At
-  // `heal_at` the link heals, the client re-arms through the
-  // reset->init->rtr->rts cycle and resumes its remaining gets — aggregate
-  // goodput dips and recovers instead of the run hanging.
-  sim::Nanos partition_at = 0;
-  sim::Nanos heal_at = 0;
+  // --- scripted fault injection (requires packetized) -----------------------
+  // Client-side fault windows: each entry names a client (FaultEntry::client;
+  // `server` must stay -1 here — shard-side faults belong to RunKvService)
+  // and a window. kBlackhole blackholes that client's link (loss = 1.0 both
+  // directions): its in-flight gets exhaust their retry budgets, the QPs on
+  // both ends enter ERROR and flush; at `up_at` the link heals, the client
+  // re-arms through the reset->init->rtr->rts cycle and resumes. kRnrStall
+  // drops the next `rnr_count` receiver probe attempts on that client's
+  // server QP (transient RNR NAK/backoff, no error unless the budget dies).
+  // kCrash is not supported for this single-server driver.
+  FaultPlan faults;
 };
 
 struct FabricScaleResult {
@@ -75,7 +78,9 @@ struct FabricScaleResult {
   double duration_us = 0;          // first trigger -> last response
   double gets_per_sec = 0;         // aggregate
   double avg_us = 0;               // per-get latency across all clients
+  double p50_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   double server_tx_util = 0;       // server-link TX busy fraction
   double server_rx_util = 0;
   std::uint64_t events = 0;        // engine events processed (perf floors)
@@ -106,7 +111,9 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg);
 // Baseline gets go through the two-sided CPU path; RedN gets are NIC-served.
 struct ContentionResult {
   double avg_us = 0;
+  double p50_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   std::uint64_t gets = 0;
 };
 

@@ -1,0 +1,55 @@
+// Scripted, deterministic fault injection for the workload drivers.
+//
+// A FaultPlan is a schedule of fault windows applied to endpoints of the
+// simulated topology. Every entry names a target (a server/shard index, or
+// a client/tenant index), a kind, and a [down_at, up_at) window in
+// simulated time. Plans replace ad-hoc per-driver fault knobs (the old
+// FabricScaleConfig::partition_at/heal_at client-0 hack) with one schema
+// shared by RunFabricScale and RunKvService.
+//
+// Kinds and their mechanisms (see docs/KV.md):
+//   kBlackhole — Transport::SetLinkFaults(endpoint, loss=1.0): every packet
+//                to/from the target's link drops; in-flight flows exhaust
+//                their retry budgets and the QPs error. Heals at up_at
+//                (loss restored to the config's baseline).
+//   kRnrStall  — RnicDevice::StallRecvsFor on the target's server-side QPs:
+//                the next `rnr_count` inbound delivery probes see "no RECV
+//                posted" and are RNR-NAKed. Transient when the budget
+//                outlives the stall; fatal (RNR_RETRY_EXC) when it doesn't.
+//                `up_at` is optional — the stall self-clears as probes
+//                consume it; a nonzero up_at additionally re-arms any QP
+//                the stall errored.
+//   kCrash     — RnicDevice::KillProcessResources(shard pid): the shard's
+//                QPs and armed chains die; subsequent triggers are answered
+//                by dead-peer NAKs. Permanent — up_at must be 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace redn::workload {
+
+enum class FaultKind : std::uint8_t { kBlackhole, kRnrStall, kCrash };
+
+struct FaultEntry {
+  // Target shard (RunKvService) — the server side of the fault. -1 with
+  // `client` >= 0 targets a client endpoint instead (RunFabricScale's
+  // single-server topology faults clients).
+  int server = -1;
+  // Client/tenant filter: restricts kRnrStall to one client's QPs, or (in
+  // RunFabricScale) selects the client endpoint to blackhole. -1 = all.
+  int client = -1;
+  FaultKind kind = FaultKind::kBlackhole;
+  sim::Nanos down_at = 0;
+  sim::Nanos up_at = 0;  // 0 = never heals; must be 0 for kCrash
+  int rnr_count = 64;    // kRnrStall: stalled delivery probes per QP
+};
+
+struct FaultPlan {
+  std::vector<FaultEntry> entries;
+  bool empty() const { return entries.empty(); }
+};
+
+}  // namespace redn::workload

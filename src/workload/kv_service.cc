@@ -1,0 +1,623 @@
+#include "workload/kv_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kv/ring.h"
+#include "kv/table.h"
+#include "offloads/failover_chain.h"
+#include "offloads/hash_harness.h"
+#include "rnic/device.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/transport.h"
+#include "verbs/verbs.h"
+
+namespace redn::workload {
+namespace {
+
+// Shard s's server-side resources are owned by this pid (kCrash kills it).
+constexpr int kShardPidBase = 100;
+// Detour fires a chain can serve per (tenant, shard) over the run.
+constexpr int kDetourArms = 16;
+
+std::size_t Pow2AtLeast(std::size_t n) {
+  std::size_t p = 1024;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Validate(const KvServiceConfig& cfg) {
+  if (cfg.shards < 2) {
+    throw std::invalid_argument(
+        "KvServiceConfig: chain replication needs shards >= 2");
+  }
+  if (cfg.tenants < 1 || cfg.gets_per_tenant < 1 || cfg.keys < 1) {
+    throw std::invalid_argument(
+        "KvServiceConfig: tenants, gets_per_tenant, keys must be positive");
+  }
+  for (const FaultEntry& e : cfg.faults.entries) {
+    if (e.server < 0 || e.server >= cfg.shards) {
+      throw std::invalid_argument(
+          "FaultPlan: entry names an out-of-range shard");
+    }
+    if (e.kind == FaultKind::kCrash && e.up_at != 0) {
+      throw std::invalid_argument(
+          "FaultPlan: kCrash is permanent — up_at must be 0");
+    }
+    if (e.up_at != 0 && e.up_at <= e.down_at) {
+      throw std::invalid_argument("FaultPlan: up_at must follow down_at");
+    }
+    if (e.client >= cfg.tenants) {
+      throw std::invalid_argument(
+          "FaultPlan: entry names an out-of-range tenant");
+    }
+  }
+}
+
+}  // namespace
+
+KvServiceResult RunKvService(const KvServiceConfig& cfg) {
+  Validate(cfg);
+
+  sim::Simulator sim;
+  sim::Fabric fabric(cfg.switch_latency);
+  sim::TransportConfig tc;
+  tc.mtu = cfg.mtu;
+  tc.loss = cfg.loss;
+  tc.corrupt = cfg.corrupt;
+  tc.seed = cfg.transport_seed;
+  tc.mode = cfg.selective_repeat ? sim::TransportMode::kSelectiveRepeat
+                                 : sim::TransportMode::kGoBackN;
+  tc.retry_count = cfg.retry_count;
+  tc.rnr_retry_count = cfg.rnr_retry_count;
+  tc.timeout_exp = cfg.timeout_exp;
+  tc.min_rnr_timer = cfg.min_rnr_timer;
+  sim::Transport transport(sim, fabric, tc);
+
+  const kv::ConsistentHashRing ring(cfg.shards, cfg.ring_vnodes, cfg.seed);
+
+  std::vector<std::unique_ptr<rnic::RnicDevice>> sdev;
+  for (int s = 0; s < cfg.shards; ++s) {
+    sdev.push_back(std::make_unique<rnic::RnicDevice>(
+        sim, rnic::NicConfig::ConnectX5(), rnic::Calibration{},
+        "shard" + std::to_string(s)));
+    sdev.back()->AttachPort(0, fabric, {cfg.gbps, cfg.propagation});
+  }
+  std::vector<std::unique_ptr<rnic::RnicDevice>> tdev;
+  for (int t = 0; t < cfg.tenants; ++t) {
+    tdev.push_back(std::make_unique<rnic::RnicDevice>(
+        sim, rnic::NicConfig::ConnectX5(), rnic::Calibration{},
+        "tenant" + std::to_string(t)));
+    tdev.back()->AttachPort(0, fabric, {cfg.gbps, cfg.propagation});
+  }
+
+  // --- key placement + shard stores ----------------------------------------
+  // Every key lives on its ring primary AND the primary's chain successor.
+  std::vector<std::vector<std::uint64_t>> shard_keys(
+      static_cast<std::size_t>(cfg.shards));
+  for (int k = 1; k <= cfg.keys; ++k) {
+    const std::uint64_t key = static_cast<std::uint64_t>(k);
+    const int p = ring.PrimaryOf(key);
+    shard_keys[static_cast<std::size_t>(p)].push_back(key);
+    shard_keys[static_cast<std::size_t>(ring.SuccessorOf(p))].push_back(key);
+  }
+  const std::size_t slot = (static_cast<std::size_t>(cfg.value_len) + 7) & ~std::size_t{7};
+  std::vector<std::unique_ptr<kv::RdmaHashTable>> tables;
+  std::vector<std::unique_ptr<kv::ValueHeap>> heaps;
+  for (int s = 0; s < cfg.shards; ++s) {
+    const std::size_t cnt = shard_keys[static_cast<std::size_t>(s)].size();
+    tables.push_back(std::make_unique<kv::RdmaHashTable>(
+        *sdev[static_cast<std::size_t>(s)],
+        kv::RdmaHashTable::Config{.buckets = Pow2AtLeast(4 * cnt + 16)}));
+    heaps.push_back(std::make_unique<kv::ValueHeap>(
+        *sdev[static_cast<std::size_t>(s)], cnt * slot + (64 << 10)));
+    std::vector<std::byte> v(cfg.value_len);
+    for (std::uint64_t key : shard_keys[static_cast<std::size_t>(s)]) {
+      for (std::uint32_t i = 0; i < cfg.value_len; ++i) {
+        v[i] = static_cast<std::byte>((key + i) & 0xff);  // PutPattern layout
+      }
+      tables.back()->Insert(key, heaps.back()->Store(v.data(), cfg.value_len),
+                            cfg.value_len);
+    }
+  }
+
+  // Depth-1 closed loops starve on a miss, so tenants draw only keys the
+  // 2-bucket NIC probe can see on BOTH replicas.
+  std::vector<std::uint64_t> eligible;
+  eligible.reserve(static_cast<std::size_t>(cfg.keys));
+  for (int k = 1; k <= cfg.keys; ++k) {
+    const std::uint64_t key = static_cast<std::uint64_t>(k);
+    const int p = ring.PrimaryOf(key);
+    const int b = ring.SuccessorOf(p);
+    if (tables[static_cast<std::size_t>(p)]->NicVisible(key) &&
+        tables[static_cast<std::size_t>(b)]->NicVisible(key)) {
+      eligible.push_back(key);
+    }
+  }
+  if (eligible.empty()) {
+    throw std::runtime_error("RunKvService: no NIC-visible keys");
+  }
+
+  // --- harnesses, detour chains ---------------------------------------------
+  const bool offloaded = cfg.policy == FailoverPolicy::kOffloadChain;
+  const int arm0 = cfg.gets_per_tenant + 8;
+  using HarnessRow = std::vector<std::unique_ptr<offloads::HashGetHarness>>;
+  std::vector<HarnessRow> H(static_cast<std::size_t>(cfg.tenants));
+  std::vector<HarnessRow> F(static_cast<std::size_t>(cfg.tenants));
+  std::vector<std::vector<std::unique_ptr<offloads::ClientFailoverChain>>>
+      chains(static_cast<std::size_t>(cfg.tenants));
+  for (int t = 0; t < cfg.tenants; ++t) {
+    for (int s = 0; s < cfg.shards; ++s) {
+      auto h = std::make_unique<offloads::HashGetHarness>(
+          *tdev[static_cast<std::size_t>(t)],
+          *sdev[static_cast<std::size_t>(s)],
+          offloads::HashGetOffload::Config{
+              .buckets = 2,
+              .max_requests = cfg.gets_per_tenant + 32,
+              .fabric = &fabric,
+              .transport = &transport},
+          *tables[static_cast<std::size_t>(s)],
+          *heaps[static_cast<std::size_t>(s)],
+          /*max_value=*/cfg.value_len + 64);
+      h->SetServerOwner(kShardPidBase + s);
+      h->Arm(arm0);
+      H[static_cast<std::size_t>(t)].push_back(std::move(h));
+    }
+    if (offloaded) {
+      for (int s = 0; s < cfg.shards; ++s) {
+        const int b = ring.SuccessorOf(s);
+        auto f = std::make_unique<offloads::HashGetHarness>(
+            *tdev[static_cast<std::size_t>(t)],
+            *sdev[static_cast<std::size_t>(b)],
+            offloads::HashGetOffload::Config{.buckets = 2,
+                                             .max_requests = kDetourArms + 4,
+                                             .fabric = &fabric,
+                                             .transport = &transport,
+                                             .managed_client_sq = true},
+            *tables[static_cast<std::size_t>(b)],
+            *heaps[static_cast<std::size_t>(b)],
+            /*max_value=*/cfg.value_len + 64);
+        f->SetServerOwner(kShardPidBase + b);
+        f->Arm(kDetourArms);
+        f->PrepostResponseRecvs(kDetourArms + 4);
+        F[static_cast<std::size_t>(t)].push_back(std::move(f));
+      }
+      for (int s = 0; s < cfg.shards; ++s) {
+        auto c = std::make_unique<offloads::ClientFailoverChain>(
+            *H[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)],
+            *F[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)],
+            kDetourArms);
+        c->Arm();
+        chains[static_cast<std::size_t>(t)].push_back(std::move(c));
+      }
+    }
+  }
+
+  // Keepalive probe QPs (offload policy): one per (tenant, shard), the
+  // client end sharing the primary connection's send CQ so a probe failure
+  // CQE trips the same WAIT the trigger failures do. Probes are unsignaled
+  // zero-byte SENDs — healthy probes keep the CQ silent.
+  std::vector<std::vector<rnic::QueuePair*>> probe_cli(
+      static_cast<std::size_t>(cfg.tenants));
+  std::vector<std::vector<rnic::QueuePair*>> probe_srv(
+      static_cast<std::size_t>(cfg.tenants));
+  if (offloaded) {
+    for (int t = 0; t < cfg.tenants; ++t) {
+      for (int s = 0; s < cfg.shards; ++s) {
+        rnic::QpConfig sc;
+        sc.rq_depth = 512;
+        sc.send_cq = sdev[static_cast<std::size_t>(s)]->CreateCq();
+        sc.recv_cq = sdev[static_cast<std::size_t>(s)]->CreateCq();
+        rnic::QueuePair* ps =
+            sdev[static_cast<std::size_t>(s)]->CreateQp(sc);
+        ps->owner_pid = kShardPidBase + s;
+        rnic::QpConfig cc;
+        cc.send_cq = H[static_cast<std::size_t>(t)][static_cast<std::size_t>(
+                          s)]->client_qp()->send_cq;
+        cc.recv_cq = tdev[static_cast<std::size_t>(t)]->CreateCq();
+        rnic::QueuePair* pc =
+            tdev[static_cast<std::size_t>(t)]->CreateQp(cc);
+        rnic::ConnectOverTransport(pc, ps, transport);
+        verbs::RecvWr rwr;
+        for (int i = 0; i < 64; ++i) verbs::PostRecv(ps, rwr);
+        probe_cli[static_cast<std::size_t>(t)].push_back(pc);
+        probe_srv[static_cast<std::size_t>(t)].push_back(ps);
+      }
+    }
+  }
+
+  // --- Zipf sampling ---------------------------------------------------------
+  // p(rank r) ~ 1/(r+1)^theta over the eligible keyspace; per-tenant streams
+  // rotate the ranking so tenants have distinct (overlapping) hot sets.
+  const std::size_t nkeys = eligible.size();
+  std::vector<double> cdf;
+  if (cfg.zipf_theta > 0) {
+    cdf.resize(nkeys);
+    double acc = 0;
+    for (std::size_t r = 0; r < nkeys; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), cfg.zipf_theta);
+      cdf[r] = acc;
+    }
+  }
+  const std::size_t rot = std::max<std::size_t>(1, nkeys / static_cast<std::size_t>(cfg.tenants));
+
+  // --- tenant state ----------------------------------------------------------
+  struct Tenant {
+    sim::Rng rng{1};
+    int remaining = 0;
+    bool started = false;
+    bool waiting = false;
+    std::uint64_t key = 0;
+    int primary = 0;
+    int target = 0;
+    sim::Nanos t_sent = 0;
+    std::uint64_t seq = 0;      // one per get
+    std::uint64_t attempt = 0;  // one per send (watchdog staleness guard)
+    std::vector<char> dead;     // per-shard "stop routing there" flags
+    sim::LatencyRecorder rec;
+    sim::Nanos last_mark = 0;
+    sim::Nanos max_blip = 0;
+    std::uint64_t detours = 0, reroutes = 0, host_reissues = 0;
+  };
+  std::vector<Tenant> tenants(static_cast<std::size_t>(cfg.tenants));
+  for (int t = 0; t < cfg.tenants; ++t) {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    T.rng = sim::Rng(cfg.seed * 0x9e3779b97f4a7c15ULL +
+                     static_cast<std::uint64_t>(t + 1));
+    T.remaining = cfg.gets_per_tenant;
+    T.dead.assign(static_cast<std::size_t>(cfg.shards), 0);
+  }
+
+  const sim::Nanos base_rto =
+      cfg.timeout_exp > 0 ? (sim::Nanos{4096} << cfg.timeout_exp) : tc.rto;
+  const sim::Nanos host_timeout =
+      cfg.host_timeout > 0 ? cfg.host_timeout : 16 * base_rto;
+
+  sim::Nanos first_sent = -1;
+  sim::Nanos last_resp = 0;
+  std::uint64_t error_cqes = 0, stale_responses = 0, heal_reissues = 0;
+  std::uint64_t faults_applied = 0, heals_applied = 0, probes_sent = 0;
+
+  auto draw = [&](int t) -> std::uint64_t {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    std::size_t rank;
+    if (cdf.empty()) {
+      rank = static_cast<std::size_t>(T.rng.NextBelow(nkeys));
+    } else {
+      const double u = T.rng.NextDouble() * cdf.back();
+      rank = static_cast<std::size_t>(
+          std::upper_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      if (rank >= nkeys) rank = nkeys - 1;
+    }
+    return eligible[(rank + static_cast<std::size_t>(t) * rot) % nkeys];
+  };
+
+  std::function<void(int)> send_fn;
+  std::function<void(int)> issue_next;
+  std::function<void(int, std::uint64_t, std::uint64_t, int)> probe_fn;
+
+  // Keepalive tick: as long as the same send is still pending against
+  // primary `p`, ping the probe QP and reschedule. A dead or blackholed
+  // shard turns a probe into the failure CQE that fires the detour chain;
+  // a completed get cancels the next tick via the seq/attempt guard.
+  probe_fn = [&](int t, std::uint64_t seq, std::uint64_t attempt, int p) {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    if (!T.waiting || T.seq != seq || T.attempt != attempt) return;
+    rnic::QueuePair* pq =
+        probe_cli[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+    if (pq->sq.error || pq->state != rnic::QpState::kRts) {
+      return;  // a probe already tripped; the chain fired or is firing
+    }
+    verbs::PostSendNow(pq, verbs::MakeSend(0, 0, 0, /*signaled=*/false));
+    ++probes_sent;
+    rnic::QueuePair* ps =
+        probe_srv[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+    if (ps->alive && ps->state == rnic::QpState::kRts) {
+      verbs::RecvWr rwr;
+      verbs::PostRecv(ps, rwr);  // keep the responder's RQ topped up
+    }
+    sim.After(cfg.probe_interval,
+              [&, t, seq, attempt, p] { probe_fn(t, seq, attempt, p); });
+  };
+
+  auto schedule_watchdog = [&](int t) {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    const std::uint64_t seq = T.seq, attempt = T.attempt;
+    sim.At(sim.now() + host_timeout, [&, t, seq, attempt] {
+      Tenant& W = tenants[static_cast<std::size_t>(t)];
+      if (!W.waiting || W.seq != seq || W.attempt != attempt) return;
+      // The send is stuck past the application RPC timer: declare its
+      // target dead and re-issue from the CPU (the multi-RTO stall).
+      W.dead[static_cast<std::size_t>(W.target)] = 1;
+      ++W.host_reissues;
+      sim.After(cfg.host_reissue_cost, [&, t, seq] {
+        Tenant& W2 = tenants[static_cast<std::size_t>(t)];
+        if (!W2.waiting || W2.seq != seq) return;
+        send_fn(t);
+      });
+    });
+  };
+
+  send_fn = [&](int t) {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    const int p = ring.PrimaryOf(T.key);
+    T.primary = p;
+    const int b = ring.SuccessorOf(p);
+    const int pref = T.dead[static_cast<std::size_t>(p)] ? b : p;
+    const int alt = pref == p ? b : p;
+    for (const int target : {pref, alt}) {
+      if (T.dead[static_cast<std::size_t>(target)]) continue;
+      auto& h =
+          H[static_cast<std::size_t>(t)][static_cast<std::size_t>(target)];
+      if (target == p && offloaded) {
+        // Healthy-path host work: keep the parked detour's trigger bytes
+        // pointing at the in-flight key.
+        chains[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)]
+            ->SetKey(T.key);
+      }
+      if (!h->SendTriggerBlind(T.key)) {
+        // The local QP is wrecked (errored earlier and not yet healed) —
+        // that much the host can see without peering into the server.
+        T.dead[static_cast<std::size_t>(target)] = 1;
+        continue;
+      }
+      if (target != p) ++T.reroutes;
+      T.target = target;
+      T.waiting = true;
+      ++T.attempt;
+      if (first_sent < 0) first_sent = sim.now();
+      // The detour chain covers gets aimed at a live primary; everything
+      // else (baseline policy, or a get already running on the backup)
+      // falls back to the host watchdog so no get can be lost.
+      if (cfg.policy == FailoverPolicy::kHostReissue || target != p) {
+        schedule_watchdog(t);
+      } else if (cfg.probe_interval > 0) {
+        const std::uint64_t seq = T.seq, attempt = T.attempt;
+        sim.After(cfg.probe_interval,
+                  [&, t, seq, attempt, p] { probe_fn(t, seq, attempt, p); });
+      }
+      return;
+    }
+    // No live replica right now — retry once a heal had a chance to land.
+    sim.After(sim::Millis(1), [&, t] {
+      Tenant& W = tenants[static_cast<std::size_t>(t)];
+      if (W.waiting || W.remaining <= 0) return;
+      send_fn(t);
+    });
+    // Not waiting: the get is parked host-side, not in flight.
+    T.waiting = false;
+  };
+
+  issue_next = [&](int t) {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    if (T.remaining <= 0) return;
+    if (!T.started) {
+      T.started = true;
+      T.last_mark = sim.now();
+    }
+    T.key = draw(t);
+    T.t_sent = sim.now();
+    send_fn(t);
+  };
+
+  auto complete = [&](int t, bool via_detour) {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    T.waiting = false;
+    T.rec.Add(sim.now() - T.t_sent);
+    T.max_blip = std::max(T.max_blip, sim.now() - T.last_mark);
+    T.last_mark = sim.now();
+    last_resp = std::max(last_resp, sim.now());
+    if (via_detour) {
+      T.dead[static_cast<std::size_t>(T.primary)] = 1;
+      ++T.detours;
+    }
+    ++T.seq;
+    --T.remaining;
+    if (T.remaining > 0) issue_next(t);
+  };
+
+  for (int t = 0; t < cfg.tenants; ++t) {
+    for (int s = 0; s < cfg.shards; ++s) {
+      offloads::HashGetHarness* h =
+          H[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)].get();
+      h->client_recv_cq()->SetHostNotify([&, t, s, h] {
+        rnic::Cqe cqe;
+        while (tdev[static_cast<std::size_t>(t)]->PollCq(h->client_recv_cq(),
+                                                         1, &cqe) == 1) {
+          if (cqe.status != rnic::WcStatus::kSuccess) {
+            ++error_cqes;  // flushed RECVs from an errored QP
+            continue;
+          }
+          h->NoteOpenLoopResponse(cqe.qp_id);
+          Tenant& T = tenants[static_cast<std::size_t>(t)];
+          if (!T.waiting || T.target != s) {
+            ++stale_responses;
+            continue;
+          }
+          complete(t, /*via_detour=*/false);
+        }
+      });
+      if (offloaded) {
+        offloads::HashGetHarness* f =
+            F[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)].get();
+        f->client_recv_cq()->SetHostNotify([&, t, s, f] {
+          rnic::Cqe cqe;
+          while (tdev[static_cast<std::size_t>(t)]->PollCq(f->client_recv_cq(),
+                                                           1, &cqe) == 1) {
+            if (cqe.status != rnic::WcStatus::kSuccess) {
+              ++error_cqes;
+              continue;
+            }
+            f->NoteOpenLoopResponse(cqe.qp_id);
+            Tenant& T = tenants[static_cast<std::size_t>(t)];
+            // The detour watching primary `s` answered the get that was in
+            // flight toward it.
+            if (!T.waiting || T.target != s) {
+              ++stale_responses;
+              continue;
+            }
+            complete(t, /*via_detour=*/true);
+          }
+        });
+      }
+    }
+    sim.At(static_cast<sim::Nanos>(t) * 311 + 17, [&, t] { issue_next(t); });
+  }
+
+  // --- the fault plan --------------------------------------------------------
+  auto tenant_in_scope = [&](const FaultEntry& e, int t) {
+    return e.client < 0 || e.client == t;
+  };
+  for (const FaultEntry& e : cfg.faults.entries) {
+    const int s = e.server;
+    sim.At(e.down_at, [&, e, s] {
+      ++faults_applied;
+      switch (e.kind) {
+        case FaultKind::kBlackhole:
+          transport.SetLinkFaults(
+              sdev[static_cast<std::size_t>(s)]->fabric_endpoint(0), 1.0, 0.0);
+          break;
+        case FaultKind::kRnrStall:
+          for (int t = 0; t < cfg.tenants; ++t) {
+            if (!tenant_in_scope(e, t)) continue;
+            sdev[static_cast<std::size_t>(s)]->StallRecvsFor(
+                H[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)]
+                    ->server_qp(),
+                e.rnr_count);
+          }
+          break;
+        case FaultKind::kCrash:
+          sdev[static_cast<std::size_t>(s)]->KillProcessResources(
+              kShardPidBase + s);
+          break;
+      }
+    });
+    if (e.up_at > 0) {
+      sim.At(e.up_at, [&, e, s] {
+        ++heals_applied;
+        if (e.kind == FaultKind::kBlackhole) {
+          transport.SetLinkFaults(
+              sdev[static_cast<std::size_t>(s)]->fabric_endpoint(0), cfg.loss,
+              cfg.corrupt);
+        }
+        for (int t = 0; t < cfg.tenants; ++t) {
+          if (!tenant_in_scope(e, t)) continue;
+          Tenant& T = tenants[static_cast<std::size_t>(t)];
+          offloads::HashGetHarness* h =
+              H[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)]
+                  .get();
+          rnic::QueuePair* qp = h->client_qp();
+          const bool errored = qp->state == rnic::QpState::kError;
+          if (!errored && !T.dead[static_cast<std::size_t>(s)]) continue;
+          // Drain the failure CQEs nothing else polls (the WAIT chain
+          // consumed them NIC-side; this is host bookkeeping).
+          rnic::Cqe cqe;
+          while (tdev[static_cast<std::size_t>(t)]->PollCq(qp->send_cq, 1,
+                                                           &cqe) == 1) {
+            if (cqe.status != rnic::WcStatus::kSuccess) ++error_cqes;
+          }
+          if (errored) h->RearmTransport(T.remaining + 8);
+          T.dead[static_cast<std::size_t>(s)] = 0;
+          if (offloaded) {
+            auto& chain = chains[static_cast<std::size_t>(t)]
+                                [static_cast<std::size_t>(s)];
+            if (qp->send_cq->hw_count() >= chain->wait_threshold()) {
+              chain->Rearm();  // the old WAIT fired; park a fresh detour
+            }
+            rnic::QueuePair* pc = probe_cli[static_cast<std::size_t>(t)]
+                                          [static_cast<std::size_t>(s)];
+            rnic::QueuePair* ps = probe_srv[static_cast<std::size_t>(t)]
+                                          [static_cast<std::size_t>(s)];
+            if (pc->state == rnic::QpState::kError ||
+                ps->state == rnic::QpState::kError) {
+              for (rnic::QueuePair* q : {pc, ps}) {
+                q->device->ModifyQp(q, rnic::QpState::kReset);
+                q->device->ModifyQp(q, rnic::QpState::kInit);
+                q->device->ModifyQp(q, rnic::QpState::kRtr);
+                q->device->ModifyQp(q, rnic::QpState::kRts);
+              }
+              verbs::RecvWr rwr;
+              for (int i = 0; i < 64; ++i) verbs::PostRecv(ps, rwr);
+            }
+          }
+          if (T.waiting && T.target == s) {
+            // The pending get died in the reset's flush — re-send it (its
+            // latency keeps accruing from the original t_sent).
+            ++heal_reissues;
+            send_fn(t);
+          } else if (!T.waiting && T.remaining > 0 && T.started) {
+            // The tenant parked because both replicas looked dead.
+            send_fn(t);
+          }
+        }
+      });
+    }
+  }
+
+  sim.RunUntil(cfg.horizon);
+
+  // --- results ---------------------------------------------------------------
+  KvServiceResult out;
+  out.keys_visible = eligible.size();
+  out.faults_applied = faults_applied;
+  out.heals_applied = heals_applied;
+  out.error_cqes = error_cqes;
+  out.stale_responses = stale_responses;
+  out.heal_reissues = heal_reissues;
+  out.probes_sent = probes_sent;
+  sim::LatencyRecorder all;
+  for (int t = 0; t < cfg.tenants; ++t) {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    KvTenantStats ts;
+    ts.gets = T.rec.count();
+    ts.detour_responses = T.detours;
+    ts.reroutes = T.reroutes;
+    ts.host_reissues = T.host_reissues;
+    const sim::LatencySummary sum = T.rec.Summarize();
+    ts.avg_us = sum.avg_us;
+    ts.p50_us = sum.p50_us;
+    ts.p99_us = sum.p99_us;
+    ts.p999_us = sum.p999_us;
+    ts.max_blip_us = sim::ToMicros(T.max_blip);
+    out.tenants.push_back(ts);
+    out.gets += ts.gets;
+    out.detour_responses += T.detours;
+    out.reroutes += T.reroutes;
+    out.host_reissues += T.host_reissues;
+    out.unanswered += static_cast<std::uint64_t>(T.remaining);
+    out.max_blip_us = std::max(out.max_blip_us, ts.max_blip_us);
+    for (sim::Nanos sample : T.rec.samples()) all.Add(sample);
+  }
+  const sim::LatencySummary sum = all.Summarize();
+  out.avg_us = sum.avg_us;
+  out.p50_us = sum.p50_us;
+  out.p99_us = sum.p99_us;
+  out.p999_us = sum.p999_us;
+  const sim::Nanos span = last_resp > first_sent ? last_resp - first_sent : 1;
+  out.duration_us = sim::ToMicros(span);
+  out.gets_per_sec = static_cast<double>(out.gets) / sim::ToSeconds(span);
+  const sim::TransportCounters& tcs = transport.counters();
+  out.data_packets = tcs.data_packets;
+  out.retransmits = tcs.retransmits;
+  out.rto_fires = tcs.rto_fires;
+  out.rnr_naks = tcs.rnr_naks;
+  out.sack_retransmits = tcs.sack_retransmits;
+  for (const auto& d : sdev) {
+    out.qp_errors += d->counters().qp_errors;
+    out.qp_rearms += d->counters().qp_rearms;
+  }
+  for (const auto& d : tdev) {
+    out.qp_errors += d->counters().qp_errors;
+    out.qp_rearms += d->counters().qp_rearms;
+  }
+  out.events = sim.events_processed();
+  return out;
+}
+
+}  // namespace redn::workload

@@ -1,0 +1,134 @@
+// Sharded multi-tenant KV service driver with chain-replication failover.
+//
+// Topology: M shard NICs and N tenant NICs on one switch fabric, every
+// connection riding the packetized reliability transport. Keys (>= 100K by
+// default) place onto shards via a consistent-hash ring with virtual nodes;
+// each key is stored on its primary AND the primary's chain successor
+// (kv::ConsistentHashRing). Tenants run depth-1 closed loops of NIC-served
+// gets with Zipfian-skewed key draws from per-tenant deterministic streams.
+//
+// Failover (FailoverPolicy::kOffloadChain): every (tenant, shard) pair
+// pre-installs an offloads::ClientFailoverChain — a WAIT on the primary
+// connection's send CQ that, on the failure CQE a dead shard produces
+// (retry-budget exhaustion or dead-peer NAK), ENABLEs a parked, already-
+// built get against the backup shard with zero host involvement. The
+// baseline (kHostReissue) has no chain: the host notices a stuck get only
+// via a conservative application-level RPC timer (default 16x the base
+// RTO — the "multi-RTO stall") and re-issues on the CPU.
+//
+// Faults arrive from a workload::FaultPlan (blackhole / rnr_stall / crash
+// windows per shard). Results report per-tenant p50/p99/p999 and a
+// bounded-blip metric (the longest gap between consecutive completions a
+// tenant observed — the outage_seconds analogue at per-tenant granularity).
+//
+// See docs/KV.md for the architecture and the failover timeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "workload/fault_plan.h"
+
+namespace redn::workload {
+
+enum class FailoverPolicy : std::uint8_t {
+  kOffloadChain,  // pre-installed client-NIC WAIT/ENABLE detour
+  kHostReissue,   // host RPC-timeout watchdog + CPU re-issue
+};
+
+struct KvTenantStats {
+  std::uint64_t gets = 0;
+  std::uint64_t detour_responses = 0;  // gets answered by the fired detour
+  std::uint64_t reroutes = 0;          // issued straight to the backup
+  std::uint64_t host_reissues = 0;     // watchdog-driven re-sends (baseline)
+  double avg_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  // Longest gap between consecutive completions (first gap measured from
+  // the tenant's first issue) — the per-tenant bounded-blip metric.
+  double max_blip_us = 0;
+};
+
+struct KvServiceConfig {
+  int shards = 4;
+  int tenants = 4;
+  int gets_per_tenant = 400;
+  int keys = 100'000;              // keyspace size (keys 1..keys)
+  std::uint32_t value_len = 256;
+  double zipf_theta = 0.99;        // 0 = uniform
+  int ring_vnodes = 16;
+  double gbps = 25.0;              // every endpoint link
+  sim::Nanos propagation = 125;
+  sim::Nanos switch_latency = 0;
+  std::uint64_t seed = 1;
+
+  // Transport (always packetized; selective repeat by default).
+  double loss = 0.0;
+  double corrupt = 0.0;
+  std::uint32_t mtu = 4096;
+  bool selective_repeat = true;
+  std::uint32_t retry_count = 1;      // budget-exhaustion failure detector
+  std::uint32_t rnr_retry_count = 4;
+  std::uint32_t timeout_exp = 6;      // base RTO = 4096ns << 6 = 262us
+  std::uint32_t min_rnr_timer = 1;
+  std::uint64_t transport_seed = 0x7a115eedULL;
+
+  FailoverPolicy policy = FailoverPolicy::kOffloadChain;
+  // kOffloadChain: while a get is outstanding to a primary, the client
+  // posts unsignaled keepalive SENDs on a probe QP that shares the primary
+  // connection's send CQ. A crashed shard NAKs the probe, so even a get
+  // whose trigger was delivered-and-acked right before the crash (no CQE
+  // of its own — the silent-loss race) still produces the failure CQE the
+  // detour chain WAITs on, within ~probe_interval. Healthy gets complete
+  // well under the interval, so no probe is ever sent on the fast path.
+  sim::Nanos probe_interval = 15'000;
+  // kHostReissue: the application RPC timer. 0 = 16 x (4096ns << timeout_exp).
+  sim::Nanos host_timeout = 0;
+  // kHostReissue: host-side cost between noticing and re-issuing.
+  sim::Nanos host_reissue_cost = 2'000;
+
+  FaultPlan faults;
+  sim::Nanos horizon = sim::Seconds(30);
+};
+
+struct KvServiceResult {
+  std::uint64_t gets = 0;             // completed (must equal the demand)
+  std::uint64_t unanswered = 0;       // gets still pending at the horizon
+  std::uint64_t detour_responses = 0;
+  std::uint64_t host_reissues = 0;
+  std::uint64_t probes_sent = 0;      // keepalives posted for slow gets
+  std::uint64_t reroutes = 0;
+  std::uint64_t heal_reissues = 0;    // pending gets re-sent by heal re-arm
+  std::uint64_t stale_responses = 0;  // responses for no-longer-pending gets
+  std::uint64_t faults_applied = 0;
+  std::uint64_t heals_applied = 0;
+  std::uint64_t keys_visible = 0;     // NIC-visible on primary AND backup
+  double duration_us = 0;
+  double gets_per_sec = 0;
+  double avg_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_blip_us = 0;             // worst per-tenant blip
+  std::vector<KvTenantStats> tenants;
+  // Transport + device accounting.
+  std::uint64_t data_packets = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rto_fires = 0;
+  std::uint64_t rnr_naks = 0;
+  std::uint64_t sack_retransmits = 0;
+  std::uint64_t error_cqes = 0;       // non-success CQEs seen by tenant loops
+  std::uint64_t qp_errors = 0;
+  std::uint64_t qp_rearms = 0;
+  std::uint64_t events = 0;
+};
+
+// Runs the service; throws std::invalid_argument on malformed configs
+// (< 2 shards, a crash entry with up_at != 0, fault entries naming
+// out-of-range shards, ...).
+KvServiceResult RunKvService(const KvServiceConfig& cfg);
+
+}  // namespace redn::workload

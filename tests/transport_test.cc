@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/fabric.h"
@@ -832,6 +833,88 @@ TEST_F(ReliabilityBed, RnrBudgetExhaustionSurfacesRnrRetryExcError) {
   EXPECT_EQ(dst.U64(0), 0xcafeu);
 }
 
+TEST_F(ReliabilityBed, ResetDuringRnrBackoffPauseNeitherResurrectsNorMisfires) {
+  auto [cqp, sqp] = ConnectedPair();
+  constexpr std::size_t kLen = 256;
+  Buffer src = bed.Alloc(bed.client, kLen);
+  Buffer dst = bed.Alloc(bed.server, kLen);
+  verbs::RecvWr rwr;
+  rwr.local_addr = dst.addr();
+  rwr.length = kLen;
+  rwr.lkey = dst.lkey();
+  PostRecv(sqp, rwr);
+  bed.server.StallRecvsFor(sqp, 2);
+  PostSendNow(cqp, MakeSend(src.addr(), kLen, src.lkey()));
+
+  // Run just past the first RNR NAK: the sender is parked in the 8192 ns
+  // backoff pause (min_rnr_timer = 1) with its resume timer armed.
+  bed.sim.RunUntil(bed.sim.now() + 4'000);
+  EXPECT_EQ(tr.counters().rnr_naks, 1u);
+  EXPECT_EQ(tr.counters().rnr_backoffs, 1u);
+  ASSERT_EQ(cqp->state, rnic::QpState::kRts);  // budget not exhausted
+
+  // Reset both ends mid-pause. The healthy-QP reset abandons the paused WR
+  // silently; the stale resume timer must not resurrect the old flow.
+  for (rnic::QueuePair* qp : {cqp, sqp}) {
+    rnic::RnicDevice& dev = qp == cqp ? bed.client : bed.server;
+    dev.ModifyQp(qp, rnic::QpState::kReset);
+    dev.ModifyQp(qp, rnic::QpState::kInit);
+    dev.ModifyQp(qp, rnic::QpState::kRtr);
+    dev.ModifyQp(qp, rnic::QpState::kRts);
+  }
+  // Give the dead timer (due at ~8.8 us) ample room to misbehave.
+  bed.sim.RunUntil(bed.sim.now() + sim::Millis(1));
+  Cqe cqe;
+  EXPECT_EQ(bed.client.PollCq(cqp->send_cq, 1, &cqe), 0);  // no stray CQE
+  EXPECT_EQ(bed.server.PollCq(sqp->recv_cq, 1, &cqe), 0);
+  EXPECT_EQ(cqp->state, rnic::QpState::kRts);
+  EXPECT_EQ(tr.counters().rnr_naks, 1u);       // timer stayed dead
+  EXPECT_EQ(tr.counters().rnr_backoffs, 1u);
+  EXPECT_EQ(tr.counters().rnr_exhausted, 0u);
+  EXPECT_EQ(bed.client.counters().qp_errors, 0u);
+
+  // The re-armed pair carries fresh traffic: the reset cleared the stall
+  // injector, so this round completes without another NAK.
+  PostRecv(sqp, rwr);
+  src.SetU64(0, 0xbeef);
+  PostSendNow(cqp, MakeSend(src.addr(), kLen, src.lkey()));
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.server, sqp->recv_cq, &cqe,
+                       sim::Millis(50)));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(dst.U64(0), 0xbeefu);
+  ASSERT_TRUE(AwaitCqe(bed.sim, bed.client, cqp->send_cq, &cqe,
+                       sim::Millis(50)));
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(bed.client.PollCq(cqp->send_cq, 1, &cqe), 0);
+  EXPECT_EQ(tr.counters().rnr_naks, 1u);
+}
+
+TEST(TransportScale, ReliabilityKnobsWithoutPacketizedThrow) {
+  workload::FabricScaleConfig cfg;
+  cfg.clients = 1;
+  cfg.gets_per_client = 1;
+  cfg.selective_repeat = true;  // packetized left false
+  EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
+  cfg.selective_repeat = false;
+  cfg.retry_count = 2;
+  EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
+  cfg.retry_count = 0;
+  workload::FaultEntry fe;
+  fe.client = 0;
+  fe.down_at = 1'000;
+  cfg.faults.entries.push_back(fe);
+  EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
+  // The same plan on the packetized transport is accepted (entry validation
+  // still applies: a crash entry or a bad client index stays an error).
+  cfg.packetized = true;
+  workload::FabricScaleConfig bad = cfg;
+  bad.faults.entries[0].kind = workload::FaultKind::kCrash;
+  EXPECT_THROW(workload::RunFabricScale(bad), std::invalid_argument);
+  bad = cfg;
+  bad.faults.entries[0].client = 7;  // only 1 client configured
+  EXPECT_THROW(workload::RunFabricScale(bad), std::invalid_argument);
+}
+
 TEST(TransportScale, LossyRunFabricScaleIsDeterministicAndDegrades) {
   workload::FabricScaleConfig cfg;
   cfg.clients = 2;
@@ -871,8 +954,12 @@ TEST(TransportScale, KillAndReconnectErrorsRearmsAndStillAnswersEveryGet) {
   cfg.retry_count = 2;      // third consecutive RTO errors the QP
   cfg.rnr_retry_count = 4;
   cfg.timeout_exp = 2;      // 16.4 us base RTO: budgets die inside the window
-  cfg.partition_at = 50'000;
-  cfg.heal_at = 250'000;
+  workload::FaultEntry fe;
+  fe.client = 0;
+  fe.kind = workload::FaultKind::kBlackhole;
+  fe.down_at = 50'000;
+  fe.up_at = 250'000;
+  cfg.faults.entries.push_back(fe);
   cfg.transport_seed += SeedOffset();
   const auto r1 = workload::RunFabricScale(cfg);
   // The run completes bounded — client 0's dead window costs wall time, not
