@@ -28,6 +28,7 @@
 
 #include "report.h"
 #include "rnic/device.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "verbs/verbs.h"
 
@@ -41,6 +42,11 @@ struct Params {
   double bg_rate = 10'000.0;    // background CQEs per second per tenant
   sim::Nanos duration = sim::Millis(1200);
   int bg_batch = 16;            // WRITEs posted per driver wake-up
+  // --shards S: sharded-engine mode — one RNIC per tenant, tenants placed
+  // round-robin on S event domains. All traffic is loopback, so there are
+  // zero cross-shard edges: the run measures pure engine parallelism, and
+  // the simulated results must be identical at every shard count.
+  int shards = 0;               // 0 = legacy single-device path
 };
 
 // Background writer driver: posts a batch of signaled WRITEs and
@@ -119,6 +125,170 @@ void BuildChain(rnic::RnicDevice& dev, rnic::QueuePair* chain,
   dev.HostEnable(chain, kRing);  // kick round 1
 }
 
+// One full sharded run: the same tenant workload, each tenant on its own
+// device, devices round-robin across `shards` domains. Returns everything
+// the caller needs to check flatness (simulated fields) and speedup (wall).
+struct ShardRun {
+  double wall_secs = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t verbs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t sync_rounds = 0;
+  std::uint64_t mailbox_sends = 0;
+  std::vector<std::uint64_t> events_per_shard;
+};
+
+ShardRun RunShardedFanout(const Params& p, int shards) {
+  sim::ShardedSimulator ssim(shards);
+
+  struct Tenant {
+    std::unique_ptr<rnic::RnicDevice> dev;
+    std::unique_ptr<std::byte[]> heap;
+    TenantBg bg;
+    std::vector<rnic::QueuePair*> chains;
+  };
+  std::vector<Tenant> tenants(static_cast<std::size_t>(p.tenants));
+  constexpr std::size_t kHeapBytes = 4096;
+
+  for (int i = 0; i < p.tenants; ++i) {
+    Tenant& t = tenants[static_cast<std::size_t>(i)];
+    sim::EventDomain& dom = ssim.shard(i % shards);
+    t.dev = std::make_unique<rnic::RnicDevice>(
+        dom, rnic::NicConfig::ConnectX5(), rnic::Calibration{},
+        "tenant" + std::to_string(i));
+    t.heap = std::make_unique<std::byte[]>(kHeapBytes);
+    std::memset(t.heap.get(), 0, kHeapBytes);
+    const rnic::MemoryRegion heap_mr =
+        t.dev->pd().Register(t.heap.get(), kHeapBytes, rnic::kAccessAll);
+
+    rnic::QpConfig bgc;
+    bgc.sq_depth = 256;
+    bgc.send_cq = t.dev->CreateCq();
+    bgc.recv_cq = t.dev->CreateCq();
+    bgc.rate_ops_per_sec = p.bg_rate;
+    rnic::QueuePair* bg_qp = t.dev->CreateQp(bgc);
+    rnic::ConnectSelf(bg_qp);
+
+    t.bg = TenantBg{&dom,
+                    bg_qp,
+                    heap_mr.addr,
+                    heap_mr.lkey,
+                    heap_mr.rkey,
+                    static_cast<sim::Nanos>(1e9 * p.bg_batch / p.bg_rate),
+                    p.duration,
+                    p.bg_batch};
+
+    for (int c = 0; c < p.chains_per_tenant; ++c) {
+      rnic::QpConfig cc;
+      cc.sq_depth = kRing;
+      cc.managed = true;
+      cc.send_cq = t.dev->CreateCq();
+      cc.recv_cq = t.dev->CreateCq();
+      rnic::QueuePair* chain = t.dev->CreateQp(cc);
+      rnic::ConnectSelf(chain);
+      BuildChain(*t.dev, chain, bg_qp->send_cq, heap_mr.addr, heap_mr.lkey,
+                 heap_mr.rkey);
+      t.chains.push_back(chain);
+    }
+  }
+  for (Tenant& t : tenants) t.bg.PostBatch();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ssim.RunUntil(p.duration);
+
+  ShardRun out;
+  out.wall_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const Tenant& t : tenants) {
+    out.verbs += t.dev->counters().TotalExecuted();
+    for (const rnic::QueuePair* chain : t.chains) {
+      out.rounds += chain->send_cq->hw_count() / 4;
+    }
+  }
+  out.events = ssim.events_processed();
+  out.sync_rounds = ssim.rounds();
+  out.mailbox_sends = ssim.cross_shard_sends();
+  for (int s = 0; s < shards; ++s) {
+    out.events_per_shard.push_back(ssim.shard(s).events_processed());
+  }
+  return out;
+}
+
+// Sharded-mode driver: the same workload at 1 shard and at S shards, flat
+// simulated results enforced, wall-clock speedup reported.
+int MainSharded(const Params& p) {
+  bench::Title("Multi-tenant fan-out scale bench (sharded engine)",
+               "per-tenant RNICs on parallel event domains; docs/PARSIM.md");
+  std::printf("  %d tenants x %d chain queues on %d shards, %.0f ms "
+              "simulated\n",
+              p.tenants, p.chains_per_tenant, p.shards,
+              sim::ToMicros(p.duration) / 1e3);
+
+  const ShardRun base = RunShardedFanout(p, 1);
+  const ShardRun wide = RunShardedFanout(p, p.shards);
+  const double speedup = wide.wall_secs > 0 ? base.wall_secs / wide.wall_secs
+                                            : 0.0;
+
+  bench::Section("results");
+  std::printf("  %-30s %9.3f s at 1 shard, %.3f s at %d shards\n",
+              "wall clock", base.wall_secs, wide.wall_secs, p.shards);
+  std::printf("  %-30s %12.2fx\n", "wall_speedup_vs_1shard", speedup);
+  std::printf("  %-30s %llu rounds, %llu verbs, %llu events\n", "volume",
+              static_cast<unsigned long long>(wide.rounds),
+              static_cast<unsigned long long>(wide.verbs),
+              static_cast<unsigned long long>(wide.events));
+  std::printf("  %-30s", "events per shard");
+  for (const std::uint64_t e : wide.events_per_shard) {
+    std::printf(" %llu", static_cast<unsigned long long>(e));
+  }
+  std::printf("\n  %-30s %llu sync rounds, %llu mailbox sends\n",
+              "coordinator",
+              static_cast<unsigned long long>(wide.sync_rounds),
+              static_cast<unsigned long long>(wide.mailbox_sends));
+
+  bench::JsonWriter("scale_fanout_sharded")
+      .Field("shards", static_cast<std::uint64_t>(p.shards))
+      .Field("wall_speedup_vs_1shard", speedup)
+      .Field("rounds", wide.rounds)
+      .Field("verbs", wide.verbs)
+      .Field("events", wide.events)
+      .Field("sync_rounds", wide.sync_rounds)
+      .Field("mailbox_sends", wide.mailbox_sends)
+      .Emit();
+
+  // Self-checks: the simulated outcome must be flat across shard counts
+  // (no cross-shard edges -> identical per-domain schedules), the chains
+  // must have cycled, and loopback-only placement must send no mail.
+  bool ok = true;
+  if (base.rounds != wide.rounds || base.verbs != wide.verbs ||
+      base.events != wide.events) {
+    std::fprintf(stderr,
+                 "FAIL: simulated results moved with shard count "
+                 "(rounds %llu/%llu, verbs %llu/%llu, events %llu/%llu)\n",
+                 static_cast<unsigned long long>(base.rounds),
+                 static_cast<unsigned long long>(wide.rounds),
+                 static_cast<unsigned long long>(base.verbs),
+                 static_cast<unsigned long long>(wide.verbs),
+                 static_cast<unsigned long long>(base.events),
+                 static_cast<unsigned long long>(wide.events));
+    ok = false;
+  }
+  const std::uint64_t min_rounds =
+      static_cast<std::uint64_t>(p.tenants) * p.chains_per_tenant * 2;
+  if (wide.rounds < min_rounds) {
+    std::fprintf(stderr, "FAIL: chains stalled (%llu rounds < %llu)\n",
+                 static_cast<unsigned long long>(wide.rounds),
+                 static_cast<unsigned long long>(min_rounds));
+    ok = false;
+  }
+  if (wide.mailbox_sends != 0) {
+    std::fprintf(stderr, "FAIL: loopback workload sent cross-shard mail\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,8 +305,11 @@ int main(int argc, char** argv) {
       p.bg_rate = val();
     } else if (std::strcmp(argv[i], "--ms") == 0) {
       p.duration = sim::Millis(val());
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      p.shards = static_cast<int>(val());
     }
   }
+  if (p.shards >= 1) return MainSharded(p);
 
   bench::Title("Multi-tenant WAIT/ENABLE fan-out scale bench",
                "completion-path scaling; §3.4 recycling + §3.5 isolation");

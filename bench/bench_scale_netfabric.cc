@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   int gets = 200;
   int max_clients = 8;
   std::uint32_t value_len = 16384;
+  int shards = 0;  // >= 2 appends the sharded-engine section
   for (int i = 1; i < argc; ++i) {
     auto val = [&]() -> double { return i + 1 < argc ? std::atof(argv[++i]) : 0; };
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
       max_clients = static_cast<int>(val());
     } else if (std::strcmp(argv[i], "--value") == 0) {
       value_len = static_cast<std::uint32_t>(val());
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = static_cast<int>(val());
     }
   }
 
@@ -121,6 +124,86 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: rerun diverged (nondeterministic fabric)\n");
     ok = false;
   }
+  // --- sharded engine: real cross-shard mailbox traffic --------------------
+  // Unlike the loopback fanout bench, every trigger and response here
+  // crosses the client<->server shard boundary, so this section exercises
+  // the conservative sync end to end: lookahead windows, mailbox merges,
+  // and rerun determinism under real threads. Simulated results are not
+  // compared against the single-domain run — same-instant RX reservations
+  // can legally merge in a different order (docs/PARSIM.md) — but the
+  // sharded run must reproduce itself bit for bit.
+  if (shards >= 2) {
+    workload::FabricScaleConfig scfg;
+    scfg.clients = max_clients;
+    scfg.gets_per_client = gets;
+    scfg.value_len = value_len;
+    scfg.shards = shards;
+
+    const auto tb = std::chrono::steady_clock::now();
+    const auto base = run(max_clients);  // classic single-domain path
+    const double wall_1shard =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - tb)
+            .count();
+    const auto ts = std::chrono::steady_clock::now();
+    const auto s1 = workload::RunFabricScale(scfg);
+    const double wall_sharded =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - ts)
+            .count();
+    const auto s2 = workload::RunFabricScale(scfg);
+    const double wall_speedup =
+        wall_sharded > 0 ? wall_1shard / wall_sharded : 0.0;
+
+    bench::Section("sharded engine");
+    std::printf("  %8s %12s %12s %10s %10s %10s\n", "shards", "gets",
+                "kgets/s", "avg us", "mailbox", "rounds");
+    std::printf("  %8d %12llu %12.1f %10.2f %10llu %10llu\n", shards,
+                static_cast<unsigned long long>(s1.gets),
+                s1.gets_per_sec / 1e3, s1.avg_us,
+                static_cast<unsigned long long>(s1.mailbox_sends),
+                static_cast<unsigned long long>(s1.sync_rounds));
+    std::printf("  wall %.3f s single-domain vs %.3f s sharded -> %.2fx\n",
+                wall_1shard, wall_sharded, wall_speedup);
+
+    const bool sharded_stable =
+        s1.gets == s2.gets && s1.duration_us == s2.duration_us &&
+        s1.avg_us == s2.avg_us && s1.p99_us == s2.p99_us &&
+        s1.server_tx_util == s2.server_tx_util && s1.events == s2.events &&
+        s1.mailbox_sends == s2.mailbox_sends &&
+        s1.sync_rounds == s2.sync_rounds;
+
+    bench::JsonWriter("scale_netfabric_sharded")
+        .Field("shards", static_cast<std::uint64_t>(shards))
+        .Field("gets", s1.gets)
+        .Field("gets_per_sec", s1.gets_per_sec)
+        .Field("avg_us", s1.avg_us)
+        .Field("mailbox_sends", s1.mailbox_sends)
+        .Field("sync_rounds", s1.sync_rounds)
+        .Field("wall_speedup_vs_1shard", wall_speedup)
+        .Field("deterministic",
+               static_cast<std::uint64_t>(sharded_stable ? 1 : 0))
+        .Emit();
+
+    if (s1.gets != static_cast<std::uint64_t>(gets) * max_clients) {
+      std::fprintf(stderr, "FAIL: sharded run lost responses (%llu)\n",
+                   static_cast<unsigned long long>(s1.gets));
+      ok = false;
+    }
+    if (!sharded_stable) {
+      std::fprintf(stderr,
+                   "FAIL: sharded rerun diverged (determinism broken)\n");
+      ok = false;
+    }
+    if (s1.mailbox_sends == 0) {
+      std::fprintf(stderr,
+                   "FAIL: no cross-shard traffic — placement inert?\n");
+      ok = false;
+    }
+    if (base.gets != s1.gets) {
+      std::fprintf(stderr, "FAIL: sharded run served a different demand\n");
+      ok = false;
+    }
+  }
+
   if (max_clients >= 8) {
     if (widest.server_tx_util < 0.5) {
       std::fprintf(stderr, "FAIL: server link not contended (tx util %.2f)\n",

@@ -10,7 +10,14 @@
 # for. `--sanitize-only` runs just that stage (the dedicated GitHub job);
 # `--skip-sanitize` skips it.
 #
+# A ThreadSanitizer build (`--tsan-only` for the dedicated job,
+# `--skip-tsan` to skip) runs the sharded-engine tests and small --shards
+# bench configurations under real threads: the sharded simulator's claim is
+# that mailboxes and the round barrier are the only cross-thread edges, and
+# TSan is what holds that claim.
+#
 # Usage: scripts/ci.sh [--skip-debug] [--skip-sanitize] [--sanitize-only]
+#                      [--skip-tsan] [--tsan-only]
 #
 # Perf floors are deliberately conservative (~25% of the numbers in
 # docs/PERF.md) so they trip on algorithmic regressions — an accidental
@@ -24,11 +31,15 @@ cd "$(dirname "$0")/.."
 SKIP_DEBUG=0
 SKIP_SANITIZE=0
 SANITIZE_ONLY=0
+SKIP_TSAN=0
+TSAN_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-debug) SKIP_DEBUG=1 ;;
     --skip-sanitize) SKIP_SANITIZE=1 ;;
     --sanitize-only) SANITIZE_ONLY=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --tsan-only) TSAN_ONLY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -51,6 +62,12 @@ MIN_FAILOVER_EPS="${MIN_FAILOVER_EPS:-30000}"     # bench_scale_failover floor
 # detour chain answers a killed shard's gets ~170x faster than the host's
 # multi-RTO timer in the recorded runs; 10x is the do-not-regress line.
 MIN_FAILOVER_BLIP_RATIO="${MIN_FAILOVER_BLIP_RATIO:-10}"
+# Sharded-engine wall-clock floor: the embarrassingly-parallel fanout bench
+# at 4 shards must run >= this multiple of its own 1-shard wall clock.
+# Enforced only on machines with >= 4 cores — conservative threading cannot
+# beat single-threaded dispatch on fewer cores than shards, so the check
+# skips loudly (the GitHub runners have 4 vCPUs and do enforce it).
+MIN_SHARD_SPEEDUP="${MIN_SHARD_SPEEDUP:-2.0}"
 
 build_and_test() {
   local type="$1" dir="$2"
@@ -85,8 +102,28 @@ sanitize_stage() {
   done
 }
 
+tsan_stage() {
+  # Sharded engine under ThreadSanitizer: the unit tests (real threads at
+  # shards >= 2) plus small --shards bench configurations, which drive the
+  # cross-shard device paths and the coordinator's round loop end to end.
+  echo "=== TSan build (sharded engine) ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DREDN_TSAN=ON >/dev/null
+  cmake --build build-tsan -j"$(nproc)" --target \
+    sharded_sim_test bench_scale_fanout bench_scale_netfabric
+  (cd build-tsan && TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+     ./sharded_sim_test)
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ./build-tsan/bench_scale_fanout --quick --shards 4 --tenants 8
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ./build-tsan/bench_scale_netfabric --quick --clients 4 --value 4096 --shards 2
+}
+
 if [[ "${SANITIZE_ONLY}" -eq 1 ]]; then
   sanitize_stage
+  exit 0
+fi
+if [[ "${TSAN_ONLY}" -eq 1 ]]; then
+  tsan_stage
   exit 0
 fi
 
@@ -96,6 +133,9 @@ if [[ "${SKIP_DEBUG}" -eq 0 ]]; then
 fi
 if [[ "${SKIP_SANITIZE}" -eq 0 ]]; then
   sanitize_stage
+fi
+if [[ "${SKIP_TSAN}" -eq 0 ]]; then
+  tsan_stage
 fi
 
 echo "=== bench_simcore perf floors ==="
@@ -167,6 +207,25 @@ echo "${bench_out}"
 check_floor scale_netfabric events_per_sec "${MIN_NETFABRIC_EPS}" "scale_netfabric events/sec"
 check_floor scale_netfabric server_tx_util 0.5 "scale_netfabric server-link contention"
 check_floor scale_netfabric deterministic 1 "scale_netfabric seed-stable rerun"
+
+echo "=== sharded engine: determinism + speedup ==="
+# Determinism at shards > 1 under real threads: the netfabric sharded
+# section reruns its config and fails on any simulated-field divergence;
+# the fanout sharded mode asserts flat simulated results across shard
+# counts (its exit codes carry both).
+bench_out="$(./build-release/bench_scale_netfabric --quick --shards 2)"
+echo "${bench_out}" | grep '"bench":"scale_netfabric_sharded"'
+check_floor scale_netfabric_sharded deterministic 1 "sharded netfabric bit-stable rerun"
+check_floor scale_netfabric_sharded mailbox_sends 1 "sharded netfabric cross-shard traffic"
+bench_out="$(./build-release/bench_scale_fanout --shards 4 --tenants 8)"
+echo "${bench_out}" | grep '"bench":"scale_fanout_sharded"'
+# Wall-clock speedup floor: only meaningful with enough cores to actually
+# run 4 shards in parallel.
+if [[ "$(nproc)" -ge 4 ]]; then
+  check_floor scale_fanout_sharded wall_speedup_vs_1shard "${MIN_SHARD_SPEEDUP}" "sharded fanout wall speedup @4 shards"
+else
+  echo "SKIP: sharded speedup floor needs >= 4 cores, have $(nproc) — not enforced on this machine"
+fi
 
 echo "=== bench_scale_lossy perf floors ==="
 # Packetized transport under packet loss, each rate run in both recovery

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
+#include "sim/sharded.h"
 #include "sim/transport.h"
 
 namespace redn::rnic {
@@ -146,8 +148,12 @@ void RnicDevice::AttachPort(int port, sim::Fabric& fabric,
                             const sim::LinkSpec& spec) {
   assert(port >= 0 && port < cfg_.ports);
   assert(fabric_ports_[port].fabric == nullptr && "port already attached");
-  fabric_ports_[port] =
-      FabricAttach{&fabric, fabric.Attach(spec, name_ + ":" + std::to_string(port))};
+  // Passing the device's event domain lets the fabric register cross-shard
+  // link latencies as lookahead floors (and reject zero-latency cross-shard
+  // pairs) the moment the topology is declared.
+  fabric_ports_[port] = FabricAttach{
+      &fabric,
+      fabric.Attach(spec, name_ + ":" + std::to_string(port), &sim_)};
 }
 
 void RnicDevice::KillProcessResources(int pid) {
@@ -484,7 +490,9 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
     case Opcode::kWriteImm:
     case Opcode::kSend:
     case Opcode::kSendImm: {
-      if (peer == nullptr || !peer->alive) {
+      // A cross-shard peer's alive flag is the responder shard's state; the
+      // check runs there (SendAcrossFabric) and comes back as a NAK.
+      if (peer == nullptr || (!CrossShard(peer) && !peer->alive)) {
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
         payloads_.Release(pl);
         return;
@@ -511,6 +519,10 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
         // server port under N-client load).
         const sim::Nanos ready = std::max(
             {t_issue + ExecCost(op) + HostDataDelay(len), pcie_done, mem_done});
+        if (CrossShard(peer)) {
+          SendAcrossFabric(wq, qp, peer, pl, op, ready);
+          return;
+        }
         t_arrive = FabricDeliver(qp, peer, ready, len);
       } else {
         const sim::Nanos link_done =
@@ -560,13 +572,17 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
       return;
     }
     case Opcode::kRead: {
-      if (peer == nullptr || !peer->alive) {
+      if (peer == nullptr || (!CrossShard(peer) && !peer->alive)) {
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
         payloads_.Release(pl);
         return;
       }
       if (via_fabric && qp->transport != nullptr) {
         ReadOverTransport(wq, qp, peer, pl, t_issue, ow);
+        return;
+      }
+      if (via_fabric && CrossShard(peer)) {
+        ReadAcrossFabric(wq, qp, peer, pl, t_issue, ow);
         return;
       }
       const sim::Nanos t_req = t_issue + ow;
@@ -652,7 +668,7 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
     case Opcode::kFetchAdd:
     case Opcode::kCalcMax:
     case Opcode::kCalcMin: {
-      if (peer == nullptr || !peer->alive) {
+      if (peer == nullptr || (!CrossShard(peer) && !peer->alive)) {
         FailWr(wq, img, t_issue, WcStatus::kRemoteAccessError);
         payloads_.Release(pl);
         return;
@@ -662,6 +678,10 @@ void RnicDevice::ExecuteData(WorkQueue& wq, std::uint64_t idx, Payload* pl,
       // flush instead of reporting a success that touched nothing.
       pl->scratch = 0;
       pl->rmw_done = false;
+      if (via_fabric && CrossShard(peer)) {
+        AtomicAcrossFabric(wq, qp, peer, pl, op, t_issue, ow);
+        return;
+      }
       const sim::Nanos t_req = t_issue + ow;
       sim_.At(t_req, [this, &wq, qp, peer, pl, op, ow, wire] {
         const WqeImage& img = pl->img;
@@ -1269,6 +1289,262 @@ sim::Nanos RnicDevice::FabricDeliver(const QueuePair* from, const QueuePair* to,
   return s.fabric->Deliver(s.endpoint, d.endpoint, t, bytes);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-shard fabric data paths (see device.h and docs/PARSIM.md).
+//
+// Timing is the same formula as the same-shard paths with Fabric::Deliver
+// split at the shard boundary: the requester reserves TX at `ready`, the
+// responder reserves RX at port arrival (TX-done + one-way propagation).
+// The only semantic shifts, both confined to fault scenarios: requester-
+// side abort checks (wq.error, qp->alive) run at the ACK instant instead
+// of at arrival (the requester cannot read them from the responder's
+// thread), and ExecCost jitter for READ/atomic responses draws from the
+// responder's per-device stream (jitter is off by default, so the default
+// timing is identical).
+// ---------------------------------------------------------------------------
+
+void RnicDevice::SendAcrossFabric(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
+                                  Payload* pl, Opcode op, sim::Nanos ready) {
+  const FabricAttach& s = fabric_ports_[qp->port];
+  const FabricAttach& d = peer->device->fabric_ports_[peer->port];
+  sim::Fabric* fab = s.fabric;
+  const std::uint64_t len = pl->bytes.size();
+  const sim::Nanos ow = fab->OneWay(s.endpoint, d.endpoint);
+  const sim::Nanos t_port = fab->ReserveTx(s.endpoint, ready, len) + ow;
+  RnicDevice* rdev = peer->device;
+  const int src_shard = sim_.shard();
+  sim_.SendTo(
+      rdev->sim_.shard(), t_port,
+      [this, &wq, qp, peer, pl, fab, dep = d.endpoint, src_shard] {
+        RnicDevice* rdev = peer->device;
+        sim::Simulator& dsim = rdev->sim_;
+        const std::uint64_t len = pl->bytes.size();
+        const sim::Nanos t_arrive = fab->ReserveRx(dep, dsim.now(), len);
+        dsim.At(t_arrive, [this, &wq, qp, peer, pl, src_shard] {
+          RnicDevice* rdev = peer->device;
+          const Opcode op = pl->img.opcode();
+          const std::uint64_t len = pl->bytes.size();
+          WcStatus st = WcStatus::kSuccess;
+          if (!peer->alive) {
+            st = WcStatus::kRemoteAccessError;
+          } else if (op == Opcode::kWrite || op == Opcode::kWriteImm) {
+            st = rdev->AcceptWrite(peer, pl->img.remote_addr, pl->img.rkey,
+                                   pl->bytes.data(), len);
+            if (st == WcStatus::kSuccess && op == Opcode::kWriteImm) {
+              st = rdev->AcceptSend(peer, nullptr, 0, pl->img.imm,
+                                    /*has_imm=*/true, len);
+            }
+          } else {
+            st = rdev->AcceptSend(peer, pl->bytes.data(), len, pl->img.imm,
+                                  /*has_imm=*/op == Opcode::kSendImm, len);
+          }
+          const sim::Nanos t_ack = rdev->sim_.now() + FabricOneWay(peer, qp) +
+                                   cal_.remote_ack_extra;
+          rdev->sim_.SendTo(src_shard, t_ack, [this, &wq, qp, pl, st] {
+            if (wq.error || !qp->alive) {  // flushed / requester died
+              payloads_.Release(pl);
+              return;
+            }
+            if (st != WcStatus::kSuccess && st != WcStatus::kRnrError) {
+              wq.error = true;
+              ++counters_.error_completions;
+            }
+            CompleteWr(qp, qp->send_cq, pl->img, sim_.now(), st,
+                       static_cast<std::uint32_t>(pl->bytes.size()));
+            payloads_.Release(pl);
+          });
+        });
+      });
+}
+
+void RnicDevice::ReadAcrossFabric(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
+                                  Payload* pl, sim::Nanos t_issue,
+                                  sim::Nanos ow) {
+  // The SGE-table byte count resolves here, at issue on the requester's
+  // shard — the table lives in requester host memory, which the responder
+  // must never read across the boundary.
+  const WqeImage& img = pl->img;
+  std::uint64_t len = img.length;
+  if (img.uses_sge_table()) {
+    SgeScratch sges;
+    ResolveSges(img, sges);
+    len = 0;
+    for (const Sge& sge : sges) len += sge.length;
+  }
+  RnicDevice* rdev = peer->device;
+  const int src_shard = sim_.shard();
+  sim_.SendTo(
+      rdev->sim_.shard(), t_issue + ow,
+      [this, &wq, qp, peer, pl, ow, len, src_shard] {
+        RnicDevice* rdev = peer->device;
+        sim::Simulator& dsim = rdev->sim_;
+        const WqeImage& img = pl->img;
+        const auto nak = [&](WcStatus st) {
+          dsim.SendTo(src_shard, dsim.now() + ow, [this, &wq, qp, pl, st] {
+            if (!qp->alive) {  // requester died: flush silently
+              payloads_.Release(pl);
+              return;
+            }
+            FailWr(wq, pl->img, sim_.now(), st);
+            payloads_.Release(pl);
+          });
+        };
+        if (!peer->alive) {
+          nak(WcStatus::kRemoteAccessError);
+          return;
+        }
+        const MemCheck mc = rdev->pd_.CheckRemote(
+            img.remote_addr, len, img.rkey, kRemoteRead,
+            &peer->remote_mr_cache);
+        if (mc != MemCheck::kOk) {
+          nak(WcStatus::kRemoteAccessError);
+          return;
+        }
+        if (len > 0) dma::ReadAppend(pl->bytes, img.remote_addr, len);
+        const sim::Nanos t_req_now = dsim.now();
+        const sim::Nanos pcie_done = rdev->pcie_.Reserve(t_req_now, len);
+        const sim::Nanos mem_done = rdev->membw_.Reserve(t_req_now, len);
+        const sim::Nanos ready =
+            std::max({t_req_now + rdev->ExecCost(Opcode::kRead) +
+                          rdev->HostDataDelay(len),
+                      pcie_done, mem_done});
+        const FabricAttach& rs = rdev->fabric_ports_[peer->port];
+        const FabricAttach& rd = fabric_ports_[qp->port];
+        sim::Fabric* fab = rs.fabric;
+        const sim::Nanos t_port = fab->ReserveTx(rs.endpoint, ready, len) + ow;
+        dsim.SendTo(src_shard, t_port,
+                    [this, &wq, qp, pl, fab, dep = rd.endpoint] {
+                      const std::uint64_t rlen = pl->bytes.size();
+                      const sim::Nanos t_done =
+                          fab->ReserveRx(dep, sim_.now(), rlen) +
+                          cal_.remote_ack_extra;
+                      sim_.At(t_done, [this, &wq, qp, pl] {
+                        if (!qp->alive) {
+                          payloads_.Release(pl);
+                          return;
+                        }
+                        WcStatus st = WcStatus::kSuccess;
+                        if (!ScatterList(wq, pl->slot, pl->img,
+                                         pl->bytes.data(), pl->bytes.size(),
+                                         &st)) {
+                          FailWr(wq, pl->img, sim_.now(), st);
+                          payloads_.Release(pl);
+                          return;
+                        }
+                        CompleteWr(qp, qp->send_cq, pl->img, sim_.now(),
+                                   WcStatus::kSuccess,
+                                   static_cast<std::uint32_t>(pl->bytes.size()));
+                        payloads_.Release(pl);
+                      });
+                    });
+      });
+}
+
+void RnicDevice::AtomicAcrossFabric(WorkQueue& wq, QueuePair* qp,
+                                    QueuePair* peer, Payload* pl, Opcode op,
+                                    sim::Nanos t_issue, sim::Nanos ow) {
+  RnicDevice* rdev = peer->device;
+  const int src_shard = sim_.shard();
+  sim_.SendTo(
+      rdev->sim_.shard(), t_issue + ow,
+      [this, &wq, qp, peer, pl, op, ow, src_shard] {
+        RnicDevice* rdev = peer->device;
+        sim::Simulator& dsim = rdev->sim_;
+        const WqeImage& img = pl->img;
+        const auto nak = [&](WcStatus st) {
+          dsim.SendTo(src_shard, dsim.now() + ow, [this, &wq, qp, pl, st] {
+            if (!qp->alive) {
+              payloads_.Release(pl);
+              return;
+            }
+            FailWr(wq, pl->img, sim_.now(), st);
+            payloads_.Release(pl);
+          });
+        };
+        if (!peer->alive) {
+          nak(WcStatus::kRemoteAccessError);
+          return;
+        }
+        const MemCheck mc =
+            rdev->pd_.CheckRemote(img.remote_addr, 8, img.rkey, kRemoteAtomic,
+                                  &peer->remote_mr_cache);
+        if (mc != MemCheck::kOk) {
+          nak(WcStatus::kRemoteAccessError);
+          return;
+        }
+        if (img.remote_addr % 8 != 0) {
+          nak(WcStatus::kAlignmentError);
+          return;
+        }
+        const bool true_atomic =
+            op == Opcode::kCompSwap || op == Opcode::kFetchAdd;
+        auto& unit = rdev->ports_[peer->port].atomic_unit;
+        const sim::Nanos unit_done =
+            true_atomic
+                ? unit.Reserve(dsim.now(), rdev->cal_.atomic_unit_service)
+                : dsim.now() + rdev->cal_.atomic_unit_service;
+        // Same RMW body as the same-shard path; runs on the responder's
+        // shard, which owns the target memory. The completion message below
+        // is due >= unit_done + lookahead, i.e. in a strictly later round,
+        // so the requester reads rmw_done/scratch after a barrier.
+        dsim.At(unit_done, [pl, op, peer] {
+          if (!peer->alive) return;  // died mid-flight: memory stays untouched
+          pl->rmw_done = true;
+          const WqeImage& img = pl->img;
+          const std::uint64_t cur = dma::ReadU64(img.remote_addr);
+          pl->scratch = cur;
+          std::uint64_t next = cur;
+          switch (op) {
+            case Opcode::kCompSwap:
+              if (cur == img.compare_add) next = img.swap;
+              break;
+            case Opcode::kFetchAdd:
+              next = cur + img.compare_add;
+              break;
+            case Opcode::kCalcMax:
+              next = std::max(cur, img.compare_add);
+              break;
+            case Opcode::kCalcMin:
+              next = std::min(cur, img.compare_add);
+              break;
+            default:
+              break;
+          }
+          dma::WriteU64(img.remote_addr, next);
+          peer->device->NoteDmaWrite(img.remote_addr, 8);
+        });
+        const sim::Nanos t_done =
+            unit_done + rdev->ExecCost(op) + ow + cal_.remote_ack_extra;
+        dsim.SendTo(src_shard, t_done, [this, &wq, qp, pl] {
+          if (!qp->alive) {
+            payloads_.Release(pl);
+            return;
+          }
+          if (!pl->rmw_done) {
+            FailWr(wq, pl->img, sim_.now(), WcStatus::kRemoteAccessError);
+            payloads_.Release(pl);
+            return;
+          }
+          if (pl->img.local_addr != 0) {
+            WcStatus st = WcStatus::kSuccess;
+            const std::byte* bytes =
+                reinterpret_cast<const std::byte*>(&pl->scratch);
+            WqeImage resp = pl->img;
+            resp.length = 8;
+            resp.flags &= ~kFlagSgeTable;
+            if (!ScatterList(wq, pl->slot, resp, bytes, 8, &st)) {
+              FailWr(wq, pl->img, sim_.now(), st);
+              payloads_.Release(pl);
+              return;
+            }
+          }
+          CompleteWr(qp, qp->send_cq, pl->img, sim_.now(), WcStatus::kSuccess,
+                     8);
+          payloads_.Release(pl);
+        });
+      });
+}
+
 double RnicDevice::PuUtilisation(int port, sim::Nanos window) const {
   sim::Nanos busy = 0;
   for (const auto& pu : ports_[port].pus) busy += pu.busy_time();
@@ -1367,6 +1643,16 @@ void ConnectOverFabric(QueuePair* a, QueuePair* b) {
 }
 
 void ConnectOverTransport(QueuePair* a, QueuePair* b, sim::Transport& t) {
+  if (&a->device->sim() != &b->device->sim()) {
+    // A transport flow spans both endpoints' mutable state (the sender's
+    // window and the receiver's reassembly live in one Flow struct, the
+    // loss RNG draws in global event order) — it cannot straddle shards.
+    // Place both devices on the same shard, or use ConnectOverFabric,
+    // whose data paths split cleanly at the boundary. docs/PARSIM.md.
+    throw std::invalid_argument(
+        "ConnectOverTransport: endpoints on different shards — packetized "
+        "transport flows are shard-local (see docs/PARSIM.md)");
+  }
   ConnectOverFabric(a, b);
   assert(&t.fabric() == a->device->fabric(a->port) &&
          "transport must be built over the QPs' fabric");

@@ -355,6 +355,28 @@ class RnicDevice {
                          Payload* pl, Opcode op, sim::Nanos ready);
   void ReadOverTransport(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
                          Payload* pl, sim::Nanos t_issue, sim::Nanos ow);
+  // True when the peer's device schedules on a different event domain
+  // (shard). The devices' domains are fixed at construction, so this is a
+  // pure pointer compare — safe from any shard's thread.
+  bool CrossShard(const QueuePair* peer) const {
+    return peer != nullptr && &peer->device->sim_ != &sim_;
+  }
+  // Cross-shard halves of the fabric data paths (sharded runs only; the
+  // same-shard code above is untouched). Each splits at the shard
+  // boundary: the requester's shard reserves its TX pipe and computes the
+  // port-arrival instant, a SendTo mailbox message carries the op to the
+  // responder's shard (which reserves its own RX pipe and runs every
+  // responder-side check — liveness, protection, RQ state — locally), and
+  // the ACK/NAK/response legs mail back. Requester-side state (wq.error,
+  // qp->alive, scatter) is only ever touched on the requester's shard, at
+  // the ACK instant.
+  void SendAcrossFabric(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
+                        Payload* pl, Opcode op, sim::Nanos ready);
+  void ReadAcrossFabric(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
+                        Payload* pl, sim::Nanos t_issue, sim::Nanos ow);
+  void AtomicAcrossFabric(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
+                          Payload* pl, Opcode op, sim::Nanos t_issue,
+                          sim::Nanos ow);
   // Snapshots slot `idx` through the translation cache: a verified cached
   // decode is a hit (no reload); anything else decodes and refills. Charges
   // no simulated time itself — callers pay the fetch latency exactly as

@@ -1,4 +1,4 @@
-#include "sim/simulator.h"
+#include "sim/event_domain.h"
 
 #include <algorithm>
 #include <bit>
@@ -6,13 +6,15 @@
 
 namespace redn::sim {
 
-Simulator::~Simulator() { DrainAll(); }
+thread_local EventDomain* EventDomain::tls_running_ = nullptr;
+
+EventDomain::~EventDomain() { DrainAll(); }
 
 // ---------------------------------------------------------------------------
 // Wheel primitives
 // ---------------------------------------------------------------------------
 
-void Simulator::Wheel::Append(std::size_t b, EventNode* n) {
+void EventDomain::Wheel::Append(std::size_t b, EventNode* n) {
   Bucket& bucket = buckets[b];
   n->next = nullptr;
   if (bucket.tail == nullptr) {
@@ -26,7 +28,7 @@ void Simulator::Wheel::Append(std::size_t b, EventNode* n) {
   ++size;
 }
 
-EventNode* Simulator::Wheel::PopFront(std::size_t b) {
+EventNode* EventDomain::Wheel::PopFront(std::size_t b) {
   Bucket& bucket = buckets[b];
   EventNode* n = bucket.head;
   bucket.head = n->next;
@@ -40,12 +42,12 @@ EventNode* Simulator::Wheel::PopFront(std::size_t b) {
   return n;
 }
 
-std::size_t Simulator::Wheel::FirstBucket() const {
+std::size_t EventDomain::Wheel::FirstBucket() const {
   const std::size_t w = static_cast<std::size_t>(std::countr_zero(summary));
   return (w << 6) + static_cast<std::size_t>(std::countr_zero(bitmap[w]));
 }
 
-void Simulator::CoarseWheel::Append(std::size_t b, EventNode* n) {
+void EventDomain::CoarseWheel::Append(std::size_t b, EventNode* n) {
   std::vector<EventNode*>& bucket = buckets[b];
   if (bucket.empty()) {
     bitmap[b >> 6] |= std::uint64_t{1} << (b & 63);
@@ -55,7 +57,7 @@ void Simulator::CoarseWheel::Append(std::size_t b, EventNode* n) {
   ++size;
 }
 
-void Simulator::CoarseWheel::ClearBucket(std::size_t b) {
+void EventDomain::CoarseWheel::ClearBucket(std::size_t b) {
   std::vector<EventNode*>& bucket = buckets[b];
   size -= bucket.size();
   bucket.clear();  // capacity retained for reuse
@@ -63,7 +65,7 @@ void Simulator::CoarseWheel::ClearBucket(std::size_t b) {
   if (bitmap[b >> 6] == 0) summary &= ~(std::uint64_t{1} << (b >> 6));
 }
 
-std::size_t Simulator::CoarseWheel::FirstBucket() const {
+std::size_t EventDomain::CoarseWheel::FirstBucket() const {
   const std::size_t w = static_cast<std::size_t>(std::countr_zero(summary));
   return (w << 6) + static_cast<std::size_t>(std::countr_zero(bitmap[w]));
 }
@@ -72,7 +74,7 @@ std::size_t Simulator::CoarseWheel::FirstBucket() const {
 // Calendar queue
 // ---------------------------------------------------------------------------
 
-void Simulator::Place(EventNode* n) {
+void EventDomain::Place(EventNode* n) {
   if (n->time < fine_base_ + kFineSpan) {
     // All pending times are >= now_ >= fine_base_, so the slot-local index
     // is a bijection onto [fine_base_, fine_base_ + kFineSpan).
@@ -86,7 +88,7 @@ void Simulator::Place(EventNode* n) {
   }
 }
 
-void Simulator::AdvanceWindows(Nanos t) {
+void EventDomain::AdvanceWindows(Nanos t) {
   const Nanos new_fine = t & ~(kFineSpan - 1);
   if (new_fine == fine_base_) return;
   fine_base_ = new_fine;
@@ -134,7 +136,7 @@ void Simulator::AdvanceWindows(Nanos t) {
   }
 }
 
-bool Simulator::PeekEarliest(Nanos* t) const {
+bool EventDomain::PeekEarliest(Nanos* t) const {
   if (fine_.size > 0) {
     *t = fine_base_ | static_cast<Nanos>(fine_.FirstBucket());
     return true;
@@ -160,13 +162,13 @@ bool Simulator::PeekEarliest(Nanos* t) const {
   return false;
 }
 
-void Simulator::Dispatch(Nanos t) {
+void EventDomain::Dispatch(Nanos t) {
   now_ = t;
   AdvanceWindows(t);
   DispatchFine(FineIndex(t));
 }
 
-void Simulator::DispatchFine(std::size_t bucket) {
+void EventDomain::DispatchFine(std::size_t bucket) {
   EventNode* n = fine_.PopFront(bucket);
   assert(n != nullptr && n->time == now_);
   --size_;
@@ -178,7 +180,7 @@ void Simulator::DispatchFine(std::size_t bucket) {
   in_dispatch_ = false;
 }
 
-void Simulator::DrainDeferred() {
+void EventDomain::DrainDeferred() {
   // Drain the fusion trampoline: each entry was enqueued at a moment when
   // nothing was pending for the current instant, so running it here — in
   // FIFO order, before the main loop touches the wheels again — dispatches
@@ -195,7 +197,7 @@ void Simulator::DrainDeferred() {
   fuse_budget_ = kMaxFusedPerDispatch;
 }
 
-bool Simulator::Step() {
+bool EventDomain::Step() {
   if (TryDispatchFineEarliest(kNanosMax)) [[likely]] return true;
   Nanos t;
   if (!PeekEarliest(&t)) {
@@ -209,12 +211,12 @@ bool Simulator::Step() {
   return true;
 }
 
-void Simulator::Run() {
+void EventDomain::Run() {
   while (Step()) {
   }
 }
 
-void Simulator::RunUntil(Nanos t) {
+void EventDomain::RunUntil(Nanos t) {
   for (;;) {
     if (TryDispatchFineEarliest(t)) [[likely]] continue;
     if (fine_.size > 0) break;  // earliest fine event lies beyond t
@@ -228,7 +230,22 @@ void Simulator::RunUntil(Nanos t) {
   }
 }
 
-void Simulator::Reset() {
+void EventDomain::DrainWindow(Nanos end_exclusive) {
+  // Same per-event loop as RunUntil with an exclusive bound, minus the
+  // final clock advance: after the window the clock sits at the last
+  // dispatched instant so the coordinator's next T_min reflects real
+  // event times, not window edges.
+  const Nanos limit = end_exclusive - 1;  // end_exclusive >= 1 always
+  for (;;) {
+    if (TryDispatchFineEarliest(limit)) [[likely]] continue;
+    if (fine_.size > 0) break;  // earliest fine event lies beyond the window
+    Nanos next;
+    if (!PeekEarliest(&next) || next >= end_exclusive) break;
+    Dispatch(next);
+  }
+}
+
+void EventDomain::Reset() {
   DrainAll();
   now_ = 0;
   horizon_ = 0;
@@ -237,7 +254,7 @@ void Simulator::Reset() {
   next_seq_ = 0;
 }
 
-void Simulator::DrainAll() {
+void EventDomain::DrainAll() {
   // Defensive: the trampoline is empty outside Dispatch, but a teardown
   // mid-callback must still destroy pending fused callables.
   for (EventNode* d : deferred_) {

@@ -1,0 +1,362 @@
+// Deterministic discrete-event engine — one shard's event domain.
+//
+// An EventDomain is the single-threaded calendar-queue core that has always
+// driven the RNIC model: hardware units, host CPUs, and clients are actors
+// that schedule closures at absolute simulated times, and events scheduled
+// for the same instant run in FIFO order of scheduling, which makes runs
+// bit-for-bit reproducible.
+//
+// `Simulator` is an alias for EventDomain (sim/simulator.h): a standalone
+// domain with no coordinator IS the classic single-threaded simulator, and
+// every pre-sharding call site compiles and behaves unchanged.
+//
+// Sharding (sim/sharded.h): a ShardedSimulator owns N domains and advances
+// them in bounded-lookahead rounds on real threads. Within a round a domain
+// is touched only by its own thread; the only cross-domain channel is
+// `SendTo(shard, t, fn)`, which appends to a per-(src,dst) mailbox that the
+// coordinator merges into the destination wheel at round barriers in
+// (time, src_shard, seq) order. `At`/`After` assert shard affinity: calling
+// them on a foreign domain while a sharded round is executing is a data
+// race by construction, so debug builds abort with a pointer at SendTo.
+//
+// Hot-path design (see docs/PERF.md for measurements):
+//  - Events are fixed-size nodes from a free-list slab (sim/event.h); the
+//    callback lives in 64 bytes of inline storage inside the node, so the
+//    steady-state schedule/dispatch cycle performs zero heap allocations.
+//    Oversized captures fall back to one heap allocation, counted by
+//    `heap_fallbacks()` so regressions are visible.
+//  - The pending set is a hierarchical calendar queue. A fine wheel of 4096
+//    one-nanosecond FIFO buckets covers the current time-aligned 4.1 us
+//    slot; a coarse wheel of 4096 slot-wide buckets covers the current
+//    16.8 ms super-slot; everything farther sits in an append-only vector
+//    sorted lazily by (time, seq) when a cascade needs ordered pops.
+//    Two-level bitmaps give O(1) next-bucket scans, and
+//    events cascade down (far -> coarse -> fine) exactly when the clock
+//    enters their slot — eagerly, so a bucket can never receive a direct
+//    insert ahead of an earlier-scheduled event for the same instant.
+//    Because a fine bucket holds exactly one timestamp, FIFO append
+//    preserves the seq tie-break order: dispatch order is identical to a
+//    total (time, seq) sort.
+//
+// Ordering guarantee: `At` clamps past times to `now()`, and a clamped
+// event is appended *behind* every event already queued for the current
+// instant (its seq is newer). Code that schedules at `now()` from inside a
+// callback therefore always runs after the events that were already due.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/time.h"
+
+namespace redn::sim {
+
+class ShardedSimulator;
+
+class EventDomain {
+ public:
+  EventDomain() = default;
+  ~EventDomain();
+
+  EventDomain(const EventDomain&) = delete;
+  EventDomain& operator=(const EventDomain&) = delete;
+
+  // Current simulated time.
+  Nanos now() const { return now_; }
+
+  // Shard identity. A standalone domain (the classic `sim::Simulator`) is
+  // shard 0 of no coordinator.
+  int shard() const { return shard_; }
+  ShardedSimulator* coordinator() const { return coord_; }
+
+  // The domain currently dispatching on this thread, or nullptr outside a
+  // sharded round (setup code, single-threaded runs). Used by the shard-
+  // affinity asserts and by device code to pick the executing shard.
+  static EventDomain* Current() { return tls_running_; }
+
+  // Schedules `action` to run at absolute time `t`. Scheduling into the past
+  // clamps to `now()`; the clamped action runs after all events already
+  // queued at the current instant (FIFO by scheduling order).
+  //
+  // Same-instant continuation fusion: a continuation scheduled for `now()`
+  // from inside a running event is fused onto a bounded trampoline — run by
+  // `Dispatch` right after the current callback returns — instead of
+  // round-tripping the calendar queue, but ONLY when it would provably be
+  // the very next event dispatched: the fine bucket for `now()` must be
+  // empty (every pending same-instant event lives there, because cascades
+  // are eager), and earlier fused continuations drain in FIFO order before
+  // it. Once anything is pending at the current instant, later same-instant
+  // schedules fall back to the queue, so dispatch order — and therefore
+  // every simulated result — is bit-identical to the unfused engine
+  // (tests/sim_determinism_test.cc covers exactly these cases).
+  //
+  // `action` is any void() callable. Captures up to 64 bytes are stored
+  // inline in the slab node (no heap); larger ones heap-allocate and bump
+  // `heap_fallbacks()`.
+  template <class F>
+  void At(Nanos t, F&& action) {
+    AssertSameShard();
+    if (t <= now_) [[unlikely]] {
+      t = now_;
+      if (in_dispatch_ && fuse_budget_ > 0 &&
+          fine_.buckets[FineIndex(now_)].head == nullptr) {
+        --fuse_budget_;
+        Bind(t, std::forward<F>(action), /*fused=*/true);
+        return;
+      }
+    }
+    Bind(t, std::forward<F>(action), /*fused=*/false);
+  }
+
+  // Schedules `action` to run `delay` ns from now.
+  template <class F>
+  void After(Nanos delay, F&& action) {
+    At(now_ + delay, std::forward<F>(action));
+  }
+
+  // Schedules `action` at absolute time `t` on shard `dst_shard` of this
+  // domain's coordinator. Same-shard (or coordinator-less) sends degrade to
+  // plain At. Cross-shard sends append to the (src,dst) mailbox — written
+  // only by this domain's thread during a round, merged into the
+  // destination wheel at the next round barrier in (time, src_shard, seq)
+  // order — and must respect the conservative lookahead: `t` at least
+  // `now() + lookahead()` ns in the future, or std::logic_error.
+  // Defined in sim/sharded.h (needs the coordinator's mailbox).
+  template <class F>
+  void SendTo(int dst_shard, Nanos t, F&& action);
+
+  // Runs a single event. Returns false when the queue is empty; in that
+  // case the clock still advances to any noted horizon (see NoteHorizon),
+  // so a drained run ends at the last host-visibility instant exactly as
+  // it did when every CQE scheduled a visibility event.
+  bool Step();
+
+  // Time of the earliest pending event, if any. Lets poll helpers decide
+  // whether a known future instant (e.g. a CQE's host-visibility time)
+  // arrives before the next event.
+  bool PeekNextEventTime(Nanos* t) const { return PeekEarliest(t); }
+
+  // Records that simulated state becomes externally observable at `t`
+  // without scheduling an event: when the queue drains, the clock advances
+  // to the latest noted horizon. This is how CQE host-visibility keeps
+  // "time flowing" for pollers at one event per CQE.
+  void NoteHorizon(Nanos t) {
+    if (t > horizon_) horizon_ = t;
+  }
+
+  // Runs until the event queue drains.
+  void Run();
+
+  // Runs until the queue drains or simulated time would exceed `t`.
+  // Events scheduled exactly at `t` are executed.
+  void RunUntil(Nanos t);
+
+  // Round execution for the sharded coordinator: dispatches every pending
+  // event with time < `end_exclusive` and stops, leaving the clock at the
+  // last dispatched instant (NOT advanced to the window end — the next
+  // round's safe horizon is computed from real event times). Safe to call
+  // on a standalone domain too.
+  void DrainWindow(Nanos end_exclusive);
+
+  // Drops all pending events and resets the clock to zero. Statistics
+  // (events_processed, slab counters) are kept; they are cumulative per
+  // domain.
+  void Reset();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return size_; }
+
+  // Callback-storage accounting: events whose callable fit the node's
+  // inline storage vs. those that needed a heap allocation.
+  std::uint64_t slab_hits() const { return slab_hits_; }
+  std::uint64_t heap_fallbacks() const { return heap_fallbacks_; }
+
+ private:
+  friend class ShardedSimulator;
+
+  // Wheel geometry. The fine wheel's 4096 x 1 ns buckets cover every
+  // latency constant in the NIC calibration; the coarse wheel's 4096 x
+  // 4096 ns buckets absorb host-side delays (poll intervals, rate
+  // limiters); only multi-16.8ms horizons touch the far heap.
+  static constexpr std::size_t kSlotBits = 12;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+  static constexpr std::size_t kSlotMask = kSlots - 1;
+  static constexpr Nanos kFineSpan = static_cast<Nanos>(kSlots);
+  static constexpr Nanos kCoarseSpan = kFineSpan * static_cast<Nanos>(kSlots);
+  static constexpr std::size_t kWords = kSlots / 64;
+
+  struct Bucket {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+
+  // Fine wheel: intrusive FIFO lists plus a two-level occupancy bitmap.
+  // Both wheels are *aligned* to their span (window base = now & ~(span-1)),
+  // so bucket index is monotone in time within the window and scans never
+  // wrap.
+  struct Wheel {
+    std::array<Bucket, kSlots> buckets{};
+    std::array<std::uint64_t, kWords> bitmap{};
+    std::uint64_t summary = 0;  // bit w set <=> bitmap[w] != 0
+    std::size_t size = 0;
+
+    void Append(std::size_t b, EventNode* n);
+    EventNode* PopFront(std::size_t b);
+    // Index of the first non-empty bucket; wheel must be non-empty.
+    std::size_t FirstBucket() const;
+  };
+
+  // Coarse wheel: buckets are recycled pointer arrays instead of intrusive
+  // lists. Appending never touches the previous tail node (the slab nodes
+  // are scattered; that write is a guaranteed cache miss), and draining
+  // walks a dense array that can be prefetched arbitrarily deep. Capacity
+  // is retained across reuse, so steady-state appends do not allocate.
+  struct CoarseWheel {
+    std::array<std::vector<EventNode*>, kSlots> buckets;
+    std::array<std::uint64_t, kWords> bitmap{};
+    std::uint64_t summary = 0;
+    std::size_t size = 0;
+
+    void Append(std::size_t b, EventNode* n);
+    void ClearBucket(std::size_t b);
+    // Index of the first non-empty bucket; wheel must be non-empty.
+    std::size_t FirstBucket() const;
+  };
+
+  // Far entries carry (time, seq) by value so sort compares never chase
+  // the node pointer (the nodes live scattered across slab chunks). The far
+  // set is an *unsorted* append-only vector sorted lazily — descending by
+  // (time, seq) — only when a super-slot cascade actually needs ordered
+  // pops (from the back, so remaining entries stay sorted). Appends are
+  // sequential writes instead of log-n heap sifts over cold memory, which
+  // is the difference that shows up on the wide-window burst bench.
+  struct FarEntry {
+    Nanos time;
+    std::uint64_t seq;
+    EventNode* node;
+  };
+  struct FarLater {
+    bool operator()(const FarEntry& a, const FarEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  static std::size_t FineIndex(Nanos t) {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(t)) & kSlotMask;
+  }
+  static std::size_t CoarseIndex(Nanos t) {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(t) >>
+                                    kSlotBits) &
+           kSlotMask;
+  }
+
+  // Shard-affinity guard: while a sharded round is executing, the only
+  // domain a thread may schedule into directly is the one it is running.
+  // Cross-shard scheduling must go through SendTo (mailboxes are the only
+  // legal cross-thread edge). No-op outside rounds and in release builds.
+  void AssertSameShard() const {
+    assert((tls_running_ == nullptr || tls_running_ == this) &&
+           "At/After on a foreign shard during a sharded round; use "
+           "SendTo(shard, t, fn)");
+  }
+
+  // Binds the callable into a slab node and either queues it or appends it
+  // to the fusion trampoline.
+  template <class F>
+  void Bind(Nanos t, F&& action, bool fused) {
+    EventNode* n = pool_.Acquire();
+    n->time = t;
+    n->seq = next_seq_++;
+    if (BindEvent(n, std::forward<F>(action))) {
+      ++slab_hits_;
+    } else {
+      ++heap_fallbacks_;
+    }
+    ++size_;
+    if (fused) {
+      deferred_.push_back(n);
+    } else {
+      Place(n);
+    }
+  }
+
+  // Files `n` into fine wheel / coarse wheel / far heap based on its time
+  // relative to the current (aligned) windows.
+  void Place(EventNode* n);
+  // Advances the aligned windows to contain `t` and cascades events down:
+  // far -> coarse when the super-slot changes, then the coarse bucket of
+  // the new fine slot -> fine. Must run on every `now_` advance so FIFO
+  // order per instant is preserved (see class comment).
+  void AdvanceWindows(Nanos t);
+  static constexpr Nanos kNanosMax = std::numeric_limits<Nanos>::max();
+
+  // Runs the earliest event, already peeked at time `t`.
+  void Dispatch(Nanos t);
+  // Dispatches the earliest fine-wheel event if one exists at time <= limit;
+  // returns whether it did. The single home of the base|bucket fast path
+  // shared by Step and RunUntil: the earliest event's bucket index doubles
+  // as its timestamp (t = base | bucket), the time is inside the current
+  // windows by construction, and the peek's bucket scan is reused for the
+  // pop — one bitmap walk per event instead of two plus a window check.
+  // Defined here so the per-event Run/Step loop inlines it.
+  bool TryDispatchFineEarliest(Nanos limit) {
+    if (fine_.size == 0) return false;
+    const std::size_t b = fine_.FirstBucket();
+    const Nanos when = fine_base_ | static_cast<Nanos>(b);
+    if (when > limit) return false;
+    now_ = when;
+    DispatchFine(b);
+    return true;
+  }
+  // Pops and runs the head of fine bucket `bucket`; `now_` must already be
+  // set to the bucket's instant and the windows must cover it.
+  void DispatchFine(std::size_t bucket);
+  // Out-of-line tail of Dispatch: runs pending fused continuations.
+  void DrainDeferred();
+  bool PeekEarliest(Nanos* t) const;
+  // Destroys all pending callables without running them.
+  void DrainAll();
+
+  Nanos now_ = 0;
+  Nanos horizon_ = 0;      // latest NoteHorizon instant; consumed on drain
+  Nanos fine_base_ = 0;    // == now_ & ~(kFineSpan - 1)
+  Nanos coarse_base_ = 0;  // == now_ & ~(kCoarseSpan - 1)
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t slab_hits_ = 0;
+  std::uint64_t heap_fallbacks_ = 0;
+  std::size_t size_ = 0;
+
+  // Continuation-fusion trampoline. Bounded per dispatch so a pathological
+  // same-instant self-rescheduler degrades to the queue (where it would
+  // have spun anyway) instead of starving the budget reset.
+  static constexpr int kMaxFusedPerDispatch = 64;
+  bool in_dispatch_ = false;
+  int fuse_budget_ = kMaxFusedPerDispatch;
+  std::vector<EventNode*> deferred_;  // FIFO; drained by Dispatch
+
+  Wheel fine_;
+  CoarseWheel coarse_;
+  std::vector<FarEntry> far_;   // lazily sorted descending by (time, seq)
+  bool far_sorted_ = true;      // false after an append past the sorted tail
+  Nanos far_min_ = 0;           // min time in far_; valid iff !far_.empty()
+  EventPool pool_;
+
+  // Set by ShardedSimulator at construction; a standalone domain keeps the
+  // defaults and is indistinguishable from the pre-sharding Simulator.
+  int shard_ = 0;
+  ShardedSimulator* coord_ = nullptr;
+
+  static thread_local EventDomain* tls_running_;
+};
+
+// Historical name: the single-threaded simulator is exactly one event
+// domain with no coordinator.
+using Simulator = EventDomain;
+
+}  // namespace redn::sim

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/resource.h"
+#include "sim/sharded.h"
 #include "sim/time.h"
 
 namespace redn::sim {
@@ -45,13 +46,33 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  // Plugs a new endpoint into the switch; returns its id.
-  int Attach(const LinkSpec& spec, std::string name = {}) {
+  // Plugs a new endpoint into the switch; returns its id. `domain` is the
+  // event domain (shard) the owning device schedules on; when two endpoints
+  // of the same coordinator land on different shards, the pair's one-way
+  // latency becomes a lookahead floor for the conservative sync — and a
+  // zero-latency cross-shard pair is rejected right here, at attach time,
+  // because no lookahead window could ever cover it.
+  int Attach(const LinkSpec& spec, std::string name = {},
+             EventDomain* domain = nullptr) {
+    if (domain != nullptr && domain->coordinator() != nullptr) {
+      for (const Endpoint& other : eps_) {
+        if (other.domain == nullptr || other.domain == domain ||
+            other.domain->coordinator() != domain->coordinator()) {
+          continue;
+        }
+        domain->coordinator()->SetLookaheadFloor(spec.propagation +
+                                                 switch_latency_ + other.prop);
+      }
+    }
     eps_.push_back(Endpoint{BandwidthResource(spec.gbps),
                             BandwidthResource(spec.gbps), spec.propagation,
-                            std::move(name)});
+                            std::move(name), domain});
     return static_cast<int>(eps_.size()) - 1;
   }
+
+  // The event domain endpoint `ep` was attached with (nullptr for
+  // pre-sharding callers).
+  EventDomain* domain(int ep) const { return eps_[ep].domain; }
 
   std::size_t endpoint_count() const { return eps_.size(); }
   const std::string& name(int ep) const { return eps_[ep].name; }
@@ -104,6 +125,7 @@ class Fabric {
     BandwidthResource rx;
     Nanos prop;
     std::string name;
+    EventDomain* domain = nullptr;  // shard affinity of the owning device
   };
 
   // Fraction of [0, window] the pipe spent busy. A reservation extending

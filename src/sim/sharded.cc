@@ -1,0 +1,245 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace redn::sim {
+
+namespace {
+constexpr Nanos kNanosMax = std::numeric_limits<Nanos>::max();
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(int shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardedSimulator: shards must be >= 1");
+  }
+  domains_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    auto d = std::make_unique<EventDomain>();
+    d->shard_ = i;
+    d->coord_ = this;
+    domains_.push_back(std::move(d));
+  }
+  mail_.resize(static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards));
+  start_.Init(shards);
+  end_.Init(shards);
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void ShardedSimulator::SetLookaheadFloor(Nanos one_way) {
+  if (one_way <= 0) {
+    throw std::invalid_argument(
+        "zero-latency cross-shard link: conservative sharded simulation "
+        "needs every cross-shard link's one-way latency (propagation + "
+        "switch) > 0 ns — it is the lookahead window. Give the link a "
+        "propagation delay, or place both endpoints on the same shard.");
+  }
+  if (one_way < lookahead_) lookahead_ = one_way;
+}
+
+void ShardedSimulator::PostCrossShard(int src, int dst, Nanos t, Nanos src_now,
+                                      std::function<void()> fn) {
+  if (dst < 0 || dst >= shards()) {
+    throw std::out_of_range("SendTo: destination shard " + std::to_string(dst) +
+                            " out of range [0, " + std::to_string(shards()) +
+                            ")");
+  }
+  if (lookahead_ == kNoLookahead) {
+    throw std::logic_error(
+        "SendTo: cross-shard message with no lookahead registered — declare "
+        "the link latency first (Fabric::Attach with a domain, or "
+        "ShardedSimulator::SetLookaheadFloor)");
+  }
+  if (t < src_now + lookahead_) {
+    throw std::logic_error(
+        "SendTo: lookahead violation — message due at t=" + std::to_string(t) +
+        " ns but sender is at " + std::to_string(src_now) +
+        " ns with lookahead " + std::to_string(lookahead_) +
+        " ns; cross-shard effects must lag the sender by at least the "
+        "minimum cross-shard link latency");
+  }
+  Mailbox& mb = mail_[static_cast<std::size_t>(src) * shards() + dst];
+  mb.pending.push_back(MailMsg{t, mb.next_seq++, std::move(fn)});
+  ++mb.total_sent;
+}
+
+void ShardedSimulator::MergeMailboxes() {
+  const int n = shards();
+  for (int dst = 0; dst < n; ++dst) {
+    merge_scratch_.clear();
+    for (int src = 0; src < n; ++src) {
+      Mailbox& mb = mail_[static_cast<std::size_t>(src) * n + dst];
+      for (MailMsg& m : mb.pending) {
+        merge_scratch_.push_back(MergeKey{m.time, src, m.seq, &m.fn});
+      }
+    }
+    if (merge_scratch_.empty()) continue;
+    // Deterministic total order: the destination wheel assigns fresh local
+    // seqs in merge order, so (time, src_shard, seq) here fixes dispatch
+    // order regardless of which thread ran what when.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const MergeKey& a, const MergeKey& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    EventDomain& d = *domains_[static_cast<std::size_t>(dst)];
+    for (MergeKey& k : merge_scratch_) {
+      assert(k.time >= d.now() && "mailbox message due in destination past");
+      d.At(k.time, std::move(*k.fn));
+    }
+    merges_ += merge_scratch_.size();
+    for (int src = 0; src < n; ++src) {
+      mail_[static_cast<std::size_t>(src) * n + dst].pending.clear();
+    }
+  }
+}
+
+bool ShardedSimulator::EarliestPending(Nanos* t) const {
+  bool any = false;
+  Nanos best = 0;
+  for (const auto& d : domains_) {
+    Nanos cand;
+    if (d->PeekNextEventTime(&cand) && (!any || cand < best)) {
+      best = cand;
+      any = true;
+    }
+  }
+  if (any) *t = best;
+  return any;
+}
+
+void ShardedSimulator::RunShard(int k) {
+  EventDomain* d = domains_[static_cast<std::size_t>(k)].get();
+  EventDomain::tls_running_ = d;
+  try {
+    d->DrainWindow(window_end_);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(err_mu_);
+      if (!err_) err_ = std::current_exception();
+    }
+    abort_.store(true, std::memory_order_relaxed);
+  }
+  EventDomain::tls_running_ = nullptr;
+}
+
+void ShardedSimulator::WorkerLoop(int k) {
+  for (;;) {
+    start_.Wait();
+    if (stop_.load(std::memory_order_acquire)) return;
+    RunShard(k);
+    end_.Wait();
+  }
+}
+
+void ShardedSimulator::RunWindowed(Nanos limit) {
+  const int n = shards();
+  stop_.store(false, std::memory_order_release);
+  abort_.store(false, std::memory_order_release);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n) - 1);
+  for (int k = 1; k < n; ++k) {
+    workers.emplace_back(&ShardedSimulator::WorkerLoop, this, k);
+  }
+  for (;;) {
+    // Merge first: a message parked in a mailbox may be the next event.
+    MergeMailboxes();
+    Nanos tmin;
+    if (!EarliestPending(&tmin) || tmin > limit) break;
+    Nanos end;  // exclusive window end
+    if (lookahead_ == kNoLookahead || tmin > kNanosMax - lookahead_) {
+      end = kNanosMax;  // no cross-shard edges: one free-running round
+    } else {
+      end = tmin + lookahead_;
+    }
+    if (limit < kNanosMax && end > limit) end = limit + 1;
+    window_end_ = end;
+    ++rounds_;
+    start_.Wait();
+    RunShard(0);
+    end_.Wait();
+    if (abort_.load(std::memory_order_acquire)) break;
+  }
+  stop_.store(true, std::memory_order_release);
+  start_.Wait();
+  for (std::thread& th : workers) th.join();
+  if (err_) {
+    std::exception_ptr e = err_;
+    err_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ShardedSimulator::Run() {
+  if (shards() == 1) {
+    MergeMailboxes();  // staged same-coordinator sends from setup code
+    domains_[0]->Run();
+    return;
+  }
+  RunWindowed(kNanosMax);
+  // Queues are drained; let each domain consume its noted horizon so a
+  // drained run ends at the last host-visibility instant, exactly like the
+  // single-threaded engine.
+  for (auto& d : domains_) d->Run();
+}
+
+void ShardedSimulator::RunUntil(Nanos t) {
+  if (shards() == 1) {
+    MergeMailboxes();
+    domains_[0]->RunUntil(t);
+    return;
+  }
+  RunWindowed(t);
+  // No pending event <= t remains anywhere; advance every clock to t.
+  for (auto& d : domains_) d->RunUntil(t);
+}
+
+void ShardedSimulator::Reset() {
+  for (auto& d : domains_) d->Reset();
+  for (Mailbox& mb : mail_) {
+    mb.pending.clear();
+    mb.next_seq = 0;  // total_sent stays cumulative, like domain stats
+  }
+}
+
+std::uint64_t ShardedSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& d : domains_) total += d->events_processed();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::slab_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& d : domains_) total += d->slab_hits();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::heap_fallbacks() const {
+  std::uint64_t total = 0;
+  for (const auto& d : domains_) total += d->heap_fallbacks();
+  return total;
+}
+
+std::size_t ShardedSimulator::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& d : domains_) total += d->pending_events();
+  for (const Mailbox& mb : mail_) total += mb.pending.size();
+  return total;
+}
+
+Nanos ShardedSimulator::now() const {
+  Nanos best = 0;
+  for (const auto& d : domains_) best = std::max(best, d->now());
+  return best;
+}
+
+std::uint64_t ShardedSimulator::cross_shard_sends() const {
+  std::uint64_t total = 0;
+  for (const Mailbox& mb : mail_) total += mb.total_sent;
+  return total;
+}
+
+}  // namespace redn::sim

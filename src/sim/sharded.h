@@ -1,0 +1,200 @@
+// Sharded parallel simulation: N EventDomains advanced in deterministic
+// conservative rounds on real threads.
+//
+// Synchronization model (docs/PARSIM.md has the full write-up):
+//  - Every actor (device, host poller, client) lives on exactly one shard
+//    and schedules only into its own domain; the ONLY cross-shard channel
+//    is `EventDomain::SendTo(shard, t, fn)`.
+//  - Cross-shard links declare a one-way latency via SetLookaheadFloor
+//    (the fabric does this at AttachPort time); the minimum over all
+//    cross-shard links is the lookahead L. Zero-latency cross-shard links
+//    are rejected — with L = 0 no shard could ever safely run ahead.
+//  - A round computes T_min = earliest pending event across all shards and
+//    lets every shard dispatch events in the window [T_min, T_min + L) in
+//    parallel. Any message sent from inside the window is due at
+//    t_send + (path latency >= L) >= T_min + L, i.e. strictly beyond the
+//    window, so no shard can receive an event in its past: conservative
+//    synchronization with link latency as the lookahead, as in federated
+//    ns-3 co-simulation.
+//  - Mailboxes are per-(src,dst) single-producer queues: appended only by
+//    the source shard's thread during a round, merged into the destination
+//    wheel by the coordinator between rounds (the round barrier is the
+//    happens-before edge — mailboxes and the round window are the only
+//    cross-thread data, which is what the TSan CI job checks). The merge
+//    is sorted by (time, src_shard, seq), so simulated results are a pure
+//    function of seed x shard count: bit-identical across reruns and
+//    independent of thread scheduling.
+//
+// `shards = 1` is the degenerate case: Run/RunUntil delegate straight to
+// the single domain's classic single-threaded loop — the exact pre-sharding
+// code path, byte-for-byte identical results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/event_domain.h"
+
+namespace redn::sim {
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(int shards);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int shards() const { return static_cast<int>(domains_.size()); }
+  EventDomain& shard(int i) { return *domains_[static_cast<std::size_t>(i)]; }
+  const EventDomain& shard(int i) const {
+    return *domains_[static_cast<std::size_t>(i)];
+  }
+
+  // Registers a cross-shard one-way latency; the lookahead is the minimum
+  // over all registrations. Called by Fabric when a port attach creates a
+  // cross-shard pair, or directly by tests/custom topologies. A zero (or
+  // negative) latency makes conservative sync impossible and throws
+  // std::invalid_argument.
+  void SetLookaheadFloor(Nanos one_way);
+  // Current lookahead; kNoLookahead until a cross-shard link registers one
+  // (then the whole run is a single embarrassingly-parallel round).
+  Nanos lookahead() const { return lookahead_; }
+  static constexpr Nanos kNoLookahead = std::numeric_limits<Nanos>::max();
+
+  // Runs until every domain's queue and every mailbox drains.
+  void Run();
+  // Runs until drained or simulated time would exceed `t`; events exactly
+  // at `t` execute, and every domain's clock ends at >= t.
+  void RunUntil(Nanos t);
+
+  // Drops pending events in every domain and every undrained mailbox and
+  // resets all clocks (and mailbox sequence counters) to zero. Cumulative
+  // statistics are kept, mirroring EventDomain::Reset.
+  void Reset();
+
+  // Aggregated statistics. Each counter is summed over the per-shard
+  // domains exactly once (the domains are disjoint — no double counting);
+  // pending_events additionally includes messages sitting in mailboxes
+  // that have not been merged into a destination wheel yet.
+  std::uint64_t events_processed() const;
+  std::uint64_t slab_hits() const;
+  std::uint64_t heap_fallbacks() const;
+  std::size_t pending_events() const;
+  // Latest domain clock (all domains agree after RunUntil).
+  Nanos now() const;
+
+  // Mailbox traffic counters (cumulative, like the domain stats).
+  std::uint64_t cross_shard_sends() const;
+  std::uint64_t mailbox_merges() const { return merges_; }
+  std::uint64_t rounds() const { return rounds_; }
+
+  // Mailbox append — called by EventDomain::SendTo from the source shard's
+  // thread (or from setup code between runs). Throws std::logic_error when
+  // `t` violates the lookahead contract (t < src_now + lookahead, or no
+  // cross-shard lookahead registered at all).
+  void PostCrossShard(int src, int dst, Nanos t, Nanos src_now,
+                      std::function<void()> fn);
+
+ private:
+  struct MailMsg {
+    Nanos time;
+    std::uint64_t seq;  // per-(src,dst) send order
+    std::function<void()> fn;
+  };
+  struct Mailbox {
+    std::vector<MailMsg> pending;  // written by src thread, drained by merge
+    std::uint64_t next_seq = 0;
+    std::uint64_t total_sent = 0;
+  };
+
+  // Sense-reversing spin barrier. Rounds are often sub-microsecond, so a
+  // condvar barrier's wake latency would dominate; spin first, then yield
+  // so oversubscribed machines (or a 1-core CI box) still make progress.
+  class SpinBarrier {
+   public:
+    void Init(int n) { n_ = n; }
+    void Wait() {
+      const std::uint64_t ph = phase_.load(std::memory_order_acquire);
+      if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+        count_.store(0, std::memory_order_relaxed);
+        phase_.store(ph + 1, std::memory_order_release);
+      } else {
+        int spins = 0;
+        while (phase_.load(std::memory_order_acquire) == ph) {
+          if (++spins > 2048) {
+            std::this_thread::yield();
+            spins = 0;
+          }
+        }
+      }
+    }
+
+   private:
+    int n_ = 1;
+    std::atomic<int> count_{0};
+    std::atomic<std::uint64_t> phase_{0};
+  };
+
+  void RunWindowed(Nanos limit);  // rounds until no pending event <= limit
+  void MergeMailboxes();
+  bool EarliestPending(Nanos* t) const;
+  void RunShard(int k);   // one shard's window, exceptions captured
+  void WorkerLoop(int k);
+
+  std::vector<std::unique_ptr<EventDomain>> domains_;
+  std::vector<Mailbox> mail_;  // index: src * shards + dst
+  Nanos lookahead_ = kNoLookahead;
+
+  // Round state. window_end_ is written by the coordinator before the
+  // start barrier and read by workers after it; stop_/abort_ are atomic.
+  Nanos window_end_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> abort_{false};
+  SpinBarrier start_;
+  SpinBarrier end_;
+  std::mutex err_mu_;
+  std::exception_ptr err_;  // first exception thrown inside a round
+
+  std::uint64_t rounds_ = 0;
+  std::uint64_t merges_ = 0;
+
+  // Merge scratch (coordinator only): reused across rounds.
+  struct MergeKey {
+    Nanos time;
+    int src;
+    std::uint64_t seq;
+    std::function<void()>* fn;
+  };
+  std::vector<MergeKey> merge_scratch_;
+};
+
+// Cross-shard scheduling. Same-shard (or coordinator-less) sends are plain
+// At; cross-shard sends go through the coordinator's mailbox.
+template <class F>
+void EventDomain::SendTo(int dst_shard, Nanos t, F&& action) {
+  if (coord_ == nullptr) {
+    if (dst_shard != shard_) {
+      throw std::logic_error(
+          "SendTo: standalone Simulator has no coordinator; only its own "
+          "shard is addressable");
+    }
+    At(t, std::forward<F>(action));
+    return;
+  }
+  if (dst_shard == shard_) {
+    At(t, std::forward<F>(action));
+    return;
+  }
+  coord_->PostCrossShard(shard_, dst_shard, t, now_,
+                         std::function<void()>(std::forward<F>(action)));
+}
+
+}  // namespace redn::sim

@@ -10,6 +10,7 @@
 #include "offloads/hash_harness.h"
 #include "rnic/device.h"
 #include "sim/rng.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "sim/transport.h"
 #include "verbs/verbs.h"
@@ -53,9 +54,165 @@ std::vector<Writer> StartWriters(rnic::RnicDevice& cdev,
   return out;
 }
 
+// Sharded variant of RunFabricScale: same topology and closed loops, run on
+// a ShardedSimulator with per-client placement. Every piece of mutable
+// driver state (rng, recorder, timestamps) is per-client, because each
+// client's completion hook fires on its own shard's thread; results merge
+// in client order after the run, which keeps same-config reruns bit-stable.
+FabricScaleResult RunFabricScaleSharded(const FabricScaleConfig& cfg) {
+  sim::ShardedSimulator ssim(cfg.shards);
+  sim::Fabric fabric(cfg.switch_latency);
+  rnic::RnicDevice sdev(ssim.shard(cfg.server_shard),
+                        rnic::NicConfig::ConnectX5(), {}, "server");
+  sdev.AttachPort(0, fabric, {cfg.server_gbps, cfg.propagation});
+
+  struct Client {
+    std::unique_ptr<rnic::RnicDevice> dev;
+    std::unique_ptr<offloads::HashGetHarness> harness;
+    sim::Rng rng{1};
+    sim::LatencyRecorder rec;
+    int shard = 0;
+    int remaining = 0;
+    sim::Nanos t_sent = 0;
+    sim::Nanos first_sent = -1;
+    sim::Nanos last_resp = 0;
+    std::uint64_t error_cqes = 0;
+    bool waiting = false;
+  };
+  std::vector<Client> clients(static_cast<std::size_t>(cfg.clients));
+
+  const std::size_t heap_bytes =
+      static_cast<std::size_t>(cfg.keys + 1) * cfg.value_len + (64 << 10);
+  for (int i = 0; i < cfg.clients; ++i) {
+    Client& c = clients[static_cast<std::size_t>(i)];
+    c.shard = cfg.placement.empty() ? i % cfg.shards
+                                    : cfg.placement[static_cast<std::size_t>(i)];
+    c.rng = sim::Rng(cfg.seed +
+                     0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1));
+    c.dev = std::make_unique<rnic::RnicDevice>(
+        ssim.shard(c.shard), rnic::NicConfig::ConnectX5(), rnic::Calibration{},
+        "client" + std::to_string(i));
+    c.dev->AttachPort(0, fabric, {cfg.client_gbps, cfg.propagation});
+    c.harness = std::make_unique<offloads::HashGetHarness>(
+        *c.dev, sdev,
+        offloads::HashGetOffload::Config{.buckets = 2,
+                                         .max_requests = cfg.gets_per_client + 8,
+                                         .fabric = &fabric},
+        kv::RdmaHashTable::Config{.buckets = 1 << 12}, heap_bytes,
+        /*max_value=*/cfg.value_len + 64);
+    for (int k = 1; k <= cfg.keys; ++k) {
+      c.harness->PutPattern(static_cast<std::uint64_t>(k), cfg.value_len);
+    }
+    c.harness->Arm(cfg.gets_per_client + 4);
+    c.remaining = cfg.gets_per_client;
+  }
+
+  std::vector<std::uint64_t> visible;
+  visible.reserve(static_cast<std::size_t>(cfg.keys));
+  for (int k = 1; k <= cfg.keys; ++k) {
+    if (clients[0].harness->table().NicVisible(static_cast<std::uint64_t>(k))) {
+      visible.push_back(static_cast<std::uint64_t>(k));
+    }
+  }
+  if (visible.empty()) {
+    throw std::runtime_error(
+        "RunFabricScale: no NIC-visible keys — table too small for keyspace");
+  }
+
+  // Runs on client i's shard only: touches nothing but that client's state.
+  auto issue = [&clients, &ssim, &visible](int i) {
+    Client& c = clients[static_cast<std::size_t>(i)];
+    const sim::Nanos now = ssim.shard(c.shard).now();
+    c.t_sent = now;
+    c.waiting = true;
+    if (c.first_sent < 0) c.first_sent = now;
+    c.harness->SendTrigger(visible[c.rng.NextBelow(visible.size())]);
+  };
+  for (int i = 0; i < cfg.clients; ++i) {
+    Client& c = clients[static_cast<std::size_t>(i)];
+    c.harness->client_recv_cq()->SetHostNotify([&clients, &ssim, &issue, i] {
+      Client& cl = clients[static_cast<std::size_t>(i)];
+      rnic::Cqe cqe;
+      while (cl.dev->PollCq(cl.harness->client_recv_cq(), 1, &cqe) == 1) {
+        if (cqe.status != rnic::WcStatus::kSuccess) {
+          ++cl.error_cqes;
+          continue;
+        }
+        cl.harness->NoteOpenLoopResponse(cqe.qp_id);
+        cl.waiting = false;
+        const sim::Nanos now = ssim.shard(cl.shard).now();
+        cl.rec.Add(now - cl.t_sent);
+        cl.last_resp = std::max(cl.last_resp, now);
+        if (--cl.remaining > 0) issue(i);
+      }
+    });
+    ssim.shard(c.shard).At(static_cast<sim::Nanos>(i) * 200,
+                           [&issue, i] { issue(i); });
+  }
+
+  ssim.RunUntil(sim::Seconds(30));
+
+  FabricScaleResult out;
+  out.shards = cfg.shards;
+  out.mailbox_sends = ssim.cross_shard_sends();
+  out.sync_rounds = ssim.rounds();
+  sim::LatencyRecorder rec;
+  sim::Nanos first_sent = -1;
+  sim::Nanos last_resp = 0;
+  for (const Client& c : clients) {
+    for (const sim::Nanos s : c.rec.samples()) rec.Add(s);
+    if (c.first_sent >= 0 && (first_sent < 0 || c.first_sent < first_sent)) {
+      first_sent = c.first_sent;
+    }
+    last_resp = std::max(last_resp, c.last_resp);
+    out.error_cqes += c.error_cqes;
+  }
+  out.gets = rec.count();
+  const sim::Nanos span = last_resp > first_sent ? last_resp - first_sent : 1;
+  out.duration_us = sim::ToMicros(span);
+  out.gets_per_sec = static_cast<double>(out.gets) / sim::ToSeconds(span);
+  const sim::LatencySummary sum = rec.Summarize();
+  out.avg_us = sum.avg_us;
+  out.p50_us = sum.p50_us;
+  out.p99_us = sum.p99_us;
+  out.p999_us = sum.p999_us;
+  const int sep = sdev.fabric_endpoint(0);
+  out.server_tx_util = fabric.TxUtilisation(sep, last_resp);
+  out.server_rx_util = fabric.RxUtilisation(sep, last_resp);
+  out.events = ssim.events_processed();
+  return out;
+}
+
 }  // namespace
 
 FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
+  if (cfg.shards < 1) {
+    throw std::invalid_argument("FabricScaleConfig: shards must be >= 1");
+  }
+  if (cfg.shards > 1) {
+    if (cfg.packetized) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: packetized transport flows are shard-local — "
+          "shards > 1 requires packetized = false (see docs/PARSIM.md)");
+    }
+    if (!cfg.placement.empty() &&
+        cfg.placement.size() != static_cast<std::size_t>(cfg.clients)) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: placement must be empty or name a shard per "
+          "client");
+    }
+    for (const int p : cfg.placement) {
+      if (p < 0 || p >= cfg.shards) {
+        throw std::invalid_argument(
+            "FabricScaleConfig: placement entry out of shard range");
+      }
+    }
+    if (cfg.server_shard < 0 || cfg.server_shard >= cfg.shards) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: server_shard out of shard range");
+    }
+    return RunFabricScaleSharded(cfg);
+  }
   // Fail fast: the reliability engine and fault scripting only exist on the
   // packetized transport — silently ignoring these knobs on the lossless
   // message path has burned people before.

@@ -60,6 +60,20 @@ struct FabricScaleConfig {
   std::uint32_t timeout_exp = 0;      // base RTO = 4096ns << exp when nonzero
   std::uint32_t min_rnr_timer = 5;    // RNR backoff base exponent
 
+  // --- sharded parallel engine ----------------------------------------------
+  // shards > 1 runs the topology on a ShardedSimulator: each client NIC is
+  // pinned to `placement[i]` (empty = round-robin over shards), the server
+  // to `server_shard`, and cross-shard verbs ride the conservative mailbox
+  // sync whose lookahead floor is the fabric's one-way link latency. The
+  // determinism key is (seed, shards): same-config reruns are bit-stable,
+  // but different shard counts may order same-instant RX reservations
+  // differently (see docs/PARSIM.md). shards == 1 is the classic
+  // single-domain path, bit-identical to the pre-sharding driver.
+  // Incompatible with `packetized`: transport flows are shard-local.
+  int shards = 1;
+  std::vector<int> placement;      // client i -> shard id; empty = i % shards
+  int server_shard = 0;
+
   // --- scripted fault injection (requires packetized) -----------------------
   // Client-side fault windows: each entry names a client (FaultEntry::client;
   // `server` must stay -1 here — shard-side faults belong to RunKvService)
@@ -100,6 +114,10 @@ struct FabricScaleResult {
   std::uint64_t error_cqes = 0;        // non-success CQEs seen by client loops
   std::uint64_t qp_errors = 0;         // QPs that entered ERROR (all devices)
   std::uint64_t qp_rearms = 0;         // ERROR -> reset -> RTS recoveries
+  // Sharded-engine accounting (defaults on the classic single-domain path).
+  int shards = 1;
+  std::uint64_t mailbox_sends = 0;     // cross-shard messages posted
+  std::uint64_t sync_rounds = 0;       // conservative windows executed
 };
 
 FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg);

@@ -14,6 +14,7 @@
 #include "offloads/hash_harness.h"
 #include "rnic/device.h"
 #include "sim/rng.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "sim/transport.h"
 #include "verbs/verbs.h"
@@ -58,6 +59,26 @@ void Validate(const KvServiceConfig& cfg) {
           "FaultPlan: entry names an out-of-range tenant");
     }
   }
+  if (cfg.sim_shards < 1) {
+    throw std::invalid_argument("KvServiceConfig: sim_shards must be >= 1");
+  }
+  if (cfg.service_shard < 0 || cfg.service_shard >= cfg.sim_shards) {
+    throw std::invalid_argument(
+        "KvServiceConfig: service_shard out of sim_shards range");
+  }
+  if (!cfg.placement.empty() &&
+      cfg.placement.size() != static_cast<std::size_t>(cfg.tenants)) {
+    throw std::invalid_argument(
+        "KvServiceConfig: placement must be empty or name a shard per tenant");
+  }
+  for (const int p : cfg.placement) {
+    if (p != cfg.service_shard) {
+      throw std::invalid_argument(
+          "KvServiceConfig: tenant placed off service_shard — packetized "
+          "transport flows are shard-local, so every KV-service actor must "
+          "share one event domain (see docs/PARSIM.md)");
+    }
+  }
 }
 
 }  // namespace
@@ -65,7 +86,11 @@ void Validate(const KvServiceConfig& cfg) {
 KvServiceResult RunKvService(const KvServiceConfig& cfg) {
   Validate(cfg);
 
-  sim::Simulator sim;
+  // All actors live on one domain (transport flows are shard-local); the
+  // coordinator still hosts the run so the service composes with sharded
+  // callers, and sim_shards == 1 is the classic single-domain path.
+  sim::ShardedSimulator ssim(cfg.sim_shards);
+  sim::Simulator& sim = ssim.shard(cfg.service_shard);
   sim::Fabric fabric(cfg.switch_latency);
   sim::TransportConfig tc;
   tc.mtu = cfg.mtu;
@@ -560,7 +585,7 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
     }
   }
 
-  sim.RunUntil(cfg.horizon);
+  ssim.RunUntil(cfg.horizon);
 
   // --- results ---------------------------------------------------------------
   KvServiceResult out;
@@ -616,7 +641,8 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
     out.qp_errors += d->counters().qp_errors;
     out.qp_rearms += d->counters().qp_rearms;
   }
-  out.events = sim.events_processed();
+  out.events = ssim.events_processed();
+  out.sim_shards = cfg.sim_shards;
   return out;
 }
 

@@ -92,6 +92,19 @@ struct KvServiceConfig {
 
   FaultPlan faults;
   sim::Nanos horizon = sim::Seconds(30);
+
+  // --- sharded parallel engine ----------------------------------------------
+  // The KV service rides the packetized transport, and transport flows are
+  // shard-local (docs/PARSIM.md): a flow's window/SACK state spans both
+  // endpoints, so every NIC and host actor here must share one event
+  // domain. sim_shards > 1 still runs the service on a ShardedSimulator —
+  // useful when it coexists with other actors — but the whole service is
+  // pinned to `service_shard`, and a placement map that scatters tenants
+  // across domains is rejected with an explanation rather than deadlocking
+  // or racing.
+  int sim_shards = 1;
+  int service_shard = 0;
+  std::vector<int> placement;  // per-tenant shard; empty = all service_shard
 };
 
 struct KvServiceResult {
@@ -124,6 +137,7 @@ struct KvServiceResult {
   std::uint64_t qp_errors = 0;
   std::uint64_t qp_rearms = 0;
   std::uint64_t events = 0;
+  int sim_shards = 1;                 // event domains the run was hosted on
 };
 
 // Runs the service; throws std::invalid_argument on malformed configs

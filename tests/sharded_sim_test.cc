@@ -1,0 +1,373 @@
+// Sharded-engine tests: conservative rounds, mailbox merge order, lookahead
+// enforcement, stats aggregation, and the cross-shard device data paths.
+// These are the tests the TSan CI stage runs — shards >= 2 use real threads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rnic/device.h"
+#include "sim/fabric.h"
+#include "sim/sharded.h"
+#include "sim/transport.h"
+#include "verbs/verbs.h"
+#include "workload/experiments.h"
+
+namespace redn::test {
+namespace {
+
+using sim::EventDomain;
+using sim::Nanos;
+using sim::ShardedSimulator;
+
+// ---------------------------------------------------------------------------
+// Engine-level: rounds, merge order, lookahead.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSim, SingleShardDelegatesToClassicLoop) {
+  ShardedSimulator ssim(1);
+  sim::Simulator plain;
+  std::vector<int> a, b;
+  for (int i = 0; i < 5; ++i) {
+    ssim.shard(0).At(i * 10, [&a, i] { a.push_back(i); });
+    plain.At(i * 10, [&b, i] { b.push_back(i); });
+  }
+  ssim.Run();
+  plain.Run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ssim.now(), plain.now());
+  EXPECT_EQ(ssim.events_processed(), plain.events_processed());
+  EXPECT_EQ(ssim.rounds(), 0u);  // never entered the windowed loop
+}
+
+TEST(ShardedSim, CrossShardPingPongIsDeterministic) {
+  auto run_once = [](std::vector<std::string>* log) {
+    ShardedSimulator ssim(2);
+    ssim.SetLookaheadFloor(100);
+    // Shard 0 pings shard 1 every lookahead; shard 1 pongs back. Each log
+    // entry records (shard-local time, tag); the per-shard logs are merged
+    // by the single-threaded test body after the run.
+    std::vector<std::string> l0, l1;
+    struct Ping {
+      ShardedSimulator* s;
+      std::vector<std::string>* l0;
+      std::vector<std::string>* l1;
+      int hops_left;
+    };
+    auto st = std::make_shared<Ping>(Ping{&ssim, &l0, &l1, 6});
+    std::function<void(int)> hop = [st, &hop](int on_shard) {
+      EventDomain& d = st->s->shard(on_shard);
+      st->l0->push_back("hop@" + std::to_string(d.now()) + "/s" +
+                        std::to_string(on_shard));
+      if (--st->hops_left <= 0) return;
+      const int other = 1 - on_shard;
+      d.SendTo(other, d.now() + 100, [&hop, other] { hop(other); });
+    };
+    ssim.shard(0).At(0, [&hop] { hop(0); });
+    ssim.Run();
+    *log = l0;
+    EXPECT_GT(ssim.rounds(), 1u);
+    EXPECT_EQ(ssim.cross_shard_sends(), 5u);
+    EXPECT_EQ(ssim.mailbox_merges(), 5u);
+    EXPECT_EQ(ssim.pending_events(), 0u);
+  };
+  std::vector<std::string> first, second;
+  run_once(&first);
+  run_once(&second);
+  ASSERT_EQ(first.size(), 6u);
+  EXPECT_EQ(first, second);  // same-config rerun is bit-stable
+  EXPECT_EQ(first.front(), "hop@0/s0");
+  EXPECT_EQ(first.back(), "hop@500/s1");
+}
+
+TEST(ShardedSim, MessageOnHorizonBoundaryLandsInLaterRound) {
+  // L = 100. Round 1 covers [0, 100): shard 0 sends a message due exactly
+  // at the horizon (t=100 = 0 + L, the minimum legal lag). Shard 1 already
+  // has local events at 99, 100, 101. The merged message runs at t=100
+  // AFTER shard 1's own t=100 event (merge assigns a fresh, newer seq).
+  ShardedSimulator ssim(2);
+  ssim.SetLookaheadFloor(100);
+  std::vector<std::string> log1;
+  ssim.shard(1).At(99, [&log1] { log1.push_back("local99"); });
+  ssim.shard(1).At(100, [&log1] { log1.push_back("local100"); });
+  ssim.shard(1).At(101, [&log1] { log1.push_back("local101"); });
+  ssim.shard(0).At(0, [&ssim, &log1] {
+    ssim.shard(0).SendTo(1, 100, [&log1] { log1.push_back("msg100"); });
+  });
+  ssim.Run();
+  const std::vector<std::string> want{"local99", "local100", "msg100",
+                                      "local101"};
+  EXPECT_EQ(log1, want);
+}
+
+TEST(ShardedSim, MergeTieBreakIsTimeSrcShardSeq) {
+  // Three messages land on shard 2 at the same instant: two from shard 0
+  // (send order A0, A1) and one from shard 1. A local event at the same
+  // instant was scheduled first. Documented order: local (oldest dst seq),
+  // then src-shard ascending, then per-pair send order. This is exactly
+  // the order a single-shard run of the same schedule produces.
+  auto run_once = []() {
+    ShardedSimulator ssim(3);
+    ssim.SetLookaheadFloor(50);
+    std::vector<std::string> log;
+    ssim.shard(2).At(60, [&log] { log.push_back("local"); });
+    ssim.shard(0).SendTo(2, 60, [&log] { log.push_back("A0"); });
+    ssim.shard(0).SendTo(2, 60, [&log] { log.push_back("A1"); });
+    ssim.shard(1).SendTo(2, 60, [&log] { log.push_back("B0"); });
+    ssim.Run();
+    return log;
+  };
+  // Single-shard reference: same schedule, one domain, At in the same order.
+  sim::Simulator ref;
+  std::vector<std::string> ref_log;
+  ref.At(60, [&ref_log] { ref_log.push_back("local"); });
+  ref.At(60, [&ref_log] { ref_log.push_back("A0"); });
+  ref.At(60, [&ref_log] { ref_log.push_back("A1"); });
+  ref.At(60, [&ref_log] { ref_log.push_back("B0"); });
+  ref.Run();
+  const auto got = run_once();
+  EXPECT_EQ(got, ref_log);
+  EXPECT_EQ(got, run_once());  // and bit-stable on rerun
+}
+
+TEST(ShardedSim, LookaheadViolationThrows) {
+  ShardedSimulator ssim(2);
+  ssim.SetLookaheadFloor(100);
+  ssim.shard(0).At(0, [&ssim] {
+    // Due in 1 ns < lookahead: the conservative window cannot cover it.
+    ssim.shard(0).SendTo(1, 1, [] {});
+  });
+  EXPECT_THROW(ssim.Run(), std::logic_error);
+}
+
+TEST(ShardedSim, CrossShardSendWithoutLookaheadThrows) {
+  ShardedSimulator ssim(2);
+  EXPECT_THROW(ssim.shard(0).SendTo(1, 1'000'000, [] {}),
+               std::logic_error);
+}
+
+TEST(ShardedSim, ZeroLookaheadFloorRejected) {
+  ShardedSimulator ssim(2);
+  EXPECT_THROW(ssim.SetLookaheadFloor(0), std::invalid_argument);
+}
+
+TEST(ShardedSim, PendingEventsCountsMailboxAndResetClearsIt) {
+  ShardedSimulator ssim(2);
+  ssim.SetLookaheadFloor(10);
+  ssim.shard(0).At(5, [] {});
+  ssim.shard(0).SendTo(1, 50, [] {});  // staged in the mailbox, undrained
+  EXPECT_EQ(ssim.pending_events(), 2u);
+  ssim.Reset();
+  EXPECT_EQ(ssim.pending_events(), 0u);
+  ssim.Run();  // nothing left; must not deliver the dropped message
+  EXPECT_EQ(ssim.events_processed(), 0u);
+  EXPECT_EQ(ssim.cross_shard_sends(), 1u);  // cumulative, like domain stats
+}
+
+TEST(ShardedSim, StatsAggregateAcrossShardsWithoutDoubleCounting) {
+  ShardedSimulator ssim(4);
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < 3; ++i) ssim.shard(s).At(i, [] {});
+  }
+  EXPECT_EQ(ssim.pending_events(), 12u);
+  ssim.Run();
+  EXPECT_EQ(ssim.events_processed(), 12u);
+  EXPECT_EQ(ssim.slab_hits(), 12u);
+  EXPECT_EQ(ssim.heap_fallbacks(), 0u);
+  EXPECT_EQ(ssim.pending_events(), 0u);
+  std::uint64_t per_shard = 0;
+  for (int s = 0; s < 4; ++s) per_shard += ssim.shard(s).events_processed();
+  EXPECT_EQ(per_shard, ssim.events_processed());
+}
+
+// ---------------------------------------------------------------------------
+// Device-level: cross-shard fabric data paths.
+// ---------------------------------------------------------------------------
+
+struct ShardedPair {
+  explicit ShardedPair(int shards, int server_shard)
+      : ssim(shards),
+        fabric(std::make_unique<sim::Fabric>(/*switch_latency=*/50)),
+        client(std::make_unique<rnic::RnicDevice>(
+            ssim.shard(0), rnic::NicConfig::ConnectX5(), rnic::Calibration{},
+            "client")),
+        server(std::make_unique<rnic::RnicDevice>(
+            ssim.shard(server_shard < shards ? server_shard : 0),
+            rnic::NicConfig::ConnectX5(), rnic::Calibration{}, "server")) {
+    client->AttachPort(0, *fabric, {25.0, 125});
+    server->AttachPort(0, *fabric, {25.0, 125});
+    cqp = MakeQp(*client);
+    sqp = MakeQp(*server);
+    rnic::ConnectOverFabric(cqp, sqp);
+  }
+
+  static rnic::QueuePair* MakeQp(rnic::RnicDevice& dev) {
+    rnic::QpConfig c;
+    c.send_cq = dev.CreateCq();
+    c.recv_cq = dev.CreateCq();
+    return dev.CreateQp(c);
+  }
+
+  ShardedSimulator ssim;
+  std::unique_ptr<sim::Fabric> fabric;
+  std::unique_ptr<rnic::RnicDevice> client;
+  std::unique_ptr<rnic::RnicDevice> server;
+  rnic::QueuePair* cqp = nullptr;
+  rnic::QueuePair* sqp = nullptr;
+};
+
+struct WriteOutcome {
+  rnic::WcStatus status{};
+  std::uint64_t landed = 0;
+  Nanos end = 0;
+};
+
+WriteOutcome RunCrossWrite(int shards, int server_shard) {
+  ShardedPair bed(shards, server_shard);
+  auto src = std::make_unique<std::byte[]>(64);
+  auto dst = std::make_unique<std::byte[]>(64);
+  auto smr = bed.client->pd().Register(src.get(), 64, rnic::kAccessAll);
+  auto dmr = bed.server->pd().Register(dst.get(), 64, rnic::kAccessAll);
+  rnic::dma::WriteU64(smr.addr, 0xabcdef01u);
+  verbs::PostSendNow(bed.cqp,
+                     verbs::MakeWrite(smr.addr, 8, smr.lkey, dmr.addr,
+                                      dmr.rkey));
+  bed.ssim.Run();
+  verbs::Cqe cqe;
+  WriteOutcome out;
+  EXPECT_EQ(verbs::PollCq(bed.cqp, bed.cqp->send_cq, 1, &cqe), 1);
+  out.status = cqe.status;
+  out.landed = rnic::dma::ReadU64(dmr.addr);
+  out.end = bed.ssim.now();
+  return out;
+}
+
+TEST(ShardedDevice, CrossShardWriteMatchesSingleShardBitExactly) {
+  const WriteOutcome one = RunCrossWrite(1, 0);
+  const WriteOutcome two = RunCrossWrite(2, 1);
+  EXPECT_EQ(one.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(two.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(one.landed, 0xabcdef01u);
+  EXPECT_EQ(two.landed, 0xabcdef01u);
+  // An uncontended op's completion instant is placement-invariant: the
+  // cross-shard split reserves the same pipes at the same instants.
+  EXPECT_EQ(one.end, two.end);
+  // And the sharded run reproduces itself.
+  const WriteOutcome again = RunCrossWrite(2, 1);
+  EXPECT_EQ(two.end, again.end);
+}
+
+TEST(ShardedDevice, CrossShardReadReturnsRemoteData) {
+  ShardedPair bed(2, 1);
+  auto src = std::make_unique<std::byte[]>(64);
+  auto dst = std::make_unique<std::byte[]>(64);
+  auto dmr = bed.client->pd().Register(dst.get(), 64, rnic::kAccessAll);
+  auto smr = bed.server->pd().Register(src.get(), 64, rnic::kAccessAll);
+  rnic::dma::WriteU64(smr.addr, 0x5eed5eedu);
+  verbs::PostSendNow(
+      bed.cqp, verbs::MakeRead(dmr.addr, 8, dmr.lkey, smr.addr, smr.rkey));
+  bed.ssim.Run();
+  verbs::Cqe cqe;
+  ASSERT_EQ(verbs::PollCq(bed.cqp, bed.cqp->send_cq, 1, &cqe), 1);
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(rnic::dma::ReadU64(dmr.addr), 0x5eed5eedu);
+  EXPECT_GT(bed.ssim.cross_shard_sends(), 0u);
+}
+
+TEST(ShardedDevice, CrossShardFetchAddReturnsOldValueAndUpdates) {
+  ShardedPair bed(2, 1);
+  auto ctr = std::make_unique<std::byte[]>(64);
+  auto res = std::make_unique<std::byte[]>(64);
+  auto cmr = bed.server->pd().Register(ctr.get(), 64, rnic::kAccessAll);
+  auto rmr = bed.client->pd().Register(res.get(), 64, rnic::kAccessAll);
+  rnic::dma::WriteU64(cmr.addr, 40);
+  verbs::PostSendNow(bed.cqp, verbs::MakeFetchAdd(cmr.addr, cmr.rkey, 2,
+                                                  rmr.addr, rmr.lkey));
+  bed.ssim.Run();
+  verbs::Cqe cqe;
+  ASSERT_EQ(verbs::PollCq(bed.cqp, bed.cqp->send_cq, 1, &cqe), 1);
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(rnic::dma::ReadU64(cmr.addr), 42u);  // counter updated remotely
+  EXPECT_EQ(rnic::dma::ReadU64(rmr.addr), 40u);  // old value returned
+}
+
+TEST(ShardedDevice, ZeroLatencyCrossShardLinkRejectedAtAttach) {
+  ShardedSimulator ssim(2);
+  sim::Fabric fabric(/*switch_latency=*/0);
+  rnic::RnicDevice a(ssim.shard(0), rnic::NicConfig::ConnectX5(), {}, "a");
+  rnic::RnicDevice b(ssim.shard(1), rnic::NicConfig::ConnectX5(), {}, "b");
+  a.AttachPort(0, fabric, {25.0, 0});  // first endpoint: no pair yet, fine
+  EXPECT_THROW(b.AttachPort(0, fabric, {25.0, 0}), std::invalid_argument);
+  // Same-shard zero-latency attach stays legal.
+  rnic::RnicDevice c(ssim.shard(0), rnic::NicConfig::ConnectX5(), {}, "c");
+  EXPECT_NO_THROW(c.AttachPort(0, fabric, {25.0, 0}));
+}
+
+TEST(ShardedDevice, CrossShardTransportRejected) {
+  ShardedPair bed(2, 1);
+  sim::Transport transport(bed.ssim.shard(0), *bed.fabric,
+                           sim::TransportConfig{});
+  rnic::QueuePair* c2 = ShardedPair::MakeQp(*bed.client);
+  rnic::QueuePair* s2 = ShardedPair::MakeQp(*bed.server);
+  EXPECT_THROW(rnic::ConnectOverTransport(c2, s2, transport),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Workload-level: fixed-seed multi-NIC scale-out, shards in {1, 2, 4}.
+// ---------------------------------------------------------------------------
+
+workload::FabricScaleConfig SweepConfig(int shards) {
+  workload::FabricScaleConfig cfg;
+  cfg.clients = 4;
+  cfg.gets_per_client = 25;
+  cfg.value_len = 2048;
+  cfg.keys = 64;
+  cfg.seed = 7;
+  cfg.shards = shards;
+  return cfg;
+}
+
+TEST(ShardedWorkload, FabricScaleBitStableAcrossReruns) {
+  // The determinism key is (seed, shards): for each shard count, two runs of
+  // the identical config must agree on every measured field, bit for bit.
+  for (const int shards : {1, 2, 4}) {
+    const auto a = workload::RunFabricScale(SweepConfig(shards));
+    const auto b = workload::RunFabricScale(SweepConfig(shards));
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    EXPECT_EQ(a.gets, 100u);
+    EXPECT_EQ(a.gets, b.gets);
+    EXPECT_EQ(a.duration_us, b.duration_us);
+    EXPECT_EQ(a.avg_us, b.avg_us);
+    EXPECT_EQ(a.p99_us, b.p99_us);
+    EXPECT_EQ(a.server_tx_util, b.server_tx_util);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.mailbox_sends, b.mailbox_sends);
+    EXPECT_EQ(a.sync_rounds, b.sync_rounds);
+    EXPECT_EQ(a.shards, shards);
+    EXPECT_EQ(a.error_cqes, 0u);
+    if (shards > 1) {
+      EXPECT_GT(a.mailbox_sends, 0u);
+    }
+  }
+}
+
+TEST(ShardedWorkload, FabricScaleValidatesShardConfig) {
+  auto cfg = SweepConfig(2);
+  cfg.packetized = true;
+  EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
+  cfg = SweepConfig(2);
+  cfg.placement = {0};  // 4 clients need 4 entries
+  EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
+  cfg = SweepConfig(2);
+  cfg.placement = {0, 1, 2, 0};  // shard 2 does not exist
+  EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
+  cfg = SweepConfig(2);
+  cfg.server_shard = 5;
+  EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace redn::test
