@@ -62,6 +62,11 @@ MIN_FAILOVER_EPS="${MIN_FAILOVER_EPS:-30000}"     # bench_scale_failover floor
 # detour chain answers a killed shard's gets ~170x faster than the host's
 # multi-RTO timer in the recorded runs; 10x is the do-not-regress line.
 MIN_FAILOVER_BLIP_RATIO="${MIN_FAILOVER_BLIP_RATIO:-10}"
+# Recovery ceiling: crash -> re-joined -> fully re-synced -> serving, in
+# simulated microseconds. The recorded quick runs finish the whole
+# lifecycle (940us outage + anti-entropy transfer) in ~1.5-2.5ms; 5ms is
+# the do-not-regress line for the re-sync machinery lingering.
+MAX_RECOVERY_WINDOW="${MAX_RECOVERY_WINDOW:-5000}"
 # Sharded-engine wall-clock floor: the embarrassingly-parallel fanout bench
 # at 4 shards must run >= this multiple of its own 1-shard wall clock.
 # Enforced only on machines with >= 4 cores — conservative threading cannot
@@ -100,6 +105,15 @@ sanitize_stage() {
        ./transport_test --gtest_brief=1 \
        --gtest_filter='TransportSr.*:TransportRnr.*:ReliabilityBed.*:TransportScale.*')
   done
+  # The write-path/recovery tests once more, explicitly: the resync
+  # sessions register staging buffers, take over CQ notify hooks, and
+  # reconcile via raw value-heap pointers — exactly the lifetime and
+  # aliasing hazards the sanitizers are here to catch.
+  echo "=== ASan+UBSan KV recovery + resync ==="
+  (cd build-asan &&
+   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+     ./kv_recovery_test --gtest_brief=1)
 }
 
 tsan_stage() {
@@ -266,6 +280,46 @@ for seed in 1 2 3; do
   check_floor scale_failover deterministic 1 "scale_failover seed ${seed} seed-stable rerun"
 done
 check_floor scale_failover events_per_sec "${MIN_FAILOVER_EPS}" "scale_failover events/sec"
+
+check_ceiling() {  # check_ceiling <bench> <field> <max> <label>
+  local val
+  val="$(get_field "$1" "$2")"
+  if [[ -z "${val}" ]]; then
+    echo "FAIL: no JSON record for $1" >&2; fail=1; return
+  fi
+  if ! awk -v v="${val}" -v m="$3" 'BEGIN { exit !(v <= m) }'; then
+    echo "FAIL: $4: ${val} > ceiling $3" >&2; fail=1
+  else
+    echo "OK:   $4: ${val} <= $3"
+  fi
+}
+
+echo "=== bench_scale_recovery zero-loss + bounded-window sweep ==="
+# Chain-ordered writes through crash + re-join + anti-entropy re-sync,
+# with a gray-failure slow window riding along. The bench self-checks
+# (exit code) that every op completes, the write path acked puts through
+# the fault, the crash re-joined and re-synced, and a same-seed rerun
+# replays bit for bit. CI re-asserts the headline invariants per seed —
+# zero acknowledged writes lost, zero read-your-writes violations, zero
+# replica divergence — and holds the degraded window under the recovery
+# ceiling so the re-sync machinery cannot silently start lingering.
+for seed in 1 2 3; do
+  bench_out="$(./build-release/bench_scale_recovery --quick --seed "${seed}")"
+  if [[ "${seed}" == "1" ]]; then
+    echo "${bench_out}"
+  else
+    echo "${bench_out}" | grep '"bench":"scale_recovery"'
+  fi
+  check_zero scale_recovery unanswered "scale_recovery seed ${seed} unanswered ops"
+  check_zero scale_recovery lost_acked_writes "scale_recovery seed ${seed} lost acked writes"
+  check_zero scale_recovery ryw_violations "scale_recovery seed ${seed} read-your-writes violations"
+  check_zero scale_recovery value_divergence "scale_recovery seed ${seed} replica divergence"
+  check_zero scale_recovery resync_failures "scale_recovery seed ${seed} resync failures"
+  check_floor scale_recovery rejoins 1 "scale_recovery seed ${seed} crash re-joined"
+  check_floor scale_recovery resyncs 1 "scale_recovery seed ${seed} anti-entropy ran"
+  check_ceiling scale_recovery degraded_window_us "${MAX_RECOVERY_WINDOW}" "scale_recovery seed ${seed} degraded window us"
+  check_floor scale_recovery deterministic 1 "scale_recovery seed ${seed} seed-stable rerun"
+done
 
 # Determinism guard: these benches print only simulated-time results, so
 # their stdout must match the committed goldens bit for bit. A diff here

@@ -9,7 +9,7 @@ namespace redn::kv {
 
 ConsistentHashRing::ConsistentHashRing(int shards, int vnodes,
                                        std::uint64_t seed)
-    : shards_(shards) {
+    : shards_(shards), active_count_(shards) {
   if (shards < 1) throw std::invalid_argument("ring: shards must be >= 1");
   if (vnodes < 1) throw std::invalid_argument("ring: vnodes must be >= 1");
   points_.reserve(static_cast<std::size_t>(shards) * vnodes);
@@ -28,11 +28,16 @@ ConsistentHashRing::ConsistentHashRing(int shards, int vnodes,
     // depend on sort stability.
     return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
   });
+  active_.assign(static_cast<std::size_t>(shards), true);
+  RecomputeSuccessors();
+}
 
-  // Chain successor: the next distinct shard clockwise of each shard's
-  // lowest-hash point.
-  successor_.assign(static_cast<std::size_t>(shards), 0);
-  for (int s = 0; s < shards; ++s) {
+void ConsistentHashRing::RecomputeSuccessors() {
+  // Chain successor: the next distinct *active* shard clockwise of each
+  // shard's lowest-hash point. Computed for inactive shards too, so the
+  // service can ask where a removed shard's keys went.
+  successor_.assign(static_cast<std::size_t>(shards_), 0);
+  for (int s = 0; s < shards_; ++s) {
     std::size_t first = points_.size();
     for (std::size_t i = 0; i < points_.size(); ++i) {
       if (points_[i].shard == s) {
@@ -40,10 +45,10 @@ ConsistentHashRing::ConsistentHashRing(int shards, int vnodes,
         break;
       }
     }
-    int succ = s;  // single-shard ring: a shard is its own successor
+    int succ = s;  // sole active shard: a shard is its own successor
     for (std::size_t step = 1; step <= points_.size(); ++step) {
       const Point& p = points_[(first + step) % points_.size()];
-      if (p.shard != s) {
+      if (p.shard != s && active_[static_cast<std::size_t>(p.shard)]) {
         succ = p.shard;
         break;
       }
@@ -52,13 +57,49 @@ ConsistentHashRing::ConsistentHashRing(int shards, int vnodes,
   }
 }
 
+void ConsistentHashRing::Remove(int shard) {
+  if (shard < 0 || shard >= shards_) {
+    throw std::invalid_argument("ring: Remove of unknown shard");
+  }
+  if (!active_[static_cast<std::size_t>(shard)]) {
+    throw std::logic_error("ring: Remove of already-removed shard");
+  }
+  if (active_count_ == 1) {
+    throw std::logic_error("ring: cannot remove the last active shard");
+  }
+  active_[static_cast<std::size_t>(shard)] = false;
+  --active_count_;
+  RecomputeSuccessors();
+}
+
+void ConsistentHashRing::Rejoin(int shard) {
+  if (shard < 0 || shard >= shards_) {
+    throw std::invalid_argument("ring: Rejoin of unknown shard");
+  }
+  if (active_[static_cast<std::size_t>(shard)]) {
+    throw std::logic_error("ring: Rejoin of a shard that is active");
+  }
+  active_[static_cast<std::size_t>(shard)] = true;
+  ++active_count_;
+  RecomputeSuccessors();
+}
+
 int ConsistentHashRing::PrimaryOf(std::uint64_t key) const {
   const std::uint64_t h = Hash1(key);
   auto it = std::lower_bound(
       points_.begin(), points_.end(), h,
       [](const Point& p, std::uint64_t v) { return p.hash < v; });
-  if (it == points_.end()) it = points_.begin();  // wrap
-  return it->shard;
+  // First active point clockwise of h (points of removed shards are kept
+  // in the vector so a rejoin restores the identical mapping).
+  for (std::size_t step = 0; step < points_.size(); ++step) {
+    const std::size_t i =
+        (static_cast<std::size_t>(it - points_.begin()) + step) %
+        points_.size();
+    if (active_[static_cast<std::size_t>(points_[i].shard)]) {
+      return points_[i].shard;
+    }
+  }
+  return points_.front().shard;  // unreachable: >= 1 shard is always active
 }
 
 }  // namespace redn::kv

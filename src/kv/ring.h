@@ -27,13 +27,29 @@ class ConsistentHashRing {
   ConsistentHashRing(int shards, int vnodes = 16,
                      std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-  // Shard owning the first ring point clockwise of Hash1(key).
+  // Shard owning the first *active* ring point clockwise of Hash1(key).
   int PrimaryOf(std::uint64_t key) const;
-  // The shard's fixed chain successor (== shard itself when shards == 1).
+  // The shard's fixed chain successor: the next distinct active shard
+  // clockwise of its lowest-hash point (== shard itself when only one
+  // shard is active). Defined for inactive shards too — it answers "where
+  // did this shard's keys go" while it is out of the ring.
   int SuccessorOf(int shard) const { return successor_[shard]; }
   int BackupOf(std::uint64_t key) const {
     return successor_[PrimaryOf(key)];
   }
+
+  // Membership. Remove(s) takes the shard's points out of the ring —
+  // ownership of its arcs slides clockwise to the surviving shards — and
+  // recomputes every successor. Rejoin(s) is the exact inverse: because a
+  // shard's points depend only on (seed, shard id, vnodes), a re-joining
+  // shard (or a spare adopting its id) lands on the identical points, so
+  // Remove(s); Rejoin(s) restores the original mapping bit-for-bit.
+  void Remove(int shard);
+  void Rejoin(int shard);
+  bool IsActive(int shard) const {
+    return active_[static_cast<std::size_t>(shard)];
+  }
+  int active_shards() const { return active_count_; }
 
   int shards() const { return shards_; }
   std::size_t points() const { return points_.size(); }
@@ -43,9 +59,13 @@ class ConsistentHashRing {
     std::uint64_t hash;
     int shard;
   };
+  void RecomputeSuccessors();
+
   int shards_;
-  std::vector<Point> points_;     // sorted by hash
+  int active_count_;
+  std::vector<Point> points_;     // sorted by hash; includes inactive shards
   std::vector<int> successor_;    // per shard
+  std::vector<bool> active_;      // per shard
 };
 
 }  // namespace redn::kv

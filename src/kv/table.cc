@@ -17,6 +17,33 @@ std::uint64_t Mix(std::uint64_t x, std::uint64_t salt) {
 std::uint64_t Hash1(std::uint64_t key) { return Mix(key, 0x51ed270b0a1ce86dULL); }
 std::uint64_t Hash2(std::uint64_t key) { return Mix(key, 0xc2b2ae3d27d4eb4fULL); }
 
+std::uint64_t ValueVersion(std::uint64_t addr) {
+  return rnic::dma::ReadU64(addr);
+}
+
+void SetValueVersion(std::uint64_t addr, std::uint64_t version) {
+  rnic::dma::WriteU64(addr, version);
+}
+
+void WriteVersionedValue(std::uint64_t addr, std::uint32_t len,
+                         std::uint64_t key, std::uint64_t version) {
+  rnic::dma::WriteU64(addr, version);
+  auto* p = reinterpret_cast<std::uint8_t*>(addr);
+  for (std::uint32_t i = kValueVersionBytes; i < len; ++i) {
+    p[i] = VersionedPatternByte(key, version, i);
+  }
+}
+
+bool VersionedValueIntact(std::uint64_t addr, std::uint32_t len,
+                          std::uint64_t key) {
+  const std::uint64_t version = rnic::dma::ReadU64(addr);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(addr);
+  for (std::uint32_t i = kValueVersionBytes; i < len; ++i) {
+    if (p[i] != VersionedPatternByte(key, version, i)) return false;
+  }
+  return true;
+}
+
 ValueHeap::ValueHeap(rnic::RnicDevice& dev, std::size_t capacity_bytes)
     : mem_(std::make_unique<std::byte[]>(capacity_bytes)),
       capacity_(capacity_bytes) {

@@ -39,6 +39,33 @@ inline constexpr std::uint64_t kKeyMask = (1ULL << 48) - 1;
 std::uint64_t Hash1(std::uint64_t key);
 std::uint64_t Hash2(std::uint64_t key);
 
+// --- Versioned values -------------------------------------------------------
+// When the KV service runs a write path, every value starts with a u64
+// version tag (0 = seeded, +1 per applied put); payload bytes follow. The
+// payload is a pure function of (key, version), so readers, the chain
+// successor, and anti-entropy resync can all verify bytes without keeping a
+// shadow copy of the store.
+inline constexpr std::uint32_t kValueVersionBytes = 8;
+
+// Deterministic payload byte `i` of (key, version).
+inline std::uint8_t VersionedPatternByte(std::uint64_t key,
+                                         std::uint64_t version,
+                                         std::uint32_t i) {
+  return static_cast<std::uint8_t>((key + 131 * version + i) & 0xff);
+}
+
+// Version tag of the value at `addr` (little-endian u64 in bytes [0, 8)).
+std::uint64_t ValueVersion(std::uint64_t addr);
+void SetValueVersion(std::uint64_t addr, std::uint64_t version);
+
+// Writes the tag and fills bytes [8, len) with the pattern. len >= 8.
+void WriteVersionedValue(std::uint64_t addr, std::uint32_t len,
+                         std::uint64_t key, std::uint64_t version);
+
+// True iff the value's payload matches the pattern for (key, its own tag).
+bool VersionedValueIntact(std::uint64_t addr, std::uint32_t len,
+                          std::uint64_t key);
+
 // Bump allocator over one registered region: values live here so a single
 // rkey covers everything the response WRITE may point at.
 class ValueHeap {

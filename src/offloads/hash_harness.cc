@@ -98,6 +98,29 @@ bool HashGetHarness::ResponseMatchesPattern(std::uint64_t key,
   return true;
 }
 
+void HashGetHarness::PutVersioned(std::uint64_t key, std::uint32_t len,
+                                  std::uint64_t version) {
+  const std::uint64_t ptr = heap_->Reserve(len);
+  kv::WriteVersionedValue(ptr, len, key, version);
+  table_->Insert(key, ptr, len);
+}
+
+std::uint64_t HashGetHarness::ResponseVersion() const {
+  std::uint64_t v = 0;
+  std::memcpy(&v, resp_buf_.get(), sizeof(v));
+  return v;
+}
+
+bool HashGetHarness::ResponseMatchesVersionedPattern(std::uint64_t key,
+                                                     std::uint32_t len) const {
+  const std::uint64_t version = ResponseVersion();
+  const auto* p = reinterpret_cast<const std::uint8_t*>(resp_buf_.get());
+  for (std::uint32_t i = kv::kValueVersionBytes; i < len; ++i) {
+    if (p[i] != kv::VersionedPatternByte(key, version, i)) return false;
+  }
+  return true;
+}
+
 void HashGetHarness::Arm(int n) {
   offload_->Arm(n, resp_mr_.addr, resp_mr_.rkey);
 }

@@ -167,6 +167,14 @@ void RnicDevice::KillProcessResources(int pid) {
   }
 }
 
+void RnicDevice::ReviveProcessResources(int pid) {
+  for (auto& qp : qps_) {
+    if (qp->owner_pid == pid && !qp->alive) {
+      qp->alive = true;  // still kError + latched; ModifyQp re-arms
+    }
+  }
+}
+
 bool RnicDevice::HasLiveQps() const {
   for (const auto& qp : qps_) {
     if (qp->alive) return true;

@@ -289,6 +289,12 @@ class RnicDevice {
   // Kills every QP owned by `pid` (the OS reclaiming a dead process's
   // memory); in-flight and future work on those QPs stops, mid-chain.
   void KillProcessResources(int pid);
+  // Re-join: the killed process (or a spare replacement adopting its pid
+  // and resources) comes back. Every QP the kill marked dead becomes alive
+  // again but stays in ERROR with its error latches set — the owner must
+  // still cycle it through ModifyQp kReset -> ... -> kRts before use,
+  // exactly like any other errored QP.
+  void ReviveProcessResources(int pid);
   bool HasLiveQps() const;
 
   // Tracked-write (dirty) generation of a managed QP's SQ ring — how many

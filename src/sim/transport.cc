@@ -40,6 +40,13 @@ void Transport::SetLinkFaults(int ep, double loss, double corrupt) {
   faults_[static_cast<std::size_t>(ep)] = LinkFault{loss, corrupt};
 }
 
+void Transport::SetLinkDelay(int ep, Nanos extra) {
+  if (delays_.size() <= static_cast<std::size_t>(ep)) {
+    delays_.resize(static_cast<std::size_t>(ep) + 1, 0);
+  }
+  delays_[static_cast<std::size_t>(ep)] = extra;
+}
+
 const Transport::LinkFault& Transport::FaultAt(int ep) const {
   const auto i = static_cast<std::size_t>(ep);
   return i < faults_.size() ? faults_[i] : default_fault_;
@@ -137,7 +144,8 @@ void Transport::SendPacket(Flow& f, std::uint64_t psn, const PacketView& p) {
     ++counters_.dropped_tx;
     return;
   }
-  const Nanos at_dst = tx_done + fabric_.OneWay(f.src, f.dst);
+  const Nanos at_dst = tx_done + fabric_.OneWay(f.src, f.dst) +
+                       DelayAt(f.src) + DelayAt(f.dst);
   const Nanos arrive = fabric_.ReserveRx(f.dst, at_dst, wire);
   if (Lost(FaultAt(f.dst).loss)) {
     ++counters_.dropped_rx;
@@ -277,7 +285,8 @@ void Transport::SendAck(Flow& f, AckKind kind) {
     ++counters_.acks_dropped;
     return;
   }
-  const Nanos at_src = tx_done + fabric_.OneWay(f.dst, f.src);
+  const Nanos at_src = tx_done + fabric_.OneWay(f.dst, f.src) +
+                       DelayAt(f.dst) + DelayAt(f.src);
   const Nanos arrive = fabric_.ReserveRx(f.src, at_src, wire);
   if (Lost(FaultAt(f.src).loss)) {
     ++counters_.acks_dropped;

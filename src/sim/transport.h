@@ -211,6 +211,13 @@ class Transport {
   // (both directions); endpoints default to the config-wide values.
   void SetLinkFaults(int ep, double loss, double corrupt);
 
+  // Gray-failure hook: adds `extra` one-way latency to every packet and ACK
+  // that touches endpoint `ep` (either end of the flow), on top of the
+  // fabric's propagation. 0 (the default for every endpoint) restores the
+  // healthy path — and is exactly the pre-hook arithmetic, so configs that
+  // never call this are bit-identical.
+  void SetLinkDelay(int ep, Nanos extra);
+
   // Deterministic fault hooks for tests: eat the next `n` data packets /
   // ACKs crossing the fabric, bypassing the probabilistic model (and
   // consuming no randomness).
@@ -278,6 +285,10 @@ class Transport {
 
   PacketView PacketOf(const Flow& f, std::uint64_t psn) const;
   const LinkFault& FaultAt(int ep) const;
+  Nanos DelayAt(int ep) const {
+    const std::size_t i = static_cast<std::size_t>(ep);
+    return i < delays_.size() ? delays_[i] : 0;
+  }
   bool Lost(double p) { return p > 0.0 && rng_.NextDouble() < p; }
   static bool TakeForced(int* budget) {
     if (*budget <= 0) return false;
@@ -325,6 +336,7 @@ class Transport {
   Rng rng_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::vector<LinkFault> faults_;  // indexed by endpoint; lazily grown
+  std::vector<Nanos> delays_;      // per-endpoint added latency (kSlow)
   LinkFault default_fault_;
   int force_drop_data_ = 0;
   int force_drop_acks_ = 0;

@@ -224,6 +224,7 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
         "FabricScaleConfig: selective_repeat/retry_count/rnr_retry_count/"
         "timeout_exp and FaultPlan entries require packetized = true");
   }
+  ValidateFaultPlan(cfg.faults);
   for (const FaultEntry& e : cfg.faults.entries) {
     if (e.client < 0 || e.client >= cfg.clients) {
       throw std::invalid_argument(
@@ -233,13 +234,11 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
       throw std::invalid_argument(
           "FabricScaleConfig: shard-side faults belong to RunKvService");
     }
-    if (e.kind == FaultKind::kCrash) {
+    if (e.kind == FaultKind::kCrash || e.kind == FaultKind::kFlaky ||
+        e.kind == FaultKind::kSlow) {
       throw std::invalid_argument(
-          "FabricScaleConfig: kCrash is not supported by this driver");
-    }
-    if (e.up_at != 0 && e.up_at <= e.down_at) {
-      throw std::invalid_argument(
-          "FabricScaleConfig: FaultPlan up_at must follow down_at");
+          std::string("FabricScaleConfig: ") + FaultKindName(e.kind) +
+          " faults belong to RunKvService");
     }
   }
   sim::Simulator sim;

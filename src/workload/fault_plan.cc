@@ -1,0 +1,98 @@
+#include "workload/fault_plan.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace redn::workload {
+namespace {
+
+// A window's exclusive end; up_at == 0 means "never heals".
+sim::Nanos WindowEnd(const FaultEntry& e) {
+  return e.up_at == 0 ? std::numeric_limits<sim::Nanos>::max() : e.up_at;
+}
+
+[[noreturn]] void Reject(std::size_t idx, const std::string& why) {
+  throw std::invalid_argument("FaultPlan entry #" + std::to_string(idx) +
+                              ": " + why);
+}
+
+// Same target node? Server-side entries collide per shard; pure client-side
+// entries (server == -1) collide per client.
+bool SameTarget(const FaultEntry& a, const FaultEntry& b) {
+  if (a.server >= 0 || b.server >= 0) return a.server == b.server;
+  return a.client == b.client;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBlackhole: return "blackhole";
+    case FaultKind::kRnrStall: return "rnr_stall";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kFlaky: return "flaky";
+    case FaultKind::kSlow: return "slow";
+  }
+  return "?";
+}
+
+void ValidateFaultPlan(const FaultPlan& plan) {
+  const auto& es = plan.entries;
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const FaultEntry& e = es[i];
+    if (e.down_at < 0) {
+      Reject(i, "down_at must be >= 0 (got " + std::to_string(e.down_at) +
+                    ")");
+    }
+    if (e.up_at != 0 && e.up_at <= e.down_at) {
+      Reject(i, "up_at (" + std::to_string(e.up_at) +
+                    ") must follow down_at (" + std::to_string(e.down_at) +
+                    "); use up_at = 0 for a window that never heals");
+    }
+    switch (e.kind) {
+      case FaultKind::kRnrStall:
+        if (e.rnr_count <= 0) {
+          Reject(i, "rnr_stall needs rnr_count > 0");
+        }
+        break;
+      case FaultKind::kFlaky:
+        if (!(e.flaky_loss > 0.0 && e.flaky_loss <= 1.0)) {
+          Reject(i, "flaky_loss must be in (0, 1], got " +
+                        std::to_string(e.flaky_loss));
+        }
+        if (e.flaky_burst <= 0 || e.flaky_gap <= 0) {
+          Reject(i, "flaky_burst and flaky_gap must be positive");
+        }
+        break;
+      case FaultKind::kSlow:
+        if (e.slow_ns <= 0) {
+          Reject(i, "slow needs slow_ns > 0");
+        }
+        break;
+      case FaultKind::kBlackhole:
+      case FaultKind::kCrash:
+        break;
+    }
+    // Overlap: two windows on the same node would fight over one link /
+    // process (the second down_at fires inside the first window, and the
+    // heals race). Today that fails deep inside the run; reject up front.
+    for (std::size_t j = 0; j < i; ++j) {
+      const FaultEntry& p = es[j];
+      if (!SameTarget(p, e)) continue;
+      if (e.down_at < WindowEnd(p) && p.down_at < WindowEnd(e)) {
+        Reject(i, std::string("window [") + std::to_string(e.down_at) + ", " +
+                      (e.up_at == 0 ? std::string("inf")
+                                    : std::to_string(e.up_at)) +
+                      ") overlaps entry #" + std::to_string(j) + "'s [" +
+                      std::to_string(p.down_at) + ", " +
+                      (p.up_at == 0 ? std::string("inf")
+                                    : std::to_string(p.up_at)) +
+                      ") on the same node; stagger the windows or merge "
+                      "the entries");
+      }
+    }
+  }
+}
+
+}  // namespace redn::workload

@@ -21,7 +21,23 @@
 //                the stall errored.
 //   kCrash     — RnicDevice::KillProcessResources(shard pid): the shard's
 //                QPs and armed chains die; subsequent triggers are answered
-//                by dead-peer NAKs. Permanent — up_at must be 0.
+//                by dead-peer NAKs. up_at = 0 is a permanent crash; a
+//                nonzero up_at is a shard *re-join* (RunKvService): the
+//                process (or a spare replacement adopting the shard's ring
+//                identity) comes back with an empty store, re-arms its QPs,
+//                and anti-entropy re-syncs its key range from the chain
+//                peers (kv::ResyncSession) before serving again.
+//   kFlaky     — gray failure: seeded probabilistic loss *bursts* on the
+//                target's link. Within the window, the link alternates
+//                between `flaky_loss` and the baseline, with burst/gap
+//                lengths drawn from a per-entry deterministic RNG. The
+//                service must absorb the bursts (retransmits, occasional
+//                budget deaths + heal re-arms) without losing acked writes.
+//   kSlow      — gray failure: the shard is alive but degraded. Adds
+//                `slow_ns` of one-way latency to every packet to/from the
+//                target's link (Transport::SetLinkDelay). Latency rises;
+//                nothing must fail over as long as the retry budget
+//                outlives the added delay.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +47,15 @@
 
 namespace redn::workload {
 
-enum class FaultKind : std::uint8_t { kBlackhole, kRnrStall, kCrash };
+enum class FaultKind : std::uint8_t {
+  kBlackhole,
+  kRnrStall,
+  kCrash,
+  kFlaky,
+  kSlow,
+};
+
+const char* FaultKindName(FaultKind k);
 
 struct FaultEntry {
   // Target shard (RunKvService) — the server side of the fault. -1 with
@@ -43,13 +67,31 @@ struct FaultEntry {
   int client = -1;
   FaultKind kind = FaultKind::kBlackhole;
   sim::Nanos down_at = 0;
-  sim::Nanos up_at = 0;  // 0 = never heals; must be 0 for kCrash
+  sim::Nanos up_at = 0;  // 0 = never heals (kCrash: never re-joins)
   int rnr_count = 64;    // kRnrStall: stalled delivery probes per QP
+  // kFlaky: loss probability during a burst, and the mean burst/gap
+  // lengths. Actual lengths are drawn uniformly in [0.5x, 1.5x] of the
+  // mean from a per-entry seeded RNG, so plans replay bit-identically.
+  double flaky_loss = 0.35;
+  sim::Nanos flaky_burst = 4'000;
+  sim::Nanos flaky_gap = 8'000;
+  // kSlow: added one-way latency on the target's link.
+  sim::Nanos slow_ns = 30'000;
 };
 
 struct FaultPlan {
   std::vector<FaultEntry> entries;
   bool empty() const { return entries.empty(); }
 };
+
+// Structural validation shared by every driver that consumes a FaultPlan.
+// Throws std::invalid_argument with the entry index and an actionable
+// message on: up_at <= down_at (when up_at != 0), negative down_at,
+// overlapping windows targeting the same node (an entry with up_at == 0
+// extends to infinity), and out-of-range kind parameters (flaky_loss
+// outside (0, 1], non-positive burst/gap/slow_ns, non-positive rnr_count).
+// Driver-specific rules (index ranges, which kinds a driver supports) stay
+// with the driver.
+void ValidateFaultPlan(const FaultPlan& plan);
 
 }  // namespace redn::workload

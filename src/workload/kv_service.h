@@ -40,6 +40,7 @@ enum class FailoverPolicy : std::uint8_t {
 
 struct KvTenantStats {
   std::uint64_t gets = 0;
+  std::uint64_t puts = 0;              // completed (acked) puts
   std::uint64_t detour_responses = 0;  // gets answered by the fired detour
   std::uint64_t reroutes = 0;          // issued straight to the backup
   std::uint64_t host_reissues = 0;     // watchdog-driven re-sends (baseline)
@@ -90,6 +91,22 @@ struct KvServiceConfig {
   // kHostReissue: host-side cost between noticing and re-issuing.
   sim::Nanos host_reissue_cost = 2'000;
 
+  // --- write path (chain-ordered replication) --------------------------------
+  // Fraction of each tenant's ops issued as puts (YCSB-style mix; 0 = the
+  // classic pure-get service, bit-identical to configs that predate the
+  // write path). A put travels tenant -> primary -> chain successor: the
+  // primary applies, propagates the whole versioned value to the successor
+  // with an RDMA WRITE, and acks the tenant only after the propagation's
+  // completion — i.e. after the successor durably holds the bytes. When
+  // put_fraction > 0 (or a crash window re-joins, below) every value
+  // carries a u64 version tag in its first 8 bytes (kv::WriteVersionedValue
+  // layout), which requires value_len >= 16.
+  double put_fraction = 0.0;
+  // Host-side cost to apply one put at a shard (parse + table update).
+  sim::Nanos put_apply_cost = 500;
+  // Anti-entropy re-sync: RDMA READs kept in flight per session.
+  int resync_window = 32;
+
   FaultPlan faults;
   sim::Nanos horizon = sim::Seconds(30);
 
@@ -119,6 +136,36 @@ struct KvServiceResult {
   std::uint64_t faults_applied = 0;
   std::uint64_t heals_applied = 0;
   std::uint64_t keys_visible = 0;     // NIC-visible on primary AND backup
+  // --- write path ------------------------------------------------------------
+  std::uint64_t puts = 0;             // acked puts (the completed write ops)
+  std::uint64_t acked_puts_full = 0;  // acked with both replicas confirmed
+  std::uint64_t degraded_acks = 0;    // acked by a lone replica (peer down)
+  std::uint64_t chain_forwards = 0;   // primary->successor WRITE propagations
+  std::uint64_t put_retries = 0;      // watchdog-driven put re-sends
+  // End-of-run audit: acknowledged writes whose confirmed replica no longer
+  // holds a version >= the acked one (must be 0 — the zero-loss invariant).
+  std::uint64_t lost_acked_writes = 0;
+  // Read-your-writes violations: a get returned a version older than one
+  // the same tenant had fully acked for that key.
+  std::uint64_t ryw_violations = 0;
+  // Replicas that are both serving at the end but disagree (same version,
+  // different bytes — or a value failing its own pattern check).
+  std::uint64_t value_divergence = 0;
+  double put_avg_us = 0;
+  double put_p50_us = 0;
+  double put_p99_us = 0;
+  double put_p999_us = 0;
+  // --- recovery --------------------------------------------------------------
+  std::uint64_t rejoins = 0;            // crash windows that healed
+  std::uint64_t resyncs_started = 0;    // anti-entropy sessions launched
+  std::uint64_t resync_keys_scanned = 0;
+  std::uint64_t resync_keys_applied = 0;
+  std::uint64_t resync_keys_kept = 0;   // local copy was newer (dual-apply)
+  std::uint64_t resync_bytes = 0;
+  std::uint64_t resync_failures = 0;    // sessions that hit an error CQE
+  // Longest down_at -> back-to-serving span over all fault windows (for a
+  // re-join that is down_at -> resync completion, not just down_at -> up_at).
+  double degraded_window_us = 0;
   double duration_us = 0;
   double gets_per_sec = 0;
   double avg_us = 0;
@@ -141,8 +188,16 @@ struct KvServiceResult {
 };
 
 // Runs the service; throws std::invalid_argument on malformed configs
-// (< 2 shards, a crash entry with up_at != 0, fault entries naming
-// out-of-range shards, ...).
+// (< 2 shards, overlapping fault windows, fault entries naming
+// out-of-range shards, a versioned run with value_len < 16, ...).
+//
+// A kCrash entry with up_at > 0 is a crash + re-join: the shard's process
+// resources are revived at up_at with an EMPTY store (the crash lost its
+// memory), QPs are cycled, and an anti-entropy ResyncSession streams the
+// shard's key range back from its chain peers via RDMA READs, reconciling
+// by version tag. The shard serves again only once re-sync completes;
+// writes forwarded to it while re-syncing dual-apply and are never
+// clobbered by the stale bytes the transfer stages.
 KvServiceResult RunKvService(const KvServiceConfig& cfg);
 
 }  // namespace redn::workload

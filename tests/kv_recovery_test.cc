@@ -1,0 +1,401 @@
+// Chain-ordered writes + recovery: puts ack only after the successor
+// durably applied, acked writes survive fault windows, a crashed shard
+// re-joins through anti-entropy re-sync, and the gray-failure kinds
+// (flaky bursts, slow links) degrade without losing anything.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "kv/resync.h"
+#include "kv/table.h"
+#include "sim/transport.h"
+#include "testbed.h"
+#include "workload/kv_service.h"
+
+namespace redn::test {
+namespace {
+
+using workload::FaultEntry;
+using workload::FaultKind;
+using workload::KvServiceConfig;
+using workload::KvServiceResult;
+using workload::RunKvService;
+
+KvServiceConfig MixedConfig() {
+  KvServiceConfig cfg;
+  cfg.shards = 3;
+  cfg.tenants = 3;
+  cfg.gets_per_tenant = 60;  // ops per tenant (the put mix draws from these)
+  cfg.keys = 2'000;
+  cfg.value_len = 256;
+  cfg.put_fraction = 0.3;
+  return cfg;
+}
+
+std::uint64_t Ops(const KvServiceResult& r) { return r.gets + r.puts; }
+
+// --- healthy write path ------------------------------------------------------
+
+TEST(KvRecovery, HealthyMixedRunAcksEveryPutThroughTheChain) {
+  const KvServiceResult r = RunKvService(MixedConfig());
+  EXPECT_EQ(Ops(r), 180u);
+  EXPECT_EQ(r.unanswered, 0u);
+  EXPECT_GT(r.puts, 0u);
+  EXPECT_GT(r.gets, 0u);
+  // No faults: every ack carries both replicas, via a chain forward each.
+  EXPECT_EQ(r.acked_puts_full, r.puts);
+  EXPECT_EQ(r.degraded_acks, 0u);
+  EXPECT_GE(r.chain_forwards, r.puts);
+  EXPECT_EQ(r.put_retries, 0u);
+  // The invariants the write path exists for.
+  EXPECT_EQ(r.lost_acked_writes, 0u);
+  EXPECT_EQ(r.ryw_violations, 0u);
+  EXPECT_EQ(r.value_divergence, 0u);
+  // A put costs a forward + an ack on top of a get's round trip.
+  EXPECT_GT(r.put_p50_us, 0.0);
+  EXPECT_GE(r.put_p99_us, r.put_p50_us);
+  std::uint64_t tenant_puts = 0;
+  for (const auto& t : r.tenants) tenant_puts += t.puts;
+  EXPECT_EQ(tenant_puts, r.puts);
+}
+
+TEST(KvRecovery, MixedRunsAreBitStable) {
+  KvServiceConfig cfg = MixedConfig();
+  FaultEntry crash;
+  crash.server = 1;
+  crash.kind = FaultKind::kCrash;
+  crash.down_at = 50'000;
+  crash.up_at = sim::Millis(2);
+  cfg.faults.entries.push_back(crash);
+  const KvServiceResult a = RunKvService(cfg);
+  const KvServiceResult b = RunKvService(cfg);
+  EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.acked_puts_full, b.acked_puts_full);
+  EXPECT_EQ(a.degraded_acks, b.degraded_acks);
+  EXPECT_EQ(a.chain_forwards, b.chain_forwards);
+  EXPECT_EQ(a.resync_keys_applied, b.resync_keys_applied);
+  EXPECT_EQ(a.resync_keys_kept, b.resync_keys_kept);
+  EXPECT_EQ(a.degraded_window_us, b.degraded_window_us);
+  EXPECT_EQ(a.put_p999_us, b.put_p999_us);
+  EXPECT_EQ(a.p999_us, b.p999_us);
+  EXPECT_EQ(a.data_packets, b.data_packets);
+  EXPECT_EQ(a.events, b.events);
+}
+
+// --- degraded writes ---------------------------------------------------------
+
+TEST(KvRecovery, PutsDuringBlackholeDegradeToLoneReplicaAndHealResyncs) {
+  KvServiceConfig cfg = MixedConfig();
+  cfg.gets_per_tenant = 100;
+  cfg.put_fraction = 0.5;
+  FaultEntry bh;
+  bh.server = 0;
+  bh.kind = FaultKind::kBlackhole;
+  bh.down_at = 30'000;
+  bh.up_at = sim::Millis(3);
+  cfg.faults.entries.push_back(bh);
+
+  const KvServiceResult r = RunKvService(cfg);
+  EXPECT_EQ(Ops(r), 300u);
+  EXPECT_EQ(r.unanswered, 0u);
+  // Writes inside the window could not reach shard 0: the surviving
+  // replica acked alone and marked shard 0 dirty.
+  EXPECT_GT(r.degraded_acks, 0u);
+  EXPECT_LT(r.degraded_acks, r.puts);
+  // The heal noticed the dirt and ran anti-entropy before re-opening.
+  EXPECT_GE(r.resyncs_started, 1u);
+  EXPECT_GT(r.resync_keys_scanned, 0u);
+  EXPECT_EQ(r.resync_failures, 0u);
+  // Every acked write is still durable where it was acked, and the
+  // resync erased the replica drift the window caused.
+  EXPECT_EQ(r.lost_acked_writes, 0u);
+  EXPECT_EQ(r.ryw_violations, 0u);
+  EXPECT_EQ(r.value_divergence, 0u);
+  // The degraded window is bounded and reported: at least the fault
+  // window itself, and not the whole run.
+  EXPECT_GE(r.degraded_window_us, sim::ToMicros(bh.up_at - bh.down_at));
+  EXPECT_LT(r.degraded_window_us, sim::ToMicros(cfg.horizon));
+}
+
+// --- crash + re-join ---------------------------------------------------------
+
+TEST(KvRecovery, CrashedShardRejoinsThroughAntiEntropyResync) {
+  KvServiceConfig cfg = MixedConfig();
+  cfg.gets_per_tenant = 100;
+  FaultEntry crash;
+  crash.server = 1;
+  crash.kind = FaultKind::kCrash;
+  crash.down_at = 40'000;
+  crash.up_at = sim::Millis(2);
+  cfg.faults.entries.push_back(crash);
+
+  const KvServiceResult r = RunKvService(cfg);
+  EXPECT_EQ(Ops(r), 300u);
+  EXPECT_EQ(r.unanswered, 0u);
+  EXPECT_EQ(r.faults_applied, 1u);
+  EXPECT_EQ(r.heals_applied, 1u);
+  EXPECT_EQ(r.rejoins, 1u);
+  // The re-joiner streamed its whole key range back from its chain peers.
+  EXPECT_GE(r.resyncs_started, 1u);
+  EXPECT_GT(r.resync_keys_scanned, 0u);
+  EXPECT_GT(r.resync_keys_applied, 0u);
+  EXPECT_GT(r.resync_bytes, 0u);
+  EXPECT_EQ(r.resync_failures, 0u);
+  // Nothing acked was lost, read-your-writes held, replicas converged.
+  EXPECT_EQ(r.lost_acked_writes, 0u);
+  EXPECT_EQ(r.ryw_violations, 0u);
+  EXPECT_EQ(r.value_divergence, 0u);
+  // down -> serving spans the outage plus the transfer, so it exceeds
+  // the raw window; it is still bounded (reported, and far under the
+  // horizon — the re-sync drains promptly, it does not linger).
+  EXPECT_GE(r.degraded_window_us, sim::ToMicros(crash.up_at - crash.down_at));
+  EXPECT_LT(r.degraded_window_us,
+            2.0 * sim::ToMicros(crash.up_at - crash.down_at));
+}
+
+TEST(KvRecovery, PureGetCrashRejoinServesEveryGet) {
+  // put_fraction = 0 but a healing crash still versions the store so the
+  // re-join wipe + re-sync have tags to reconcile on.
+  KvServiceConfig cfg = MixedConfig();
+  cfg.put_fraction = 0.0;
+  cfg.gets_per_tenant = 100;
+  FaultEntry crash;
+  crash.server = 2;
+  crash.kind = FaultKind::kCrash;
+  crash.down_at = 40'000;
+  crash.up_at = sim::Millis(2);
+  cfg.faults.entries.push_back(crash);
+  const KvServiceResult r = RunKvService(cfg);
+  EXPECT_EQ(r.gets, 300u);
+  EXPECT_EQ(r.puts, 0u);
+  EXPECT_EQ(r.unanswered, 0u);
+  EXPECT_EQ(r.rejoins, 1u);
+  EXPECT_GE(r.resyncs_started, 1u);
+  EXPECT_EQ(r.lost_acked_writes, 0u);
+  EXPECT_EQ(r.value_divergence, 0u);
+}
+
+// --- gray failures -----------------------------------------------------------
+
+TEST(KvRecovery, FlakyWindowDegradesButLosesNothing) {
+  KvServiceConfig cfg = MixedConfig();
+  cfg.gets_per_tenant = 100;
+  cfg.retry_count = 8;  // ride out bursts instead of declaring death
+  FaultEntry flaky;
+  flaky.server = 0;
+  flaky.kind = FaultKind::kFlaky;
+  flaky.down_at = 30'000;
+  flaky.up_at = sim::Millis(4);
+  cfg.faults.entries.push_back(flaky);
+
+  const KvServiceResult r = RunKvService(cfg);
+  EXPECT_EQ(Ops(r), 300u);
+  EXPECT_EQ(r.unanswered, 0u);
+  // Loss bursts force transport-level recovery.
+  EXPECT_GT(r.retransmits, 0u);
+  EXPECT_EQ(r.lost_acked_writes, 0u);
+  EXPECT_EQ(r.ryw_violations, 0u);
+  EXPECT_EQ(r.value_divergence, 0u);
+
+  // Same seed, same bursts, same result.
+  const KvServiceResult again = RunKvService(cfg);
+  EXPECT_EQ(again.retransmits, r.retransmits);
+  EXPECT_EQ(again.p999_us, r.p999_us);
+  EXPECT_EQ(again.events, r.events);
+
+  // A different seed draws different burst boundaries.
+  KvServiceConfig reseeded = cfg;
+  reseeded.seed = 2;
+  const KvServiceResult other = RunKvService(reseeded);
+  EXPECT_NE(other.events, r.events);
+}
+
+TEST(KvRecovery, SlowLinkStretchesTailsWithoutFailover) {
+  KvServiceConfig cfg = MixedConfig();
+  cfg.gets_per_tenant = 100;
+  FaultEntry slow;
+  slow.server = 0;
+  slow.kind = FaultKind::kSlow;
+  slow.down_at = 30'000;
+  slow.up_at = sim::Millis(2);
+  slow.slow_ns = 30'000;
+  cfg.faults.entries.push_back(slow);
+
+  const KvServiceResult base = RunKvService(MixedConfig());
+  const KvServiceResult r = RunKvService(cfg);
+  EXPECT_EQ(Ops(r), 300u);
+  EXPECT_EQ(r.unanswered, 0u);
+  // Latency, not loss: no QP died, nothing needed re-syncing.
+  EXPECT_EQ(r.qp_errors, 0u);
+  EXPECT_EQ(r.resyncs_started, 0u);
+  EXPECT_EQ(r.lost_acked_writes, 0u);
+  EXPECT_EQ(r.value_divergence, 0u);
+  EXPECT_GT(r.p999_us, base.p999_us);
+  // The window is reported as exactly the configured span.
+  EXPECT_DOUBLE_EQ(r.degraded_window_us,
+                   sim::ToMicros(slow.up_at - slow.down_at));
+}
+
+// --- ResyncSession unit ------------------------------------------------------
+
+class ResyncBed : public ::testing::Test {
+ protected:
+  ResyncBed() : tr(bed.sim, fabric, sim::TransportConfig{}) {
+    bed.client.AttachPort(0, fabric, {25.0, 125});
+    bed.server.AttachPort(0, fabric, {25.0, 125});
+    QpConfig c;
+    c.send_cq = bed.client.CreateCq();
+    c.recv_cq = bed.client.CreateCq();
+    rq = bed.client.CreateQp(c);
+    QpConfig s;
+    s.send_cq = bed.server.CreateCq();
+    s.recv_cq = bed.server.CreateCq();
+    dq = bed.server.CreateQp(s);
+    rnic::ConnectOverTransport(rq, dq, tr);
+  }
+
+  // `n` values of `len` bytes on each side; the local (resyncing) side on
+  // the client device, the donor on the server device.
+  void Seed(int n, std::uint32_t len) {
+    len_ = len;
+    local_ = bed.Alloc(bed.client, static_cast<std::size_t>(n) * len);
+    donor_ = bed.Alloc(bed.server, static_cast<std::size_t>(n) * len);
+    for (int i = 0; i < n; ++i) {
+      items_.push_back(kv::ResyncSession::Item{
+          static_cast<std::uint64_t>(100 + i), donor_.addr() + i * len,
+          local_.addr() + i * len, len});
+    }
+  }
+  std::uint64_t LocalAddr(int i) const { return local_.addr() + i * len_; }
+  std::uint64_t DonorAddr(int i) const { return donor_.addr() + i * len_; }
+
+  kv::ResyncSession::Config SessionConfig(int window = 4) {
+    kv::ResyncSession::Config c;
+    c.qp = rq;
+    c.remote_rkey = donor_.rkey();
+    c.window = window;
+    return c;
+  }
+
+  TestBed bed;
+  sim::Fabric fabric;
+  sim::Transport tr;
+  QueuePair* rq = nullptr;
+  QueuePair* dq = nullptr;
+  Buffer local_;
+  Buffer donor_;
+  std::vector<kv::ResyncSession::Item> items_;
+  std::uint32_t len_ = 0;
+};
+
+TEST_F(ResyncBed, ReconcilesByVersionTagAndKeepsNewerLocalValues) {
+  Seed(8, 128);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t key = items_[i].key;
+    kv::WriteVersionedValue(DonorAddr(i), 128, key, 5);
+    // Chain-order violation injection: values 0..2 carry a HIGHER local
+    // version than the donor stages — the shape a dual-applied put (or an
+    // out-of-order transfer) leaves behind. They must survive untouched.
+    kv::WriteVersionedValue(LocalAddr(i), 128, key, i < 3 ? 7 : 2);
+  }
+  kv::ResyncSession::Stats done;
+  kv::ResyncSession s(bed.sim, SessionConfig(), items_,
+                      [&](const kv::ResyncSession::Stats& st) { done = st; });
+  s.Start();
+  bed.sim.Run();
+
+  ASSERT_TRUE(s.done());
+  EXPECT_FALSE(done.failed);
+  EXPECT_EQ(done.keys_scanned, 8u);
+  EXPECT_EQ(done.keys_applied, 5u);
+  EXPECT_EQ(done.keys_kept_local, 3u);
+  EXPECT_EQ(done.bytes_read, 8u * 128u);
+  EXPECT_GT(done.finished, done.started);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t key = items_[i].key;
+    EXPECT_EQ(kv::ValueVersion(LocalAddr(i)), i < 3 ? 7u : 5u) << i;
+    EXPECT_TRUE(kv::VersionedValueIntact(LocalAddr(i), 128, key)) << i;
+  }
+}
+
+TEST_F(ResyncBed, TieGoesToThePeerSoRerunningIsIdempotent) {
+  Seed(4, 64);
+  for (int i = 0; i < 4; ++i) {
+    kv::WriteVersionedValue(DonorAddr(i), 64, items_[i].key, 3);
+    kv::WriteVersionedValue(LocalAddr(i), 64, items_[i].key, i == 0 ? 3 : 1);
+  }
+  kv::ResyncSession first(bed.sim, SessionConfig(), items_, nullptr);
+  first.Start();
+  bed.sim.Run();
+  EXPECT_EQ(first.stats().keys_applied, 4u);  // the tie adopted too
+
+  // Re-running against an unchanged donor re-adopts everything and
+  // changes nothing — the >= rule at work.
+  kv::ResyncSession second(bed.sim, SessionConfig(), items_, nullptr);
+  second.Start();
+  bed.sim.Run();
+  EXPECT_EQ(second.stats().keys_applied, 4u);
+  EXPECT_EQ(second.stats().keys_kept_local, 0u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(kv::ValueVersion(LocalAddr(i)), 3u);
+    EXPECT_TRUE(kv::VersionedValueIntact(LocalAddr(i), 64, items_[i].key));
+  }
+}
+
+TEST_F(ResyncBed, EmptyItemListFinishesSynchronously) {
+  Seed(2, 64);
+  bool fired = false;
+  kv::ResyncSession s(bed.sim, SessionConfig(), {},
+                      [&](const kv::ResyncSession::Stats& st) {
+                        fired = true;
+                        EXPECT_EQ(st.keys_scanned, 0u);
+                      });
+  s.Start();
+  EXPECT_TRUE(fired);  // no events needed
+  EXPECT_TRUE(s.done());
+}
+
+TEST_F(ResyncBed, DonorDeathMidSyncMarksFailedAndLeavesLocalValuesAlone) {
+  Seed(6, 128);
+  for (int i = 0; i < 6; ++i) {
+    kv::WriteVersionedValue(DonorAddr(i), 128, items_[i].key, 9);
+    kv::WriteVersionedValue(LocalAddr(i), 128, items_[i].key, 1);
+  }
+  dq->owner_pid = 42;
+  bed.server.KillProcessResources(42);  // donor dies before any READ lands
+  kv::ResyncSession::Stats done;
+  kv::ResyncSession s(bed.sim, SessionConfig(/*window=*/2), items_,
+                      [&](const kv::ResyncSession::Stats& st) { done = st; });
+  s.Start();
+  bed.sim.Run();
+  ASSERT_TRUE(s.done());
+  EXPECT_TRUE(done.failed);
+  EXPECT_EQ(done.keys_applied, 0u);
+  // Nothing was adopted off the dead donor; the local copies are intact.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(kv::ValueVersion(LocalAddr(i)), 1u);
+    EXPECT_TRUE(kv::VersionedValueIntact(LocalAddr(i), 128, items_[i].key));
+  }
+}
+
+TEST_F(ResyncBed, MalformedSessionsThrow) {
+  Seed(2, 64);
+  kv::ResyncSession::Config bad = SessionConfig();
+  bad.qp = nullptr;
+  EXPECT_THROW(kv::ResyncSession(bed.sim, bad, items_, nullptr),
+               std::invalid_argument);
+  bad = SessionConfig();
+  bad.window = 0;
+  EXPECT_THROW(kv::ResyncSession(bed.sim, bad, items_, nullptr),
+               std::invalid_argument);
+  auto runt = items_;
+  runt[0].len = 4;  // shorter than the version tag
+  EXPECT_THROW(kv::ResyncSession(bed.sim, SessionConfig(), runt, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace redn::test

@@ -203,12 +203,39 @@ TEST(KvService, MalformedConfigsThrow) {
   EXPECT_THROW(RunKvService(cfg), std::invalid_argument);
 
   cfg = SmallConfig();
-  FaultEntry crash;
-  crash.server = 0;
-  crash.kind = FaultKind::kCrash;
-  crash.down_at = 1'000;
-  crash.up_at = 2'000;  // crashes don't heal
-  cfg.faults.entries.push_back(crash);
+  cfg.put_fraction = 1.5;  // not a fraction
+  EXPECT_THROW(RunKvService(cfg), std::invalid_argument);
+
+  cfg = SmallConfig();
+  cfg.put_fraction = 0.5;
+  cfg.value_len = 8;  // versioned values need room past the tag
+  EXPECT_THROW(RunKvService(cfg), std::invalid_argument);
+
+  cfg = SmallConfig();
+  cfg.resync_window = 0;
+  EXPECT_THROW(RunKvService(cfg), std::invalid_argument);
+
+  cfg = SmallConfig();
+  FaultEntry flaky;
+  flaky.server = 0;
+  flaky.kind = FaultKind::kFlaky;
+  flaky.down_at = 1'000;
+  flaky.up_at = 2'000;
+  flaky.flaky_loss = 2.0;  // not a probability
+  cfg.faults.entries.push_back(flaky);
+  EXPECT_THROW(RunKvService(cfg), std::invalid_argument);
+
+  cfg = SmallConfig();
+  FaultEntry a;  // overlapping windows on the same shard
+  a.server = 0;
+  a.kind = FaultKind::kBlackhole;
+  a.down_at = 1'000;
+  a.up_at = 5'000;
+  FaultEntry b = a;
+  b.down_at = 3'000;
+  b.up_at = 7'000;
+  cfg.faults.entries.push_back(a);
+  cfg.faults.entries.push_back(b);
   EXPECT_THROW(RunKvService(cfg), std::invalid_argument);
 
   cfg = SmallConfig();

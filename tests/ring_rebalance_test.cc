@@ -1,0 +1,105 @@
+// Ring membership: Remove(s) slides a shard's arcs to the survivors,
+// Rejoin(s) restores the original mapping bit-for-bit (points depend only
+// on seed/id/vnodes), and successors always name active shards.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "kv/ring.h"
+
+namespace redn::test {
+namespace {
+
+using kv::ConsistentHashRing;
+
+constexpr std::uint64_t kKeys = 20'000;
+
+std::vector<int> Snapshot(const ConsistentHashRing& ring) {
+  std::vector<int> owners;
+  owners.reserve(kKeys);
+  for (std::uint64_t k = 1; k <= kKeys; ++k) owners.push_back(ring.PrimaryOf(k));
+  return owners;
+}
+
+TEST(RingRebalance, RemoveSlidesOwnershipOnlyOffTheRemovedShard) {
+  ConsistentHashRing ring(4, 16, 7);
+  const std::vector<int> before = Snapshot(ring);
+
+  ring.Remove(2);
+  EXPECT_FALSE(ring.IsActive(2));
+  EXPECT_EQ(ring.active_shards(), 3);
+  const std::vector<int> after = Snapshot(ring);
+
+  std::uint64_t moved = 0;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    if (before[i] == 2) {
+      // Every key the removed shard owned must move, and to an active shard.
+      EXPECT_NE(after[i], 2);
+      ++moved;
+    } else {
+      // Minimal disruption: keys the removed shard never owned stay put.
+      EXPECT_EQ(after[i], before[i]);
+    }
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(RingRebalance, RejoinRestoresTheOriginalMappingExactly) {
+  ConsistentHashRing ring(5, 16, 11);
+  const std::vector<int> before = Snapshot(ring);
+  std::vector<int> succ_before;
+  for (int s = 0; s < 5; ++s) succ_before.push_back(ring.SuccessorOf(s));
+
+  ring.Remove(3);
+  ring.Rejoin(3);
+  EXPECT_TRUE(ring.IsActive(3));
+  EXPECT_EQ(ring.active_shards(), 5);
+
+  const std::vector<int> after = Snapshot(ring);
+  EXPECT_EQ(before, after);
+  for (int s = 0; s < 5; ++s) EXPECT_EQ(ring.SuccessorOf(s), succ_before[s]);
+}
+
+TEST(RingRebalance, SuccessorsAlwaysNameActiveShards) {
+  ConsistentHashRing ring(4, 8, 3);
+  ring.Remove(1);
+  for (int s = 0; s < 4; ++s) {
+    const int succ = ring.SuccessorOf(s);
+    // Even the removed shard's successor answers "where did its keys go",
+    // and it must point at a live shard other than itself.
+    EXPECT_TRUE(ring.IsActive(succ));
+    EXPECT_NE(succ, s);
+  }
+  // With two of four gone, the two survivors back each other up.
+  ring.Remove(3);
+  EXPECT_EQ(ring.SuccessorOf(0), 2);
+  EXPECT_EQ(ring.SuccessorOf(2), 0);
+}
+
+TEST(RingRebalance, RemovedShardReceivesNoKeys) {
+  ConsistentHashRing ring(3, 16, 9);
+  ring.Remove(0);
+  std::map<int, std::uint64_t> per_shard;
+  for (std::uint64_t k = 1; k <= kKeys; ++k) ++per_shard[ring.PrimaryOf(k)];
+  EXPECT_EQ(per_shard.count(0), 0u);
+  EXPECT_GT(per_shard[1], 0u);
+  EXPECT_GT(per_shard[2], 0u);
+}
+
+TEST(RingRebalance, MembershipMisuseThrows) {
+  ConsistentHashRing ring(3, 8, 5);
+  EXPECT_THROW(ring.Remove(-1), std::invalid_argument);
+  EXPECT_THROW(ring.Remove(3), std::invalid_argument);
+  EXPECT_THROW(ring.Rejoin(0), std::logic_error);  // already active
+  ring.Remove(0);
+  EXPECT_THROW(ring.Remove(0), std::logic_error);  // already removed
+  ring.Remove(1);
+  EXPECT_THROW(ring.Remove(2), std::logic_error);  // last active shard
+  ring.Rejoin(0);
+  EXPECT_NO_THROW(ring.Remove(2));
+}
+
+}  // namespace
+}  // namespace redn::test
