@@ -18,11 +18,13 @@
 // transport's loss draws come from one seeded Rng in event order, so a
 // given config must replay bit-identically). Only the wall-clock events/s
 // line (the CI floor) varies run to run.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "report.h"
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   int gets = 150;
   int clients = 4;
   std::uint32_t value_len = 65536;
+  int sim_shards = 1;
   for (int i = 1; i < argc; ++i) {
     auto val = [&]() -> double { return i + 1 < argc ? std::atof(argv[++i]) : 0; };
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -44,6 +47,8 @@ int main(int argc, char** argv) {
       clients = static_cast<int>(val());
     } else if (std::strcmp(argv[i], "--value") == 0) {
       value_len = static_cast<std::uint32_t>(val());
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      sim_shards = static_cast<int>(val());
     }
   }
 
@@ -129,12 +134,95 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sr_lossiest.retransmits),
               static_cast<unsigned long long>(lossiest.retransmits));
 
+  // --- sharded engine (--shards N): same lossy workload, one event domain
+  // vs N, wall-clock A/B. Client NICs round-robin over shards, the server
+  // stays on shard 0, and every cross-shard flow runs the split
+  // sender/receiver-half protocol with DATA/ACKs in the mailboxes. All
+  // sharded output (and its JSON fields) is gated on the flag so the
+  // default run stays byte-identical.
+  double wall_speedup = 0;
+  bool sharded_ok = true;
+  std::uint64_t sharded_stable = 0;
+  if (sim_shards > 1) {
+    bench::Section("sharded engine: wall-clock, 1 domain vs N");
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores < static_cast<unsigned>(sim_shards)) {
+      std::printf("  SKIP note: only %u cores for %d shards — speedup "
+                  "numbers will understate the engine\n", cores, sim_shards);
+    }
+    auto sharded_cfg = [&](int n) {
+      workload::FabricScaleConfig cfg;
+      cfg.clients = std::max(clients, 2 * sim_shards);
+      cfg.gets_per_client = gets;
+      cfg.value_len = value_len;
+      cfg.packetized = true;
+      cfg.loss = 0.01;
+      cfg.timeout_exp = 6;
+      cfg.shards = n;
+      return cfg;
+    };
+    auto timed = [&](int n, workload::FabricScaleResult* out) {
+      // Best of two: the first rep pays thread spin-up and cold caches.
+      double best = 1e30;
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto w0 = std::chrono::steady_clock::now();
+        *out = workload::RunFabricScale(sharded_cfg(n));
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - w0).count());
+      }
+      return best;
+    };
+    workload::FabricScaleResult one, many, many2;
+    const double wall_one = timed(1, &one);
+    const double wall_many = timed(sim_shards, &many);
+    timed(sim_shards, &many2);  // same-config rerun for the stability check
+    wall_speedup = wall_one / wall_many;
+    sharded_stable =
+        (many.gets == many2.gets && many.duration_us == many2.duration_us &&
+         many.avg_us == many2.avg_us && many.p99_us == many2.p99_us &&
+         many.retransmits == many2.retransmits &&
+         many.goodput_gbps == many2.goodput_gbps &&
+         many.mailbox_sends == many2.mailbox_sends &&
+         many.sync_rounds == many2.sync_rounds)
+            ? 1
+            : 0;
+    std::printf("  %d clients x %d gets at 1%% loss: %.3f s on 1 shard, "
+                "%.3f s on %d shards — wall_speedup x%.2f\n",
+                sharded_cfg(1).clients, gets, wall_one, wall_many, sim_shards,
+                wall_speedup);
+    std::printf("  sharded run: %llu gets, %llu mailbox sends, %llu sync "
+                "rounds, %s\n",
+                static_cast<unsigned long long>(many.gets),
+                static_cast<unsigned long long>(many.mailbox_sends),
+                static_cast<unsigned long long>(many.sync_rounds),
+                sharded_stable ? "rerun bit-stable" : "RERUN DIVERGED");
+    const std::uint64_t sharded_expect =
+        static_cast<std::uint64_t>(sharded_cfg(1).clients) *
+        static_cast<std::uint64_t>(gets);
+    if (many.gets != sharded_expect || one.gets != sharded_expect) {
+      std::fprintf(stderr, "FAIL: sharded run lost responses (%llu/%llu)\n",
+                   static_cast<unsigned long long>(many.gets),
+                   static_cast<unsigned long long>(sharded_expect));
+      sharded_ok = false;
+    }
+    if (sharded_stable == 0) {
+      std::fprintf(stderr, "FAIL: sharded same-seed rerun diverged\n");
+      sharded_ok = false;
+    }
+    if (many.mailbox_sends == 0) {
+      std::fprintf(stderr, "FAIL: no cross-shard traffic at %d shards\n",
+                   sim_shards);
+      sharded_ok = false;
+    }
+  }
+
   const double events_per_sec = static_cast<double>(total_events) / wall_secs;
   // The JSON goodput field is the 1% row: high enough loss to exercise
   // recovery constantly, low enough that a healthy go-back-N keeps most of
   // the line rate (the CI floor).
-  bench::JsonWriter("scale_lossy")
-      .Field("clients", static_cast<std::uint64_t>(clients))
+  bench::JsonWriter json("scale_lossy");
+  json.Field("clients", static_cast<std::uint64_t>(clients))
       .Field("gets", lossiest.gets)
       .Field("goodput_gbps", results[2].goodput_gbps)
       .Field("goodput_gbps_lossless", results[0].goodput_gbps)
@@ -149,8 +237,13 @@ int main(int argc, char** argv) {
       .Field("spurious_retransmits", lossiest.spurious_retransmits)
       .Field("packets_lost", lossiest.packets_lost)
       .Field("deterministic", static_cast<std::uint64_t>(stable ? 1 : 0))
-      .Field("events_per_sec", events_per_sec)
-      .Emit();
+      .Field("events_per_sec", events_per_sec);
+  if (sim_shards > 1) {
+    json.Field("shards", static_cast<std::uint64_t>(sim_shards))
+        .Field("wall_speedup", wall_speedup)
+        .Field("sharded_deterministic", sharded_stable);
+  }
+  json.Emit();
 
   // Self-checks: reliable delivery (every get answered at every loss rate),
   // a bit-stable rerun, goodput monotonically non-increasing with loss, and
@@ -217,5 +310,6 @@ int main(int argc, char** argv) {
                  100.0 * losses[3]);
     ok = false;
   }
+  if (!sharded_ok) ok = false;
   return ok ? 0 : 1;
 }

@@ -26,6 +26,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "report.h"
 #include "workload/kv_service.h"
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
   int keys = 100'000;
   double put_fraction = 0.3;
   std::uint64_t seed = 1;
+  int sim_shards = 1;  // --sim-shards: event domains (--shards = KV shards)
   for (int i = 1; i < argc; ++i) {
     auto val = [&]() -> double { return i + 1 < argc ? std::atof(argv[++i]) : 0; };
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -56,6 +59,8 @@ int main(int argc, char** argv) {
       put_fraction = val();
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       seed = static_cast<std::uint64_t>(val());
+    } else if (std::strcmp(argv[i], "--sim-shards") == 0) {
+      sim_shards = static_cast<int>(val());
     }
   }
 
@@ -148,10 +153,108 @@ int main(int argc, char** argv) {
       again.data_packets == r.data_packets &&
       again.retransmits == r.retransmits && again.events == r.events;
 
+  // --- sharded engine (--sim-shards N): the same fault lifecycle with the
+  // tenant NICs spread across event domains (the KV shard NICs and the
+  // transport stay on domain 0), wall-clock A/B against the single-domain
+  // run. Gated on the flag so the default run stays byte-identical.
+  double wall_speedup = 0;
+  bool sharded_ok = true;
+  std::uint64_t sharded_stable = 0;
+  if (sim_shards > 1) {
+    bench::Section("sharded engine: wall-clock, 1 domain vs N");
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores < static_cast<unsigned>(sim_shards)) {
+      std::printf("  SKIP note: only %u cores for %d sim shards — speedup "
+                  "numbers will understate the engine\n", cores, sim_shards);
+    }
+    auto spread_run = [&](int n) {
+      workload::KvServiceConfig cfg;
+      cfg.shards = shards;
+      cfg.tenants = tenants;
+      cfg.gets_per_tenant = ops;
+      cfg.keys = keys;
+      cfg.seed = seed;
+      cfg.put_fraction = put_fraction;
+      workload::FaultEntry crash;
+      crash.server = 1;
+      crash.kind = workload::FaultKind::kCrash;
+      crash.down_at = kCrashAt;
+      crash.up_at = rejoin_at;
+      cfg.faults.entries.push_back(crash);
+      workload::FaultEntry slow;
+      slow.server = 2;
+      slow.kind = workload::FaultKind::kSlow;
+      slow.down_at = slow_from;
+      slow.up_at = slow_to;
+      slow.slow_ns = 30'000;
+      cfg.faults.entries.push_back(slow);
+      cfg.sim_shards = n;
+      if (n > 1) {
+        // Tenants off the service shard: their flows run split.
+        cfg.placement.resize(static_cast<std::size_t>(tenants));
+        for (int t = 0; t < tenants; ++t) {
+          cfg.placement[static_cast<std::size_t>(t)] = 1 + t % (n - 1);
+        }
+      }
+      return workload::RunKvService(cfg);
+    };
+    auto timed = [&](int n, workload::KvServiceResult* out) {
+      double best = 1e30;
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto w0 = std::chrono::steady_clock::now();
+        *out = spread_run(n);
+        const double w = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - w0).count();
+        if (w < best) best = w;
+      }
+      return best;
+    };
+    workload::KvServiceResult one, many, many2;
+    const double wall_one = timed(1, &one);
+    const double wall_many = timed(sim_shards, &many);
+    timed(sim_shards, &many2);
+    wall_speedup = wall_one / wall_many;
+    sharded_stable =
+        (many.gets == many2.gets && many.puts == many2.puts &&
+         many.p99_us == many2.p99_us && many.put_p99_us == many2.put_p99_us &&
+         many.data_packets == many2.data_packets &&
+         many.degraded_window_us == many2.degraded_window_us &&
+         many.events == many2.events)
+            ? 1
+            : 0;
+    std::printf("  %d tenants x %d ops through crash+resync: %.3f s on 1 "
+                "domain, %.3f s on %d — wall_speedup x%.2f\n", tenants, ops,
+                wall_one, wall_many, sim_shards, wall_speedup);
+    std::printf("  spread run: %llu gets + %llu puts, %llu unanswered, "
+                "audits %llu/%llu/%llu, %s\n",
+                static_cast<unsigned long long>(many.gets),
+                static_cast<unsigned long long>(many.puts),
+                static_cast<unsigned long long>(many.unanswered),
+                static_cast<unsigned long long>(many.lost_acked_writes),
+                static_cast<unsigned long long>(many.ryw_violations),
+                static_cast<unsigned long long>(many.value_divergence),
+                sharded_stable ? "rerun bit-stable" : "RERUN DIVERGED");
+    const std::uint64_t sharded_expect = static_cast<std::uint64_t>(ops) *
+                                         static_cast<std::uint64_t>(tenants);
+    if (many.gets + many.puts != sharded_expect || many.unanswered != 0) {
+      std::fprintf(stderr, "FAIL: spread run left ops unserved\n");
+      sharded_ok = false;
+    }
+    if (many.lost_acked_writes != 0 || many.ryw_violations != 0 ||
+        many.value_divergence != 0) {
+      std::fprintf(stderr, "FAIL: spread run breached a write invariant\n");
+      sharded_ok = false;
+    }
+    if (sharded_stable == 0) {
+      std::fprintf(stderr, "FAIL: spread same-seed rerun diverged\n");
+      sharded_ok = false;
+    }
+  }
+
   const double events_per_sec =
       static_cast<double>(r.events + again.events) / wall_secs;
-  bench::JsonWriter("scale_recovery")
-      .Field("shards", static_cast<std::uint64_t>(shards))
+  bench::JsonWriter json("scale_recovery");
+  json.Field("shards", static_cast<std::uint64_t>(shards))
       .Field("tenants", static_cast<std::uint64_t>(tenants))
       .Field("gets", r.gets)
       .Field("puts", r.puts)
@@ -175,8 +278,13 @@ int main(int argc, char** argv) {
       .Field("ryw_violations", r.ryw_violations)
       .Field("value_divergence", r.value_divergence)
       .Field("deterministic", static_cast<std::uint64_t>(stable ? 1 : 0))
-      .Field("events_per_sec", events_per_sec)
-      .Emit();
+      .Field("events_per_sec", events_per_sec);
+  if (sim_shards > 1) {
+    json.Field("sim_shards", static_cast<std::uint64_t>(sim_shards))
+        .Field("wall_speedup", wall_speedup)
+        .Field("sharded_deterministic", sharded_stable);
+  }
+  json.Emit();
 
   // Self-checks: the fault lifecycle actually ran, every op completed,
   // and the invariants the subsystem exists for all held.
@@ -225,5 +333,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: same-seed rerun diverged\n");
     ok = false;
   }
+  if (!sharded_ok) ok = false;
   return ok ? 0 : 1;
 }

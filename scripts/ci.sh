@@ -123,13 +123,24 @@ tsan_stage() {
   echo "=== TSan build (sharded engine) ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DREDN_TSAN=ON >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
-    sharded_sim_test bench_scale_fanout bench_scale_netfabric
+    sharded_sim_test transport_test bench_scale_fanout bench_scale_netfabric \
+    bench_scale_lossy bench_scale_recovery
   (cd build-tsan && TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
      ./sharded_sim_test)
+  (cd build-tsan && TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+     ./transport_test)
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ./build-tsan/bench_scale_fanout --quick --shards 4 --tenants 8
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ./build-tsan/bench_scale_netfabric --quick --clients 4 --value 4096 --shards 2
+  # Split-flow transport across real threads: the per-endpoint halves talk
+  # only through timestamped mailbox messages, and these two drive the
+  # lossy/recovery packetized paths (retransmits, RNR, crash re-arm) with
+  # the flows' halves on different shards.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ./build-tsan/bench_scale_lossy --quick --shards 2
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ./build-tsan/bench_scale_recovery --quick --sim-shards 2
 }
 
 if [[ "${SANITIZE_ONLY}" -eq 1 ]]; then
@@ -259,6 +270,16 @@ check_floor scale_lossy goodput_gbps "${MIN_LOSSY_GOODPUT}" "scale_lossy gbn goo
 check_floor scale_lossy sr_goodput_gbps_lossiest "${MIN_LOSSY_SR_GOODPUT}" "scale_lossy sr goodput @5% loss"
 check_floor scale_lossy deterministic 1 "scale_lossy seed-stable rerun"
 
+echo "=== sharded packetized transport: determinism ==="
+# The same lossy workload with the flow halves split across two shards:
+# the bench reruns the sharded config and fails (exit code) on any
+# simulated-field divergence or lost response; CI re-asserts the rerun
+# flag and that cross-shard DATA/ACK traffic actually rode the mailbox.
+bench_out="$(./build-release/bench_scale_lossy --quick --shards 2)"
+echo "${bench_out}" | grep '"bench":"scale_lossy"'
+check_floor scale_lossy sharded_deterministic 1 "sharded lossy bit-stable rerun"
+check_floor scale_lossy deterministic 1 "sharded lossy 1-shard rerun still bit-stable"
+
 echo "=== bench_scale_failover bounded-outage floors + seed sweep ==="
 # Sharded KV chain-replication failover A/B (offloaded WAIT/ENABLE detour
 # vs host re-issue, same seed and FaultPlan). The bench self-checks (exit
@@ -320,6 +341,18 @@ for seed in 1 2 3; do
   check_ceiling scale_recovery degraded_window_us "${MAX_RECOVERY_WINDOW}" "scale_recovery seed ${seed} degraded window us"
   check_floor scale_recovery deterministic 1 "scale_recovery seed ${seed} seed-stable rerun"
 done
+
+echo "=== sharded packetized recovery: spread tenants + determinism ==="
+# The same crash/re-join/re-sync lifecycle with tenants placed off the
+# service shard (every client<->service flow split across the mailbox).
+# The bench self-checks (exit code) that the spread run serves every op,
+# breaches no write invariant, and reruns bit for bit; CI re-asserts the
+# rerun flag on the record.
+bench_out="$(./build-release/bench_scale_recovery --quick --sim-shards 2)"
+echo "${bench_out}" | grep '"bench":"scale_recovery"'
+check_floor scale_recovery sharded_deterministic 1 "sharded recovery bit-stable rerun"
+check_zero scale_recovery ryw_violations "sharded recovery read-your-writes violations"
+check_zero scale_recovery lost_acked_writes "sharded recovery lost acked writes"
 
 # Determinism guard: these benches print only simulated-time results, so
 # their stdout must match the committed goldens bit for bit. A diff here

@@ -125,23 +125,33 @@ void HashGetHarness::Arm(int n) {
   offload_->Arm(n, resp_mr_.addr, resp_mr_.rkey);
 }
 
+namespace {
+void CycleQp(rnic::QueuePair* qp) {
+  if (qp == nullptr) return;
+  rnic::RnicDevice* dev = qp->device;
+  dev->ModifyQp(qp, rnic::QpState::kReset);
+  dev->ModifyQp(qp, rnic::QpState::kInit);
+  dev->ModifyQp(qp, rnic::QpState::kRtr);
+  dev->ModifyQp(qp, rnic::QpState::kRts);
+}
+}  // namespace
+
 void HashGetHarness::RearmTransport(int n) {
-  auto cycle = [](rnic::QueuePair* qp) {
-    if (qp == nullptr) return;
-    rnic::RnicDevice* dev = qp->device;
-    dev->ModifyQp(qp, rnic::QpState::kReset);
-    dev->ModifyQp(qp, rnic::QpState::kInit);
-    dev->ModifyQp(qp, rnic::QpState::kRtr);
-    dev->ModifyQp(qp, rnic::QpState::kRts);
-  };
-  cycle(cli_qp1_);
-  cycle(cli_qp2_);
-  cycle(srv_qp1_);
-  cycle(srv_qp2_);
-  // The reset discarded every pending RECV — client response buffers and
-  // server trigger slots alike.
+  RearmTransportClientHalf();
+  RearmTransportServerHalf(n);
+}
+
+void HashGetHarness::RearmTransportClientHalf() {
+  CycleQp(cli_qp1_);
+  CycleQp(cli_qp2_);
+  // The reset discarded every pending RECV — the client response buffers.
   recvs_outstanding_1_ = 0;
   recvs_outstanding_2_ = 0;
+}
+
+void HashGetHarness::RearmTransportServerHalf(int n) {
+  CycleQp(srv_qp1_);
+  CycleQp(srv_qp2_);
   // The replacement program's chain r gates on trigger-CQ count
   // first_seq + r; seed it with what the wrecked program consumed (error
   // flushes bumped the count too, so read the CQ rather than triggers_).

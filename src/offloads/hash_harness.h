@@ -50,6 +50,15 @@ class HashGetHarness {
   // program for `n` further requests whose trigger thresholds continue from
   // the CQ count the server has already consumed.
   void RearmTransport(int n);
+  // Two-phase RearmTransport for sharded runs where the client and server
+  // NICs live on different shards: each half cycles only the QPs its
+  // shard's thread owns (a reset fences that QP's split flow, so the cycle
+  // must run on the flow's sender domain). The client half additionally
+  // drops the RECV accounting; the server half retires and rebuilds the
+  // offload program. Calling client-half then server-half at one instant on
+  // one shard is exactly RearmTransport(n).
+  void RearmTransportClientHalf();
+  void RearmTransportServerHalf(int n);
 
   // Issues one offloaded get and runs the simulator until the response
   // lands (or `timeout` of simulated time passes -> miss).

@@ -806,6 +806,7 @@ void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
                                    sim::Nanos ready) {
   pl->st = WcStatus::kSuccess;
   pl->flushed = false;
+  const std::uint64_t rg = qp->reset_gen;
   sim::Transport::MessageOps ops;
   // Ops that consume a RECV probe the responder's RQ before delivery: an
   // empty RQ (or an injected stall) answers RNR NAK and the transport
@@ -826,6 +827,68 @@ void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
       }
       return true;
     };
+  }
+  if (CrossShard(peer)) {
+    // Split-flow callback layout: on_deliver runs on the responder's shard
+    // and may only touch responder-side state plus pl fields the requester
+    // reads strictly later (pl->st — the ACK crossing orders it); every
+    // requester-side outcome (wq.error check + latch, CQE, release) moves
+    // to on_acked/on_failed on the requester's shard. One semantic shift vs
+    // the same-shard path, cross-shard only: delivered bytes land in the
+    // responder's memory even if the requester's WQ flushed mid-flight —
+    // the responder cannot observe that, which is what a real NIC does too.
+    ops.on_deliver =
+        [peer, pl, op](sim::Nanos) {
+          const std::uint64_t len = pl->bytes.size();
+          WcStatus st = WcStatus::kSuccess;
+          if (!peer->alive) {
+            st = WcStatus::kRemoteAccessError;
+          } else if (op == Opcode::kWrite || op == Opcode::kWriteImm) {
+            st = peer->device->AcceptWrite(peer, pl->img.remote_addr,
+                                           pl->img.rkey, pl->bytes.data(),
+                                           len);
+            if (st == WcStatus::kSuccess && op == Opcode::kWriteImm) {
+              st = peer->device->AcceptSend(peer, nullptr, 0, pl->img.imm,
+                                            /*has_imm=*/true, len);
+            }
+          } else {
+            st = peer->device->AcceptSend(peer, pl->bytes.data(), len,
+                                          pl->img.imm,
+                                          /*has_imm=*/op == Opcode::kSendImm,
+                                          len);
+          }
+          pl->st = st;
+        };
+    ops.on_acked =
+        [this, &wq, qp, pl](sim::Nanos) {
+          if (wq.error || !qp->alive) {
+            payloads_.Release(pl);
+            return;
+          }
+          if (pl->st != WcStatus::kSuccess && pl->st != WcStatus::kRnrError) {
+            // Remote failure surfaces at the ACK (the NAK's arrival) on this
+            // shard; later WRs of this QP flush from here on.
+            wq.error = true;
+            ++counters_.error_completions;
+          }
+          CompleteWr(qp, qp->send_cq, pl->img,
+                     sim_.now() + cal_.remote_ack_extra, pl->st,
+                     static_cast<std::uint32_t>(pl->bytes.size()));
+          payloads_.Release(pl);
+        };
+    ops.on_failed =
+        [this, qp, pl, rg](sim::Nanos t, sim::MsgFailure why) {
+          if (!qp->alive || qp->state == QpState::kReset ||
+              qp->reset_gen != rg) {
+            payloads_.Release(pl);
+            return;
+          }
+          FailQpOverTransport(qp, pl->img, t, StatusOf(why));
+          payloads_.Release(pl);
+        };
+    qp->transport->SendMessageEx(qp->flow, ready, pl->bytes.size(),
+                                 std::move(ops));
+    return;
   }
   ops.on_deliver =
       [this, &wq, qp, peer, pl, op](sim::Nanos) {
@@ -872,11 +935,13 @@ void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
         payloads_.Release(pl);
       };
   ops.on_failed =
-      [this, qp, pl](sim::Nanos t, sim::MsgFailure why) {
+      [this, qp, pl, rg](sim::Nanos t, sim::MsgFailure why) {
         // kReset: ModifyQp is tearing the flow down under us — a reset
         // discards in-flight work silently instead of erroring the QP it
-        // just cleared.
-        if (pl->flushed || !qp->alive || qp->state == QpState::kReset) {
+        // just cleared. Same-foreign-domain split flows flush at the fence
+        // echo, after the re-arm: the reset_gen mismatch covers them.
+        if (pl->flushed || !qp->alive || qp->state == QpState::kReset ||
+            qp->reset_gen != rg) {
           payloads_.Release(pl);
           return;
         }
@@ -890,18 +955,24 @@ void RnicDevice::SendOverTransport(WorkQueue& wq, QueuePair* qp,
 void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
                                    QueuePair* peer, Payload* pl,
                                    sim::Nanos t_issue, sim::Nanos ow) {
+  if (CrossShard(peer)) {
+    ReadOverTransportSplit(wq, qp, peer, pl, t_issue, ow);
+    return;
+  }
   // Protection and dead-peer NAKs return as constant-latency control
   // messages (`ow`): they are tiny, generated unconditionally by the
   // responder, and the requester must never hang on them — so they bypass
   // the loss injector, while the request and the data-bearing response ride
   // the lossy packetized flows.
+  const std::uint64_t rg = qp->reset_gen;
   sim::Transport::MessageOps req;
   req.on_deliver =
-      [this, &wq, qp, peer, pl, ow](sim::Nanos) {
+      [this, &wq, qp, peer, pl, ow, rg](sim::Nanos) {
         if (!qp->alive) {  // requester died: flush silently
           payloads_.Release(pl);
           return;
         }
+        const std::uint64_t prg = peer->reset_gen;
         if (!peer->alive) {
           // Target died before the (possibly retransmitted) request landed:
           // NAK instead of silently dropping — the requester must not hang
@@ -958,16 +1029,18 @@ void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
               payloads_.Release(pl);
             };
         resp.on_failed =
-            [this, qp, peer, pl](sim::Nanos t, sim::MsgFailure why) {
+            [this, qp, peer, pl, rg, prg](sim::Nanos t, sim::MsgFailure why) {
               // The responder's flow died under the response: the READ must
               // still resolve on the requester CQ, and both ends of the
               // connection are now broken — except a responder mid-reset,
               // whose flow is being re-armed (not dying) and must stay
               // clear of the error latches the reset just dropped.
-              if (peer->alive && peer->state != QpState::kReset) {
+              if (peer->alive && peer->state != QpState::kReset &&
+                  peer->reset_gen == prg) {
                 peer->device->TransitionToError(peer);
               }
-              if (!qp->alive || qp->state == QpState::kReset) {
+              if (!qp->alive || qp->state == QpState::kReset ||
+                  qp->reset_gen != rg) {
                 payloads_.Release(pl);
                 return;
               }
@@ -978,16 +1051,150 @@ void RnicDevice::ReadOverTransport(WorkQueue& wq, QueuePair* qp,
                                        std::move(resp));
       };
   req.on_failed =
-      [this, qp, pl](sim::Nanos t, sim::MsgFailure why) {
+      [this, qp, pl, rg](sim::Nanos t, sim::MsgFailure why) {
         // A lost READ request exhausting its retries surfaces on the
         // requester CQ instead of waiting forever on the response flow. A
         // requester mid-reset flushes silently (see SendOverTransport).
-        if (!qp->alive || qp->state == QpState::kReset) {
+        if (!qp->alive || qp->state == QpState::kReset ||
+            qp->reset_gen != rg) {
           payloads_.Release(pl);
           return;
         }
         FailQpOverTransport(qp, pl->img, t, StatusOf(why));
         payloads_.Release(pl);
+      };
+  qp->transport->SendMessageEx(qp->flow, t_issue, kReadRequestBytes,
+                               std::move(req));
+}
+
+namespace {
+// Cross-shard READ bundle. The requester's Payload stays owned by the
+// request leg (released at its ACK or failure, always on the requester's
+// shard); everything the other legs need rides here instead. `bytes` is
+// written by the responder before the response send and read by the
+// requester at response delivery — the mailbox crossing orders the two.
+// `resolved` collapses the racing resolution paths (response delivery, NAK
+// hop, response-flow failure hop, request-flow failure) to exactly one CQE;
+// it is only ever touched on the requester's shard.
+struct ReadCtx {
+  WqeImage img{};
+  std::uint64_t slot = 0;
+  std::uint64_t len = 0;
+  std::vector<std::byte> bytes;
+  bool resolved = false;
+};
+}  // namespace
+
+void RnicDevice::ReadOverTransportSplit(WorkQueue& wq, QueuePair* qp,
+                                        QueuePair* peer, Payload* pl,
+                                        sim::Nanos t_issue, sim::Nanos ow) {
+  auto ctx = std::make_shared<ReadCtx>();
+  ctx->img = pl->img;
+  ctx->slot = pl->slot;
+  // Resolve the SGE table at issue, on the requester's shard: the table
+  // lives in requester memory, and reading it from the responder's shard
+  // (where the same-shard path resolves it, at request arrival) would race
+  // with requester-side chain rewrites.
+  ctx->len = ctx->img.length;
+  if (ctx->img.uses_sge_table()) {
+    SgeScratch sges;
+    ResolveSges(ctx->img, sges);
+    ctx->len = 0;
+    for (const Sge& sge : sges) ctx->len += sge.length;
+  }
+  const std::uint64_t rg = qp->reset_gen;
+  const int req_shard = sim_.shard();
+  sim::Transport::MessageOps req;
+  req.on_deliver =
+      [this, &wq, qp, peer, ctx, ow, rg, req_shard](sim::Nanos) {
+        // Runs on the responder's shard: liveness, protection, DMA capture,
+        // and the response send are all local; requester-side outcomes hop
+        // back through the mailbox (ow is exactly the pair's registered
+        // lookahead floor, so now + ow is always a legal crossing).
+        RnicDevice* rdev = peer->device;
+        sim::Simulator& dsim = rdev->sim_;
+        const sim::Nanos dnow = dsim.now();
+        if (!peer->alive) {
+          // NAK: constant-latency control message (see the same-shard path).
+          dsim.SendTo(req_shard, dnow + ow, [this, &wq, qp, ctx] {
+            if (ctx->resolved || !qp->alive) return;
+            ctx->resolved = true;
+            FailWr(wq, ctx->img, sim_.now(), WcStatus::kRemoteAccessError);
+          });
+          return;
+        }
+        const std::uint64_t prg = peer->reset_gen;
+        const WqeImage& img = ctx->img;
+        const std::uint64_t len = ctx->len;
+        const MemCheck mc =
+            rdev->pd_.CheckRemote(img.remote_addr, len, img.rkey, kRemoteRead,
+                                  &peer->remote_mr_cache);
+        if (mc != MemCheck::kOk) {
+          dsim.SendTo(req_shard, dnow + ow, [this, &wq, qp, ctx] {
+            if (ctx->resolved || !qp->alive) return;
+            ctx->resolved = true;
+            FailWr(wq, ctx->img, sim_.now(), WcStatus::kRemoteAccessError);
+          });
+          return;
+        }
+        // Data captured at the remote memory now (request delivery).
+        if (len > 0) dma::ReadAppend(ctx->bytes, img.remote_addr, len);
+        const sim::Nanos pcie_done = rdev->pcie_.Reserve(dnow, len);
+        const sim::Nanos mem_done = rdev->membw_.Reserve(dnow, len);
+        const sim::Nanos ready = std::max(
+            {dnow + ExecCost(Opcode::kRead) + rdev->HostDataDelay(len),
+             pcie_done, mem_done});
+        sim::Transport::MessageOps resp;
+        resp.on_deliver =
+            [this, &wq, qp, ctx](sim::Nanos) {
+              // Back on the requester's shard.
+              if (ctx->resolved || !qp->alive) return;
+              ctx->resolved = true;
+              WcStatus st = WcStatus::kSuccess;
+              if (!ScatterList(wq, ctx->slot, ctx->img, ctx->bytes.data(),
+                               ctx->bytes.size(), &st)) {
+                FailWr(wq, ctx->img, sim_.now(), st);
+                return;
+              }
+              CompleteWr(qp, qp->send_cq, ctx->img,
+                         sim_.now() + cal_.remote_ack_extra,
+                         WcStatus::kSuccess,
+                         static_cast<std::uint32_t>(ctx->bytes.size()));
+            };
+        resp.on_failed =
+            [this, qp, peer, ctx, ow, rg, prg, req_shard](
+                sim::Nanos t, sim::MsgFailure why) {
+              // Fires on the responder's shard (sender half of the response
+              // flow): error the responder locally, hop the requester CQE.
+              if (peer->alive && peer->state != QpState::kReset &&
+                  peer->reset_gen == prg) {
+                peer->device->TransitionToError(peer);
+              }
+              peer->device->sim_.SendTo(
+                  req_shard, t + ow, [this, qp, ctx, why, rg] {
+                    if (ctx->resolved || !qp->alive ||
+                        qp->state == QpState::kReset || qp->reset_gen != rg) {
+                      return;
+                    }
+                    ctx->resolved = true;
+                    FailQpOverTransport(qp, ctx->img, sim_.now(),
+                                        StatusOf(why));
+                  });
+            };
+        peer->transport->SendMessageEx(peer->flow, ready, len,
+                                       std::move(resp));
+      };
+  req.on_acked =
+      [this, pl](sim::Nanos) { payloads_.Release(pl); };
+  req.on_failed =
+      [this, qp, pl, ctx, rg](sim::Nanos t, sim::MsgFailure why) {
+        payloads_.Release(pl);
+        if (ctx->resolved || !qp->alive || qp->state == QpState::kReset ||
+            qp->reset_gen != rg) {
+          return;
+        }
+        ctx->resolved = true;
+        FailQpOverTransport(qp, ctx->img, t, StatusOf(why));
       };
   qp->transport->SendMessageEx(qp->flow, t_issue, kReadRequestBytes,
                                std::move(req));
@@ -1196,6 +1403,7 @@ void RnicDevice::ModifyQp(QueuePair* qp, QpState next) {
     case QpState::kReset: {
       const bool rearming = qp->state == QpState::kError;
       qp->state = QpState::kReset;
+      ++qp->reset_gen;
       // Drop the backlog (anything worth completing was flushed on the way
       // to ERROR; a reset from a healthy state discards silently, like
       // ibv_modify_qp →RESET). Progress counters stay monotonic.
@@ -1651,16 +1859,10 @@ void ConnectOverFabric(QueuePair* a, QueuePair* b) {
 }
 
 void ConnectOverTransport(QueuePair* a, QueuePair* b, sim::Transport& t) {
-  if (&a->device->sim() != &b->device->sim()) {
-    // A transport flow spans both endpoints' mutable state (the sender's
-    // window and the receiver's reassembly live in one Flow struct, the
-    // loss RNG draws in global event order) — it cannot straddle shards.
-    // Place both devices on the same shard, or use ConnectOverFabric,
-    // whose data paths split cleanly at the boundary. docs/PARSIM.md.
-    throw std::invalid_argument(
-        "ConnectOverTransport: endpoints on different shards — packetized "
-        "transport flows are shard-local (see docs/PARSIM.md)");
-  }
+  // Endpoints on different shards are fine: OpenFlow looks up each
+  // endpoint's EventDomain through the fabric and runs the flow split —
+  // SenderHalf on the source's shard, ReceiverHalf on the destination's,
+  // DATA/ACK as mailbox crossings (docs/NET.md "Split flows").
   ConnectOverFabric(a, b);
   assert(&t.fabric() == a->device->fabric(a->port) &&
          "transport must be built over the QPs' fabric");

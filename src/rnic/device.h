@@ -82,6 +82,13 @@ struct QueuePair {
   // RQ's depth. Counted per rnr_probe invocation, so each backoff retry of
   // one SEND consumes one — N models attempts, not distinct messages.
   int stall_recvs = 0;
+  // Bumped on every ModifyQp(kReset). Transport on_failed callbacks capture
+  // the value at message-send time: a mismatch means a reset (and possibly a
+  // re-arm) happened while the message was in flight, so the failure must
+  // flush silently instead of erroring the freshly re-armed QP. Same-shard
+  // flows flush synchronously inside the reset (state == kReset covers
+  // them); split flows flush at the fence echo, after the re-arm.
+  std::uint64_t reset_gen = 0;
 
   // WQ rate limiter (ibv_modify_qp_rate_limit analogue): minimum gap
   // between issued WQEs. 0 = unlimited.
@@ -361,6 +368,13 @@ class RnicDevice {
                          Payload* pl, Opcode op, sim::Nanos ready);
   void ReadOverTransport(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
                          Payload* pl, sim::Nanos t_issue, sim::Nanos ow);
+  // Cross-shard READ over a split transport flow: the request's on_deliver
+  // runs on the responder's shard, so every requester-side outcome (NAK,
+  // scatter, CQE, error latch) hops back through a SendTo mailbox message
+  // and the response data rides a shared bundle instead of the requester's
+  // Payload (which stays owned by the request leg on the requester's shard).
+  void ReadOverTransportSplit(WorkQueue& wq, QueuePair* qp, QueuePair* peer,
+                              Payload* pl, sim::Nanos t_issue, sim::Nanos ow);
   // True when the peer's device schedules on a different event domain
   // (shard). The devices' domains are fixed at construction, so this is a
   // pure pointer compare — safe from any shard's thread.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace redn::sim {
 
@@ -15,6 +16,36 @@ constexpr std::uint32_t kMaxBackoffShift = 10;
 constexpr std::size_t kMaxSackRanges = 8;
 }  // namespace
 
+TransportCounters& TransportCounters::operator+=(const TransportCounters& o) {
+  messages_sent += o.messages_sent;
+  messages_delivered += o.messages_delivered;
+  messages_acked += o.messages_acked;
+  messages_failed += o.messages_failed;
+  payload_bytes_delivered += o.payload_bytes_delivered;
+  wire_bytes_sent += o.wire_bytes_sent;
+  data_packets += o.data_packets;
+  retransmits += o.retransmits;
+  sack_retransmits += o.sack_retransmits;
+  timeouts += o.timeouts;
+  rto_fires += o.rto_fires;
+  spurious_retransmits += o.spurious_retransmits;
+  nak_gobacks += o.nak_gobacks;
+  dropped_tx += o.dropped_tx;
+  dropped_rx += o.dropped_rx;
+  corrupted += o.corrupted;
+  duplicates += o.duplicates;
+  out_of_order += o.out_of_order;
+  acks_sent += o.acks_sent;
+  acks_dropped += o.acks_dropped;
+  sacks_sent += o.sacks_sent;
+  rnr_naks += o.rnr_naks;
+  rnr_backoffs += o.rnr_backoffs;
+  retry_exhausted += o.retry_exhausted;
+  rnr_exhausted += o.rnr_exhausted;
+  flow_resets += o.flow_resets;
+  return *this;
+}
+
 Transport::Transport(Simulator& sim, Fabric& fabric, TransportConfig cfg)
     : sim_(sim),
       fabric_(fabric),
@@ -25,23 +56,107 @@ Transport::Transport(Simulator& sim, Fabric& fabric, TransportConfig cfg)
   assert(cfg_.window > 0 && "window must be positive");
 }
 
+TransportCounters Transport::counters() const {
+  // Walks every half, including ones owned by foreign shards: legal only
+  // outside rounds, or mid-round when no flow is split (then every half
+  // lives on the home domain and the caller IS the home domain).
+  assert((EventDomain::Current() == nullptr ||
+          (!any_split_ && EventDomain::Current() == &sim_)) &&
+         "aggregate counters read every shard's halves; call between runs");
+  TransportCounters total;
+  for (const auto& f : flows_) {
+    total += f->snd.ctr;
+    total += f->rcv.ctr;
+  }
+  return total;
+}
+
+TransportCounters Transport::FlowCounters(int flow) const {
+  const Flow& f = *flows_[static_cast<std::size_t>(flow)];
+  assert((EventDomain::Current() == nullptr ||
+          (EventDomain::Current() == f.sdom &&
+           EventDomain::Current() == f.ddom)) &&
+         "a split flow's counters span two shards; snapshot between runs");
+  TransportCounters total = f.snd.ctr;
+  total += f.rcv.ctr;
+  return total;
+}
+
+std::uint64_t Transport::FlowSeed(int flow, int side) const {
+  // splitmix64-style finalizer over (config seed, flow id, half): two
+  // decorrelated streams per split flow whose draw order depends only on
+  // that half's own packet events — never on global event interleaving.
+  std::uint64_t z =
+      cfg_.seed ^ (0x9e3779b97f4a7c15ULL *
+                   (static_cast<std::uint64_t>(flow) * 2 +
+                    static_cast<std::uint64_t>(side) + 1));
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+void Transport::EnsureLinkTables() {
+  const std::size_t n = fabric_.endpoint_count();
+  if (faults_.size() < n) {
+    assert(EventDomain::Current() == nullptr &&
+           "link tables grow only outside sharded rounds");
+    faults_.resize(n, default_fault_);
+  }
+  if (delays_.size() < n) {
+    assert(EventDomain::Current() == nullptr &&
+           "link tables grow only outside sharded rounds");
+    delays_.resize(n, 0);
+  }
+}
+
 int Transport::OpenFlow(int src_ep, int dst_ep) {
-  flows_.push_back(std::make_unique<Flow>());
-  Flow& f = *flows_.back();
+  // Growing the table mid-round is legal only with ReserveFlows headroom:
+  // a reallocation would move the vector's storage out from under foreign
+  // shards resolving their own flow ids concurrently.
+  assert((EventDomain::Current() == nullptr ||
+          flows_.size() < flows_.capacity()) &&
+         "mid-round OpenFlow without ReserveFlows headroom");
+  auto fl = std::make_unique<Flow>();
+  Flow& f = *fl;
+  f.id = static_cast<int>(flows_.size());
   f.src = src_ep;
   f.dst = dst_ep;
-  return static_cast<int>(flows_.size()) - 1;
+  f.sdom = DomainOf(src_ep);
+  f.ddom = DomainOf(dst_ep);
+  // Legacy iff both halves advance on the home domain; anything else
+  // (either half foreign, even when both share one foreign domain) runs
+  // the split protocol with per-flow randomness.
+  f.split = !(f.sdom == &sim_ && f.ddom == &sim_);
+  if (f.split) {
+    any_split_ = true;
+    f.snd.rng = Rng(FlowSeed(f.id, 0));
+    f.rcv.rng = Rng(FlowSeed(f.id, 1));
+  }
+  // Size the per-endpoint fault/delay tables now, while single-threaded:
+  // mid-round SetLinkFaults/SetLinkDelay then writes its own slot in place.
+  EnsureLinkTables();
+  flows_.push_back(std::move(fl));
+  return f.id;
 }
 
 void Transport::SetLinkFaults(int ep, double loss, double corrupt) {
+  AssertOn(DomainOf(ep));
   if (faults_.size() <= static_cast<std::size_t>(ep)) {
+    assert(EventDomain::Current() == nullptr &&
+           "link tables grow only outside sharded rounds");
     faults_.resize(static_cast<std::size_t>(ep) + 1, default_fault_);
   }
   faults_[static_cast<std::size_t>(ep)] = LinkFault{loss, corrupt};
 }
 
 void Transport::SetLinkDelay(int ep, Nanos extra) {
+  AssertOn(DomainOf(ep));
   if (delays_.size() <= static_cast<std::size_t>(ep)) {
+    assert(EventDomain::Current() == nullptr &&
+           "link tables grow only outside sharded rounds");
     delays_.resize(static_cast<std::size_t>(ep) + 1, 0);
   }
   delays_[static_cast<std::size_t>(ep)] = extra;
@@ -63,17 +178,17 @@ Transport::PacketView Transport::PacketOf(const Flow& f,
   // Linear from the front: the deque holds only unacked messages and
   // the sender never transmits below base, so the walk is bounded by the
   // window's message count.
-  for (const Message& m : f.msgs) {
+  for (const Message& m : f.snd.msgs) {
     if (psn <= m.last_psn) {
       const std::uint64_t off = (psn - m.first_psn) *
                                 static_cast<std::uint64_t>(cfg_.mtu);
       const std::uint64_t rem = m.len > off ? m.len - off : 0;
       const std::uint64_t take = rem < cfg_.mtu ? rem : cfg_.mtu;
-      return PacketView{static_cast<std::uint32_t>(take), m.ready};
+      return PacketView{static_cast<std::uint32_t>(take), m.ready, &m};
     }
   }
   assert(false && "psn not covered by any queued message");
-  return PacketView{0, 0};
+  return PacketView{0, 0, nullptr};
 }
 
 void Transport::SendMessage(int flow, Nanos t, std::uint64_t bytes,
@@ -87,116 +202,183 @@ void Transport::SendMessage(int flow, Nanos t, std::uint64_t bytes,
 void Transport::SendMessageEx(int flow, Nanos t, std::uint64_t bytes,
                               MessageOps ops) {
   Flow& f = *flows_[static_cast<std::size_t>(flow)];
-  ++counters_.messages_sent;
-  if (f.error) {
+  AssertOn(f.sdom);
+  SenderHalf& s = f.snd;
+  ++s.ctr.messages_sent;
+  if (s.error) {
     // The flow's budget already died: fail fast (asynchronously, so the
     // caller never re-enters itself) instead of queueing into a void.
-    ++counters_.messages_failed;
+    ++s.ctr.messages_failed;
     if (ops.on_failed) {
-      sim_.At(sim_.now(), [this, cb = std::move(ops.on_failed)] {
-        cb(sim_.now(), MsgFailure::kFlushed);
+      f.sdom->At(SNow(f), [this, fp = &f, cb = std::move(ops.on_failed)] {
+        cb(SNow(*fp), MsgFailure::kFlushed);
       });
     }
     return;
   }
-  if (t < sim_.now()) t = sim_.now();
+  if (t < SNow(f)) t = SNow(f);
   const std::uint64_t segs =
       bytes == 0 ? 1 : (bytes + cfg_.mtu - 1) / cfg_.mtu;
   Message m;
   m.len = bytes;
   m.ready = t;
-  m.first_psn = f.next_psn;
-  m.last_psn = f.next_psn + segs - 1;
-  m.ops = std::move(ops);
-  const bool was_idle = f.base == f.next_psn;
-  f.next_psn += segs;
-  f.msgs.push_back(std::move(m));
-  if (!f.rnr_paused) TrySend(f);
+  m.first_psn = s.next_psn;
+  m.last_psn = s.next_psn + segs - 1;
+  m.on_acked = std::move(ops.on_acked);
+  m.on_failed = std::move(ops.on_failed);
+  m.desc = std::make_shared<RxDesc>();
+  m.desc->len = bytes;
+  m.desc->first_psn = m.first_psn;
+  m.desc->last_psn = m.last_psn;
+  m.desc->rnr_probe = std::move(ops.rnr_probe);
+  m.desc->on_deliver = std::move(ops.on_deliver);
+  if (!f.split) {
+    // Same thread as the receiver half: file the delivery descriptor
+    // directly. Split flows ship it with every DATA packet instead.
+    f.rcv.rx_msgs.emplace(m.first_psn, m.desc);
+  }
+  const bool was_idle = s.base == s.next_psn;
+  s.next_psn += segs;
+  s.msgs.push_back(std::move(m));
+  if (!s.rnr_paused) TrySend(f);
   // Only an idle->busy transition arms the timer: re-arming on every
   // enqueue would let a steady message stream postpone the RTO forever
   // while the base PSN sits unacked.
-  if (was_idle && !f.rnr_paused) ArmRto(f);
+  if (was_idle && !s.rnr_paused) ArmRto(f);
 }
 
 void Transport::TrySend(Flow& f) {
-  const std::uint64_t limit = f.base + cfg_.window;
-  while (f.send_cursor < f.next_psn && f.send_cursor < limit) {
-    SendPacket(f, f.send_cursor, PacketOf(f, f.send_cursor));
-    ++f.send_cursor;
+  SenderHalf& s = f.snd;
+  const std::uint64_t limit = s.base + cfg_.window;
+  while (s.send_cursor < s.next_psn && s.send_cursor < limit) {
+    SendPacket(f, s.send_cursor, PacketOf(f, s.send_cursor));
+    ++s.send_cursor;
   }
 }
 
 void Transport::SendPacket(Flow& f, std::uint64_t psn, const PacketView& p) {
-  const Nanos t = p.ready > sim_.now() ? p.ready : sim_.now();
+  SenderHalf& s = f.snd;
+  const Nanos t = p.ready > SNow(f) ? p.ready : SNow(f);
   const std::uint64_t wire = p.bytes + cfg_.header_bytes;
-  if (psn < f.high_water) {
-    ++counters_.retransmits;
+  if (psn < s.high_water) {
+    ++s.ctr.retransmits;
   } else {
-    ++counters_.data_packets;
-    f.high_water = psn + 1;
+    ++s.ctr.data_packets;
+    s.high_water = psn + 1;
   }
-  counters_.wire_bytes_sent += wire;
+  s.ctr.wire_bytes_sent += wire;
   // The packet serializes out of the sender's pipe whether or not anything
   // downstream eats it; losses only decide how far along the path the
   // bytes billed.
   const Nanos tx_done = fabric_.ReserveTx(f.src, t, wire);
-  if (TakeForced(&force_drop_data_) || Lost(FaultAt(f.src).loss)) {
-    ++counters_.dropped_tx;
+  if (TakeForced(&force_drop_data_) ||
+      Draw(SndRng(f), FaultAt(f.src).loss)) {
+    ++s.ctr.dropped_tx;
     return;
   }
-  const Nanos at_dst = tx_done + fabric_.OneWay(f.src, f.dst) +
-                       DelayAt(f.src) + DelayAt(f.dst);
+  if (!f.split) {
+    const Nanos at_dst = tx_done + fabric_.OneWay(f.src, f.dst) +
+                         DelayAt(f.src) + DelayAt(f.dst);
+    const Nanos arrive = fabric_.ReserveRx(f.dst, at_dst, wire);
+    if (Draw(RcvRng(f), FaultAt(f.dst).loss)) {
+      ++f.rcv.ctr.dropped_rx;
+      return;
+    }
+    if (Draw(SndRng(f), FaultAt(f.src).corrupt) ||
+        Draw(RcvRng(f), FaultAt(f.dst).corrupt)) {
+      // Bad ICRC at the receiver: silently discarded, exactly like a loss
+      // except the bytes crossed the whole path first.
+      ++f.rcv.ctr.corrupted;
+      return;
+    }
+    sim_.At(arrive, [this, fp = &f, psn, gen = s.gen] {
+      if (gen != fp->rcv.gen) return;  // a reset/failure outlived this packet
+      OnData(*fp, psn);
+    });
+    return;
+  }
+  // Split flow: the sender's half of the wire crossing ends here. The
+  // src-side corruption draw happens now (its RNG lives on this shard);
+  // the verdict rides the DATA message, and the receiver finishes the path
+  // (its own delay, RX reservation, ingress loss/corruption) over there.
+  // OneWay(src,dst) >= the coordinator's lookahead for any cross-shard
+  // endpoint pair — the pair registered that floor at Attach — so the
+  // mailbox send is always legal.
+  const bool src_corrupt = Draw(SndRng(f), FaultAt(f.src).corrupt);
+  const Nanos due = tx_done + fabric_.OneWay(f.src, f.dst) + DelayAt(f.src);
+  f.sdom->SendTo(
+      f.ddom->shard(), due,
+      [this, fp = &f, psn, wire, gen = s.gen, src_corrupt,
+       desc = p.msg->desc]() mutable {
+        OnDataMail(*fp, psn, wire, gen, src_corrupt, std::move(desc));
+      });
+}
+
+void Transport::OnDataMail(Flow& f, std::uint64_t psn, std::uint64_t wire,
+                           std::uint64_t gen, bool src_corrupt,
+                           std::shared_ptr<RxDesc> desc) {
+  ReceiverHalf& r = f.rcv;
+  if (gen < r.gen) return;  // a dead incarnation's packet; never bill it
+  if (gen > r.gen) {
+    // DATA of a newer life overtook its reset fence: restart now.
+    AdoptGen(f, gen);
+  }
+  const Nanos at_dst = DNow(f) + DelayAt(f.dst);
   const Nanos arrive = fabric_.ReserveRx(f.dst, at_dst, wire);
-  if (Lost(FaultAt(f.dst).loss)) {
-    ++counters_.dropped_rx;
+  if (Draw(RcvRng(f), FaultAt(f.dst).loss)) {
+    ++r.ctr.dropped_rx;
     return;
   }
-  if (Lost(FaultAt(f.src).corrupt) || Lost(FaultAt(f.dst).corrupt)) {
-    // Bad ICRC at the receiver: silently discarded, exactly like a loss
-    // except the bytes crossed the whole path first.
-    ++counters_.corrupted;
+  if (src_corrupt || Draw(RcvRng(f), FaultAt(f.dst).corrupt)) {
+    ++r.ctr.corrupted;
     return;
   }
-  sim_.At(arrive, [this, fp = &f, psn, gen = f.gen] {
-    if (gen != fp->gen) return;  // a reset/failure outlived this packet
+  if (desc && desc->last_psn >= r.expected) {
+    // Idempotent: the descriptor rides every packet of the message, and
+    // `expected` filters re-filing anything already delivered.
+    r.rx_msgs.emplace(desc->first_psn, std::move(desc));
+  }
+  f.ddom->At(arrive, [this, fp = &f, psn, gen] {
+    if (gen != fp->rcv.gen) return;
     OnData(*fp, psn);
   });
 }
 
 void Transport::OnData(Flow& f, std::uint64_t psn) {
-  if (f.error) return;
-  if (psn == f.expected) {
-    ++f.expected;
+  ReceiverHalf& r = f.rcv;
+  if (!f.split && f.snd.error) return;
+  if (psn == r.expected) {
+    ++r.expected;
     if (Sr()) {
       // Drain the reassembly window: contiguous held packets are as good
       // as arrived now.
-      auto it = f.rx_ooo.begin();
-      while (it != f.rx_ooo.end() && *it == f.expected) {
-        it = f.rx_ooo.erase(it);
-        ++f.expected;
+      auto it = r.rx_ooo.begin();
+      while (it != r.rx_ooo.end() && *it == r.expected) {
+        it = r.rx_ooo.erase(it);
+        ++r.expected;
       }
     }
     bool boundary = false;
     const bool ready = DeliverReady(f, &boundary);
-    ++f.rx_unacked;
+    ++r.rx_unacked;
     if (!ready) {
       // An rnr_probe rejected the head message: expected has been rewound
       // to its first PSN; tell the sender to back off and retry.
       SendAck(f, AckKind::kRnr);
       return;
     }
-    if (boundary || f.rx_unacked >= cfg_.ack_every) {
+    if (boundary || r.rx_unacked >= cfg_.ack_every) {
       SendAck(f, AckKind::kAck);
     } else {
       ArmAckTimer(f);
     }
-  } else if (psn > f.expected) {
-    ++counters_.out_of_order;
+  } else if (psn > r.expected) {
+    ++r.ctr.out_of_order;
     if (Sr()) {
-      if (!f.rx_ooo.insert(psn).second) {
+      if (!r.rx_ooo.insert(psn).second) {
         // Already held: the sender resent something we have.
-        ++counters_.duplicates;
-        ++counters_.spurious_retransmits;
+        ++r.ctr.duplicates;
+        ++r.ctr.spurious_retransmits;
       }
       // Either way the ACK carries the current missing ranges, so the
       // sender learns exactly which holes remain.
@@ -210,46 +392,49 @@ void Transport::OnData(Flow& f, std::uint64_t psn) {
     // Duplicate from a spurious retransmit (e.g. an eaten ACK): discard —
     // this filter is what guarantees single delivery — and re-ACK so the
     // sender's base can advance.
-    ++counters_.duplicates;
-    ++counters_.spurious_retransmits;
+    ++r.ctr.duplicates;
+    ++r.ctr.spurious_retransmits;
     SendAck(f, AckKind::kAck);
   }
 }
 
 bool Transport::DeliverReady(Flow& f, bool* boundary) {
-  while (f.delivered < f.msgs.size()) {
-    // Deque references stay valid across push_back, so a callback that
-    // queues a response on this same flow cannot invalidate `m`.
-    Message& m = f.msgs[f.delivered];
-    if (m.last_psn >= f.expected) break;
-    if (cfg_.rnr_retry_count > 0 && m.ops.rnr_probe &&
-        !m.ops.rnr_probe(sim_.now())) {
+  ReceiverHalf& r = f.rcv;
+  auto it = r.rx_msgs.begin();
+  while (it != r.rx_msgs.end()) {
+    RxDesc& d = *it->second;
+    if (d.last_psn >= r.expected) break;
+    if (cfg_.rnr_retry_count > 0 && d.rnr_probe && !d.rnr_probe(DNow(f))) {
       // Receiver not ready (no RECV posted): rewind to the message start.
       // Selective repeat re-holds what already arrived past the first
       // packet; go-back-N discards it — the sender rewinds anyway.
-      const std::uint64_t arrived_to = f.expected;
-      f.expected = m.first_psn;
+      const std::uint64_t arrived_to = r.expected;
+      r.expected = d.first_psn;
       if (Sr()) {
-        for (std::uint64_t p = m.first_psn + 1; p < arrived_to; ++p) {
-          f.rx_ooo.insert(p);
+        for (std::uint64_t p = d.first_psn + 1; p < arrived_to; ++p) {
+          r.rx_ooo.insert(p);
         }
       }
-      ++counters_.rnr_naks;
+      ++r.ctr.rnr_naks;
       return false;
     }
-    ++f.delivered;
-    ++counters_.messages_delivered;
-    counters_.payload_bytes_delivered += m.len;
+    ++r.ctr.messages_delivered;
+    r.ctr.payload_bytes_delivered += d.len;
     *boundary = true;
-    if (m.ops.on_deliver) m.ops.on_deliver(sim_.now());
+    // Erase before the callback (keeping the descriptor alive through it):
+    // map iterators survive inserts a delivery callback might make, and a
+    // delivered message can never be re-filed — `expected` is past it.
+    std::shared_ptr<RxDesc> keep = std::move(it->second);
+    it = r.rx_msgs.erase(it);
+    if (keep->on_deliver) keep->on_deliver(DNow(f));
   }
   return true;
 }
 
 Transport::SackRanges Transport::MissingRanges(const Flow& f) const {
   SackRanges r;
-  std::uint64_t need = f.expected;
-  for (const std::uint64_t psn : f.rx_ooo) {
+  std::uint64_t need = f.rcv.expected;
+  for (const std::uint64_t psn : f.rcv.rx_ooo) {
     if (psn > need) {
       if (r.size() == kMaxSackRanges) break;
       r.push_back({need, psn - 1});
@@ -260,41 +445,73 @@ Transport::SackRanges Transport::MissingRanges(const Flow& f) const {
 }
 
 void Transport::SendAck(Flow& f, AckKind kind) {
-  f.rx_unacked = 0;
-  ++f.ack_epoch;  // cancels any pending delayed ACK
-  ++counters_.acks_sent;
+  ReceiverHalf& r = f.rcv;
+  r.rx_unacked = 0;
+  ++r.ack_epoch;  // cancels any pending delayed ACK
+  ++r.ctr.acks_sent;
   SackRanges ranges;
   std::uint64_t high = 0;
-  if (Sr() && !f.rx_ooo.empty()) {
+  if (Sr() && !r.rx_ooo.empty()) {
     ranges = MissingRanges(f);
     if (!ranges.empty()) {
-      ++counters_.sacks_sent;
+      ++r.ctr.sacks_sent;
       // Everything in [upto, high] not named missing is known-received at
       // the sender. When the range cap truncated the report, high clamps
       // to the last reported hole so unreported holes are not mis-learned.
       high = ranges.size() == kMaxSackRanges ? ranges.back().second
-                                             : *f.rx_ooo.rbegin();
+                                             : *r.rx_ooo.rbegin();
     }
   }
   const std::uint64_t wire =
       cfg_.ack_bytes + ranges.size() * cfg_.sack_range_bytes;
-  counters_.wire_bytes_sent += wire;
-  const std::uint64_t upto = f.expected;
-  const Nanos tx_done = fabric_.ReserveTx(f.dst, sim_.now(), wire);
-  if (TakeForced(&force_drop_acks_) || Lost(FaultAt(f.dst).loss)) {
-    ++counters_.acks_dropped;
+  r.ctr.wire_bytes_sent += wire;
+  const std::uint64_t upto = r.expected;
+  const Nanos tx_done = fabric_.ReserveTx(f.dst, DNow(f), wire);
+  if (TakeForced(&force_drop_acks_) ||
+      Draw(RcvRng(f), FaultAt(f.dst).loss)) {
+    ++r.ctr.acks_dropped;
     return;
   }
-  const Nanos at_src = tx_done + fabric_.OneWay(f.dst, f.src) +
-                       DelayAt(f.dst) + DelayAt(f.src);
+  if (!f.split) {
+    const Nanos at_src = tx_done + fabric_.OneWay(f.dst, f.src) +
+                         DelayAt(f.dst) + DelayAt(f.src);
+    const Nanos arrive = fabric_.ReserveRx(f.src, at_src, wire);
+    if (Draw(SndRng(f), FaultAt(f.src).loss)) {
+      ++f.snd.ctr.acks_dropped;
+      return;
+    }
+    sim_.At(arrive, [this, fp = &f, upto, kind, gen = r.gen, high,
+                     ranges = std::move(ranges)] {
+      if (gen != fp->snd.gen) return;
+      OnAck(*fp, upto, kind, high, ranges);
+    });
+    return;
+  }
+  // Split flow: the ACK rides the mailbox back to the sender's shard,
+  // which finishes the reverse path (src delay, RX reservation, ingress
+  // loss) with its own RNG stream.
+  const Nanos due = tx_done + fabric_.OneWay(f.dst, f.src) + DelayAt(f.dst);
+  f.ddom->SendTo(f.sdom->shard(), due,
+                 [this, fp = &f, upto, kind, high, wire, gen = r.gen,
+                  ranges = std::move(ranges)]() mutable {
+                   OnAckMail(*fp, upto, kind, high, std::move(ranges), wire,
+                             gen);
+                 });
+}
+
+void Transport::OnAckMail(Flow& f, std::uint64_t upto, AckKind kind,
+                          std::uint64_t high, SackRanges ranges,
+                          std::uint64_t wire, std::uint64_t gen) {
+  SenderHalf& s = f.snd;
+  const Nanos at_src = SNow(f) + DelayAt(f.src);
   const Nanos arrive = fabric_.ReserveRx(f.src, at_src, wire);
-  if (Lost(FaultAt(f.src).loss)) {
-    ++counters_.acks_dropped;
+  if (Draw(SndRng(f), FaultAt(f.src).loss)) {
+    ++s.ctr.acks_dropped;
     return;
   }
-  sim_.At(arrive, [this, fp = &f, upto, kind, gen = f.gen,
-                   high, ranges = std::move(ranges)] {
-    if (gen != fp->gen) return;
+  f.sdom->At(arrive, [this, fp = &f, upto, kind, high,
+                      ranges = std::move(ranges), gen] {
+    if (gen != fp->snd.gen) return;  // echo of a dead incarnation
     OnAck(*fp, upto, kind, high, ranges);
   });
 }
@@ -302,28 +519,30 @@ void Transport::SendAck(Flow& f, AckKind kind) {
 void Transport::MarkKnownReceived(Flow& f, std::uint64_t upto,
                                   std::uint64_t high,
                                   const SackRanges& ranges) {
+  SenderHalf& s = f.snd;
   if (!Sr() || ranges.empty()) return;
   std::size_t ri = 0;
-  for (std::uint64_t psn = std::max(upto, f.base); psn <= high; ++psn) {
+  for (std::uint64_t psn = std::max(upto, s.base); psn <= high; ++psn) {
     while (ri < ranges.size() && psn > ranges[ri].second) ++ri;
     const bool missing = ri < ranges.size() && psn >= ranges[ri].first &&
                          psn <= ranges[ri].second;
-    if (!missing) f.known_received.insert(psn);
+    if (!missing) s.known_received.insert(psn);
   }
 }
 
 int Transport::SackRetransmit(Flow& f, const SackRanges& ranges) {
+  SenderHalf& s = f.snd;
   int resent = 0;
   for (const auto& [first, last] : ranges) {
-    const std::uint64_t lo = std::max(first, f.base);
-    const std::uint64_t hi = std::min(last + 1, f.high_water);
+    const std::uint64_t lo = std::max(first, s.base);
+    const std::uint64_t hi = std::min(last + 1, s.high_water);
     for (std::uint64_t psn = lo; psn < hi; ++psn) {
-      if (f.known_received.count(psn) != 0) continue;
+      if (s.known_received.count(psn) != 0) continue;
       // Once per loss event: a hole named by several SACKs (every arrival
       // behind it generates one) is resent on the first report only; the
       // RTO clears the set and covers a lost retransmission.
-      if (!f.retx_outstanding.insert(psn).second) continue;
-      ++counters_.sack_retransmits;
+      if (!s.retx_outstanding.insert(psn).second) continue;
+      ++s.ctr.sack_retransmits;
       SendPacket(f, psn, PacketOf(f, psn));
       ++resent;
     }
@@ -333,31 +552,31 @@ int Transport::SackRetransmit(Flow& f, const SackRanges& ranges) {
 
 void Transport::OnAck(Flow& f, std::uint64_t upto, AckKind kind,
                       std::uint64_t high, const SackRanges& ranges) {
-  if (f.error) return;
+  SenderHalf& s = f.snd;
+  if (s.error) return;
   bool progressed = false;
-  if (upto > f.base) {
+  if (upto > s.base) {
     progressed = true;
-    f.base = upto;
-    f.goback_armed = false;
+    s.base = upto;
+    s.goback_armed = false;
     // Cumulative progress proves the path and the peer are alive: both
     // backoff ladders restart.
-    f.consec_rtos = 0;
-    f.rnr_attempts = 0;
-    while (!f.msgs.empty() && f.msgs.front().last_psn < f.base) {
+    s.consec_rtos = 0;
+    s.rnr_attempts = 0;
+    while (!s.msgs.empty() && s.msgs.front().last_psn < s.base) {
       // A cumulative ACK past last_psn implies the receiver delivered the
-      // message, so `delivered` always covers the popped entry.
-      Message m = std::move(f.msgs.front());
-      f.msgs.pop_front();
-      --f.delivered;
-      ++counters_.messages_acked;
-      if (m.ops.on_acked) m.ops.on_acked(sim_.now());
+      // message (delivery precedes every ACK that covers it).
+      Message m = std::move(s.msgs.front());
+      s.msgs.pop_front();
+      ++s.ctr.messages_acked;
+      if (m.on_acked) m.on_acked(SNow(f));
     }
-    if (f.send_cursor < f.base) f.send_cursor = f.base;
+    if (s.send_cursor < s.base) s.send_cursor = s.base;
     if (Sr()) {
-      f.known_received.erase(f.known_received.begin(),
-                             f.known_received.lower_bound(f.base));
-      f.retx_outstanding.erase(f.retx_outstanding.begin(),
-                               f.retx_outstanding.lower_bound(f.base));
+      s.known_received.erase(s.known_received.begin(),
+                             s.known_received.lower_bound(s.base));
+      s.retx_outstanding.erase(s.retx_outstanding.begin(),
+                               s.retx_outstanding.lower_bound(s.base));
     }
   }
   if (kind == AckKind::kRnr) {
@@ -369,27 +588,27 @@ void Transport::OnAck(Flow& f, std::uint64_t upto, AckKind kind,
     // forever on packets the sender believes are acked. Nothing needs
     // un-popping: base never passes the blocked message's last PSN, so the
     // message (and everything behind it) is still queued.
-    if (upto < f.base) f.base = upto;
+    if (upto < s.base) s.base = upto;
     // Recorded even for deduped burst NAKs: their SACK ranges still teach
     // us what the receiver holds, so the resume resends only true holes.
     MarkKnownReceived(f, upto, high, ranges);
-    if (f.rnr_attempts >= 1 && f.rnr_paused) return;  // NAK burst: one pause
-    ++f.rnr_attempts;
+    if (s.rnr_attempts >= 1 && s.rnr_paused) return;  // NAK burst: one pause
+    ++s.rnr_attempts;
     if (cfg_.rnr_retry_count > 0 &&
-        f.rnr_attempts > cfg_.rnr_retry_count) {
+        s.rnr_attempts > cfg_.rnr_retry_count) {
       FailFlow(f, MsgFailure::kRnrRetryExceeded);
       return;
     }
-    ++counters_.rnr_backoffs;
-    f.rnr_paused = true;
-    ++f.rto_epoch;  // the backoff owns the clock; silence the RTO
-    sim_.After(RnrDelay(f.rnr_attempts), [this, fp = &f, gen = f.gen] {
-      if (gen != fp->gen) return;
+    ++s.ctr.rnr_backoffs;
+    s.rnr_paused = true;
+    ++s.rto_epoch;  // the backoff owns the clock; silence the RTO
+    f.sdom->After(RnrDelay(s.rnr_attempts), [this, fp = &f, gen = s.gen] {
+      if (gen != fp->snd.gen) return;
       OnRnrResume(*fp);
     });
     return;
   }
-  if (f.rnr_paused) {
+  if (s.rnr_paused) {
     // Stragglers during the backoff still teach us what arrived, but the
     // resume event owns all transmission.
     MarkKnownReceived(f, upto, high, ranges);
@@ -407,14 +626,14 @@ void Transport::OnAck(Flow& f, std::uint64_t upto, AckKind kind,
   // forward (sending fresh packets the gapped receiver would only discard)
   // and rewind afterwards — that would transmit every post-gap packet
   // twice.
-  if (kind == AckKind::kNak && upto == f.base && f.base < f.next_psn &&
-      !f.goback_armed) {
+  if (kind == AckKind::kNak && upto == s.base && s.base < s.next_psn &&
+      !s.goback_armed) {
     // The receiver reported a gap at our current base: rewind once per
     // loss event (repeated NAKs for the same gap are already answered by
     // the retransmission in flight).
-    f.goback_armed = true;
-    ++counters_.nak_gobacks;
-    f.send_cursor = f.base;
+    s.goback_armed = true;
+    ++s.ctr.nak_gobacks;
+    s.send_cursor = s.base;
     TrySend(f);
     ArmRto(f);
   } else if (progressed) {
@@ -425,76 +644,83 @@ void Transport::OnAck(Flow& f, std::uint64_t upto, AckKind kind,
 }
 
 void Transport::RetransmitMissing(Flow& f) {
-  const std::uint64_t hi = std::min(f.high_water, f.base + cfg_.window);
-  for (std::uint64_t psn = f.base; psn < hi; ++psn) {
-    if (f.known_received.count(psn) != 0) continue;
+  SenderHalf& s = f.snd;
+  const std::uint64_t hi = std::min(s.high_water, s.base + cfg_.window);
+  for (std::uint64_t psn = s.base; psn < hi; ++psn) {
+    if (s.known_received.count(psn) != 0) continue;
     SendPacket(f, psn, PacketOf(f, psn));
   }
 }
 
 void Transport::ArmRto(Flow& f) {
-  const std::uint64_t epoch = ++f.rto_epoch;  // supersede any pending timer
-  if (f.base == f.next_psn || f.error) return;  // nothing outstanding
+  SenderHalf& s = f.snd;
+  const std::uint64_t epoch = ++s.rto_epoch;  // supersede any pending timer
+  if (s.base == s.next_psn || s.error) return;  // nothing outstanding
   // Consecutive timeouts on one base PSN double the interval: a feedback
   // loop with a fixed period and a lossy channel otherwise retransmits in
   // lockstep with whatever is eating the packets.
-  const std::uint32_t shift = std::min(f.consec_rtos, kMaxBackoffShift);
-  sim_.After(BaseRto() << shift, [this, fp = &f, epoch] {
-    if (epoch != fp->rto_epoch) return;
+  const std::uint32_t shift = std::min(s.consec_rtos, kMaxBackoffShift);
+  f.sdom->After(BaseRto() << shift, [this, fp = &f, epoch] {
+    if (epoch != fp->snd.rto_epoch) return;
     OnRto(*fp);
   });
 }
 
 void Transport::OnRto(Flow& f) {
-  if (f.error || f.rnr_paused) return;
-  if (f.base == f.next_psn) return;
-  ++counters_.rto_fires;
-  ++f.consec_rtos;
-  if (cfg_.retry_count > 0 && f.consec_rtos > cfg_.retry_count) {
+  SenderHalf& s = f.snd;
+  if (s.error || s.rnr_paused) return;
+  if (s.base == s.next_psn) return;
+  ++s.ctr.rto_fires;
+  ++s.consec_rtos;
+  if (cfg_.retry_count > 0 && s.consec_rtos > cfg_.retry_count) {
     FailFlow(f, MsgFailure::kRetryExceeded);
     return;
   }
-  ++counters_.timeouts;
-  f.goback_armed = false;
+  ++s.ctr.timeouts;
+  s.goback_armed = false;
   if (Sr()) {
     // The timeout invalidates what we thought was in flight: every hole
     // may be resent again on the next SACK.
-    f.retx_outstanding.clear();
+    s.retx_outstanding.clear();
     RetransmitMissing(f);
   } else {
-    f.send_cursor = f.base;
+    s.send_cursor = s.base;
     TrySend(f);
   }
   ArmRto(f);
 }
 
 void Transport::OnRnrResume(Flow& f) {
-  if (f.error || !f.rnr_paused) return;
-  f.rnr_paused = false;
-  if (f.base == f.next_psn) return;  // acked away during the pause
+  SenderHalf& s = f.snd;
+  if (s.error || !s.rnr_paused) return;
+  s.rnr_paused = false;
+  if (s.base == s.next_psn) return;  // acked away during the pause
   if (Sr()) {
-    f.retx_outstanding.clear();
+    s.retx_outstanding.clear();
     RetransmitMissing(f);
     TrySend(f);
   } else {
-    f.goback_armed = false;
-    f.send_cursor = f.base;
+    s.goback_armed = false;
+    s.send_cursor = s.base;
     TrySend(f);
   }
   ArmRto(f);
 }
 
 void Transport::ArmAckTimer(Flow& f) {
-  if (f.ack_timer_armed) return;
-  f.ack_timer_armed = true;
-  const std::uint64_t epoch = f.ack_epoch;
-  sim_.After(cfg_.ack_delay, [this, fp = &f, epoch] { OnAckTimer(*fp, epoch); });
+  ReceiverHalf& r = f.rcv;
+  if (r.ack_timer_armed) return;
+  r.ack_timer_armed = true;
+  const std::uint64_t epoch = r.ack_epoch;
+  f.ddom->After(cfg_.ack_delay,
+                [this, fp = &f, epoch] { OnAckTimer(*fp, epoch); });
 }
 
 void Transport::OnAckTimer(Flow& f, std::uint64_t epoch) {
-  f.ack_timer_armed = false;
-  if (f.error || f.rx_unacked == 0) return;
-  if (epoch != f.ack_epoch) {
+  ReceiverHalf& r = f.rcv;
+  r.ack_timer_armed = false;
+  if ((!f.split && f.snd.error) || r.rx_unacked == 0) return;
+  if (epoch != r.ack_epoch) {
     // An eager ACK superseded this timer but packets arrived since; cover
     // the current batch with a fresh delay.
     ArmAckTimer(f);
@@ -503,63 +729,163 @@ void Transport::OnAckTimer(Flow& f, std::uint64_t epoch) {
   SendAck(f, AckKind::kAck);
 }
 
-void Transport::FailFlow(Flow& f, MsgFailure why) {
-  if (f.error) return;
-  f.error = true;
-  ++f.gen;  // in-flight packets, ACKs, and timers of this life die
-  ++f.rto_epoch;
-  ++f.ack_epoch;
-  f.ack_timer_armed = false;
-  f.rnr_paused = false;
-  if (why == MsgFailure::kRetryExceeded) {
-    ++counters_.retry_exhausted;
-  } else {
-    ++counters_.rnr_exhausted;
-  }
-  // The message under the exhausted budget carries the reason; everything
-  // queued behind it flushes. on_failed is the *only* hook fired — a
-  // delivered-but-unacked message is indistinguishable from an undelivered
-  // one at the requester, exactly the IB ambiguity ERROR state models.
+void Transport::ResetSenderHalf(SenderHalf& s, std::uint64_t gen,
+                                std::uint64_t rto_epoch) {
+  s.gen = gen;
+  s.error = false;
+  s.next_psn = 0;
+  s.base = 0;
+  s.send_cursor = 0;
+  s.high_water = 0;
+  s.rto_epoch = rto_epoch;
+  s.consec_rtos = 0;
+  s.rnr_attempts = 0;
+  s.goback_armed = false;
+  s.rnr_paused = false;
+  s.known_received.clear();
+  s.retx_outstanding.clear();
+  assert(s.msgs.empty() && "flush before resetting the sender half");
+  // ctr, rng, and limbo survive: counters are cumulative, the RNG stream
+  // continues, and limbo waits for its fence echo.
+}
+
+void Transport::ResetReceiverHalf(ReceiverHalf& r, std::uint64_t gen,
+                                  std::uint64_t ack_epoch) {
+  r.gen = gen;
+  r.expected = 0;
+  r.rx_unacked = 0;
+  r.ack_epoch = ack_epoch;
+  r.ack_timer_armed = false;
+  r.rx_ooo.clear();
+  r.rx_msgs.clear();
+}
+
+void Transport::AdoptGen(Flow& f, std::uint64_t gen) {
+  ResetReceiverHalf(f.rcv, gen, f.rcv.ack_epoch + 1);
+}
+
+void Transport::ParkAndFence(Flow& f, MsgFailure why) {
+  SenderHalf& s = f.snd;
   bool first = true;
-  while (!f.msgs.empty()) {
-    Message m = std::move(f.msgs.front());
-    f.msgs.pop_front();
-    ++counters_.messages_failed;
-    if (m.ops.on_failed) {
-      m.ops.on_failed(sim_.now(), first ? why : MsgFailure::kFlushed);
-    }
+  while (!s.msgs.empty()) {
+    Message m = std::move(s.msgs.front());
+    s.msgs.pop_front();
+    m.why = first ? why : MsgFailure::kFlushed;
     first = false;
+    s.limbo.push_back(std::move(m));
   }
-  f.delivered = 0;
-  f.rx_ooo.clear();
-  f.known_received.clear();
-  f.retx_outstanding.clear();
+  // Reset fence: tells the receiver half to restart for incarnation
+  // s.gen and to echo back. Only the echo releases the limbo — by then no
+  // event of the old incarnation can be alive anywhere (everything it
+  // could schedule is bounded by one crossing, and the fence + echo is
+  // two), so the caller may reclaim per-message resources in on_failed.
+  f.sdom->SendTo(
+      f.ddom->shard(), SNow(f) + fabric_.OneWay(f.src, f.dst),
+      [this, fp = &f, gen = s.gen] {
+        if (gen > fp->rcv.gen) AdoptGen(*fp, gen);
+        // Echo unconditionally: the newest fence's echo must always come
+        // back to flush the limbo, and stale echoes die on the gen check.
+        fp->ddom->SendTo(fp->sdom->shard(),
+                         DNow(*fp) + fabric_.OneWay(fp->dst, fp->src),
+                         [this, fp, gen] { OnFenceEcho(*fp, gen); });
+      });
+}
+
+void Transport::OnFenceEcho(Flow& f, std::uint64_t gen) {
+  if (gen != f.snd.gen) return;  // a newer fence owns the flush
+  FlushLimbo(f);
+}
+
+void Transport::FlushLimbo(Flow& f) {
+  SenderHalf& s = f.snd;
+  while (!s.limbo.empty()) {
+    Message m = std::move(s.limbo.front());
+    s.limbo.pop_front();
+    ++s.ctr.messages_failed;
+    if (m.on_failed) m.on_failed(SNow(f), m.why);
+  }
+}
+
+void Transport::FailFlow(Flow& f, MsgFailure why) {
+  SenderHalf& s = f.snd;
+  if (s.error) return;
+  s.error = true;
+  ++s.gen;  // in-flight packets, ACKs, and timers of this life die
+  ++s.rto_epoch;
+  s.rnr_paused = false;
+  if (why == MsgFailure::kRetryExceeded) {
+    ++s.ctr.retry_exhausted;
+  } else {
+    ++s.ctr.rnr_exhausted;
+  }
+  if (!f.split) {
+    ReceiverHalf& r = f.rcv;
+    r.gen = s.gen;  // legacy halves share one incarnation, in lockstep
+    ++r.ack_epoch;
+    r.ack_timer_armed = false;
+    // The message under the exhausted budget carries the reason; everything
+    // queued behind it flushes. on_failed is the *only* hook fired — a
+    // delivered-but-unacked message is indistinguishable from an
+    // undelivered one at the requester, exactly the IB ambiguity ERROR
+    // state models.
+    bool first = true;
+    while (!s.msgs.empty()) {
+      Message m = std::move(s.msgs.front());
+      s.msgs.pop_front();
+      ++s.ctr.messages_failed;
+      if (m.on_failed) {
+        m.on_failed(SNow(f), first ? why : MsgFailure::kFlushed);
+      }
+      first = false;
+    }
+    r.rx_ooo.clear();
+    r.rx_msgs.clear();
+    s.known_received.clear();
+    s.retx_outstanding.clear();
+    return;
+  }
+  // Split flow: the receiver half is on another shard, and its delivery
+  // events for this incarnation may still be in flight. Park the queue and
+  // flush only on the fence echo.
+  s.goback_armed = false;
+  s.known_received.clear();
+  s.retx_outstanding.clear();
+  ParkAndFence(f, why);
 }
 
 void Transport::ResetFlow(int flow) {
   Flow& f = *flows_[static_cast<std::size_t>(flow)];
-  // Tearing down a live flow flushes whatever is still queued; an errored
-  // flow already flushed everything in FailFlow.
-  while (!f.msgs.empty()) {
-    Message m = std::move(f.msgs.front());
-    f.msgs.pop_front();
-    ++counters_.messages_failed;
-    if (m.ops.on_failed) m.ops.on_failed(sim_.now(), MsgFailure::kFlushed);
+  AssertOn(f.sdom);
+  SenderHalf& s = f.snd;
+  if (!f.split) {
+    // Tearing down a live flow flushes whatever is still queued; an errored
+    // flow already flushed everything in FailFlow.
+    while (!s.msgs.empty()) {
+      Message m = std::move(s.msgs.front());
+      s.msgs.pop_front();
+      ++s.ctr.messages_failed;
+      if (m.on_failed) m.on_failed(SNow(f), MsgFailure::kFlushed);
+    }
+    // Epochs and the generation survive the reset monotonically so events
+    // of the old incarnation can never match the new one's.
+    ResetSenderHalf(s, s.gen + 1, s.rto_epoch + 1);
+    ResetReceiverHalf(f.rcv, s.gen, f.rcv.ack_epoch + 1);
+    ++s.ctr.flow_resets;
+    return;
   }
-  const int src = f.src;
-  const int dst = f.dst;
-  // Epochs and the generation survive the reset monotonically so events
-  // of the old incarnation can never match the new one's.
-  const std::uint64_t gen = f.gen + 1;
-  const std::uint64_t rto_epoch = f.rto_epoch + 1;
-  const std::uint64_t ack_epoch = f.ack_epoch + 1;
-  f = Flow{};
-  f.src = src;
-  f.dst = dst;
-  f.gen = gen;
-  f.rto_epoch = rto_epoch;
-  f.ack_epoch = ack_epoch;
-  ++counters_.flow_resets;
+  // Split flow: park the queue (everything flushes as kFlushed on the
+  // fence echo), restart the sender half now, and fence with the NEW
+  // incarnation — its echo flushes the limbo, including anything parked by
+  // an earlier FailFlow whose own echo lost the race.
+  while (!s.msgs.empty()) {
+    Message m = std::move(s.msgs.front());
+    s.msgs.pop_front();
+    m.why = MsgFailure::kFlushed;
+    s.limbo.push_back(std::move(m));
+  }
+  ResetSenderHalf(s, s.gen + 1, s.rto_epoch + 1);
+  ++s.ctr.flow_resets;
+  ParkAndFence(f, MsgFailure::kFlushed);
 }
 
 }  // namespace redn::sim

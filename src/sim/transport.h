@@ -19,9 +19,7 @@
 //  - Loss/corruption injection: each endpoint link has independent loss and
 //    corruption probabilities (defaults from the config, overridable per
 //    link). A packet eaten at the sender's egress reserves TX bandwidth
-//    only; one dropped or corrupted on ingress has burned both pipes. All
-//    draws come from one seeded sim::Rng in event order, so a given
-//    (config, seed) replays bit-identically.
+//    only; one dropped or corrupted on ingress has burned both pipes.
 //  - Loss recovery, two modes (TransportConfig::mode):
 //      * go-back-N (default): the receiver buffers nothing and NAKs the
 //        first out-of-order packet of a gap; the sender rewinds to the
@@ -56,14 +54,55 @@
 // completions to on_acked and READ/receiver semantics to on_deliver — see
 // RnicDevice::SendOverTransport / ReadOverTransport and docs/NET.md.
 //
+// --- Split flows: one protocol, two event domains -------------------------
+//
+// A flow's state machine is split into a SenderHalf (window/base, SACK
+// retransmit bookkeeping, RTO + retry budgets, RNR backoff) and a
+// ReceiverHalf (reassembly, duplicate discard, SACK/NAK generation,
+// delayed-ACK timers). Each half lives on its endpoint's EventDomain — the
+// domain its device attached the fabric port with:
+//
+//  - When BOTH endpoints resolve to the transport's home domain, the flow
+//    runs the *legacy* path: both halves advance on the home thread, every
+//    loss/corruption draw comes from the one seeded `rng_` in event order,
+//    and the wire crossing is the synchronous ReserveTx→ReserveRx walk —
+//    byte-for-byte the pre-split engine, so shards=1 runs (and every
+//    existing golden) stay bit-identical.
+//  - Any other flow runs *split*: DATA, ACK/NAK, and reset-fence messages
+//    cross between the halves as timestamped mailbox messages on the
+//    sharded engine's (time, src_shard, seq) path (EventDomain::SendTo),
+//    and all randomness moves to two per-flow seeded streams (sender-half
+//    egress draws, receiver-half ingress draws — keyed off cfg.seed and
+//    the flow id), so draw order is a pure function of seed × shard count.
+//    The fabric guarantees OneWay(src,dst) ≥ the coordinator's lookahead
+//    for any cross-shard endpoint pair (the pair itself registered a
+//    lookahead floor at attach), which is exactly what makes every
+//    cross-half SendTo legal.
+//
+// Ownership discipline (Debug builds assert it, mirroring EventDomain's
+// tls check): sender-half state, the src endpoint's fabric pipes, and the
+// src link's fault/delay entries are touched only on the sender's domain;
+// likewise for the receiver half and dst. SendMessage/ResetFlow/
+// FlowErrored are sender-half calls; SetLinkFaults/SetLinkDelay belong to
+// the endpoint's owning shard. In split mode FailFlow/ResetFlow flush
+// asynchronously: the sender bumps its incarnation, parks unacked messages
+// in a limbo queue, and posts a reset fence to the receiver; only the
+// fence's echo (≈ one RTT later) fires their on_failed — guaranteeing no
+// receiver-side delivery of the old incarnation can still be in flight
+// when the caller reclaims message resources. Legacy flows flush
+// synchronously, exactly as before.
+//
 // The transport is pure protocol + timing: like the fabric it moves no
 // payload bytes (the device's pooled Payload carries them) and it knows
 // nothing about verbs.
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -143,6 +182,8 @@ struct TransportCounters {
   std::uint64_t PacketsLost() const {
     return dropped_tx + dropped_rx + corrupted;
   }
+
+  TransportCounters& operator+=(const TransportCounters& o);
 };
 
 // Why a message failed (MessageOps::on_failed). The first unacked message
@@ -165,6 +206,11 @@ class Transport {
   // consulted when cfg.rnr_retry_count > 0. `on_failed` (optional) fires
   // exactly once if the flow's retry budget dies under the message;
   // a message fires either {on_deliver, on_acked} or on_failed, never both.
+  //
+  // Shard affinity: rnr_probe and on_deliver run on the RECEIVER half's
+  // domain; on_acked and on_failed run on the SENDER half's domain. For a
+  // flow whose endpoints share the transport's home domain they all run
+  // there, exactly as before.
   struct MessageOps {
     std::function<bool(Nanos)> rnr_probe;
     Callback on_deliver;
@@ -172,6 +218,9 @@ class Transport {
     std::function<void(Nanos, MsgFailure)> on_failed;
   };
 
+  // `sim` is the transport's home domain: flows whose two endpoints both
+  // resolve to it run the single-threaded legacy path; every other flow
+  // runs split across its endpoints' domains (see the file comment).
   Transport(Simulator& sim, Fabric& fabric, TransportConfig cfg = {});
 
   Transport(const Transport&) = delete;
@@ -179,17 +228,33 @@ class Transport {
 
   Fabric& fabric() { return fabric_; }
   const TransportConfig& config() const { return cfg_; }
-  const TransportCounters& counters() const { return counters_; }
+
+  // Aggregated counters over every flow (sender + receiver halves). Call
+  // outside sharded rounds (setup, between RunUntil calls, or after a run):
+  // the sum walks state owned by other shards.
+  TransportCounters counters() const;
+
+  // Per-flow snapshot (sender + receiver half of one flow) so tests can
+  // assert retransmit/SACK/RNR behaviour per flow instead of globally.
+  // Same visibility rule as counters().
+  TransportCounters FlowCounters(int flow) const;
 
   // Opens a unidirectional reliable flow src_ep -> dst_ep (fabric endpoint
-  // ids). An RC connection uses one flow per direction.
+  // ids). An RC connection uses one flow per direction. Call at setup, or
+  // mid-run only with ReserveFlows headroom (growing the flow table while
+  // other shards resolve flow ids would race).
   int OpenFlow(int src_ep, int dst_ep);
+
+  // Pre-sizes the flow table so mid-run OpenFlow (e.g. recovery paths that
+  // build fresh connections inside a sharded round) never reallocates it.
+  void ReserveFlows(std::size_t n) { flows_.reserve(n); }
 
   // Queues a message of `bytes` payload on `flow`, transmissible from `t`
   // (clamped to now; messages on one flow go out in SendMessage order).
   // `on_deliver` fires when the last byte lands in order at the receiver;
   // `on_acked` (optional) when the sender's cumulative ACK covers it.
   // on_deliver always fires before on_acked. Both fire exactly once.
+  // Must be called on the flow's sender-half domain.
   void SendMessage(int flow, Nanos t, std::uint64_t bytes,
                    Callback on_deliver, Callback on_acked = {});
 
@@ -197,32 +262,46 @@ class Transport {
   void SendMessageEx(int flow, Nanos t, std::uint64_t bytes, MessageOps ops);
 
   // True once the flow's retry budget died; only ResetFlow revives it.
+  // Sender-half state: call on the sender's domain.
   bool FlowErrored(int flow) const {
-    return flows_[static_cast<std::size_t>(flow)]->error;
+    const Flow& f = *flows_[static_cast<std::size_t>(flow)];
+    AssertOn(f.sdom);
+    return f.snd.error;
   }
 
   // Tears the flow back to a fresh PSN space (the ibv_modify_qp →RESET
   // analogue): pending messages flush via on_failed(kFlushed), in-flight
   // packets and timers of the old incarnation die, and both the sender and
-  // receiver halves restart from PSN 0.
+  // receiver halves restart from PSN 0. On a split flow the receiver half
+  // restarts when the reset fence reaches it (≈ OneWay later) and the
+  // flushes fire on the fence's echo; a legacy flow flushes synchronously.
+  // Must be called on the flow's sender-half domain.
   void ResetFlow(int flow);
 
   // Overrides the loss/corruption probabilities of one endpoint's link
   // (both directions); endpoints default to the config-wide values.
+  // Owned by the endpoint's shard: call on the domain the endpoint's
+  // device attached with (Debug builds assert, like EventDomain::At).
   void SetLinkFaults(int ep, double loss, double corrupt);
 
   // Gray-failure hook: adds `extra` one-way latency to every packet and ACK
   // that touches endpoint `ep` (either end of the flow), on top of the
   // fabric's propagation. 0 (the default for every endpoint) restores the
   // healthy path — and is exactly the pre-hook arithmetic, so configs that
-  // never call this are bit-identical.
+  // never call this are bit-identical. Same shard-ownership rule as
+  // SetLinkFaults.
   void SetLinkDelay(int ep, Nanos extra);
 
   // Deterministic fault hooks for tests: eat the next `n` data packets /
   // ACKs crossing the fabric, bypassing the probabilistic model (and
-  // consuming no randomness).
-  void DropNextData(int n) { force_drop_data_ += n; }
-  void DropNextAcks(int n) { force_drop_acks_ += n; }
+  // consuming no randomness). Atomic because split flows consume the data
+  // budget on sender shards and the ACK budget on receiver shards.
+  void DropNextData(int n) {
+    force_drop_data_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void DropNextAcks(int n) {
+    force_drop_acks_.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   // ACK-leg flavours. kAck may still carry SACK ranges (selective repeat
@@ -230,25 +309,37 @@ class Transport {
   // is receiver-not-ready, answered with backoff instead of retransmission.
   enum class AckKind : std::uint8_t { kAck, kNak, kRnr };
 
+  // Receiver-half view of one message: what the delivery logic needs. On a
+  // legacy flow it is filed into the receiver's reassembly map at
+  // SendMessage time (same thread); on a split flow every DATA packet of
+  // the message carries it, and the receiver files it idempotently.
+  struct RxDesc {
+    std::uint64_t len = 0;
+    std::uint64_t first_psn = 0;
+    std::uint64_t last_psn = 0;
+    std::function<bool(Nanos)> rnr_probe;
+    Callback on_deliver;
+  };
+
+  // Sender-half view of one message.
   struct Message {
     std::uint64_t len = 0;
     std::uint64_t first_psn = 0;
     std::uint64_t last_psn = 0;
     Nanos ready = 0;  // earliest transmission instant (DMA/exec done)
-    MessageOps ops;
+    Callback on_acked;
+    std::function<void(Nanos, MsgFailure)> on_failed;
+    std::shared_ptr<RxDesc> desc;  // split flows: shipped with each packet
+    MsgFailure why = MsgFailure::kFlushed;  // limbo flush reason (split)
   };
 
-  // Both directions' protocol state for one flow lives here; the sender and
-  // receiver halves touch disjoint fields. unique_ptr keeps the address
-  // stable — in-flight events capture Flow*.
-  struct Flow {
-    int src = -1;
-    int dst = -1;
-    // Incarnation: bumped by ResetFlow/FailFlow so in-flight packet and ACK
-    // events of the old life are dropped on arrival.
+  struct SenderHalf {
+    // Incarnation: bumped by ResetFlow/FailFlow; DATA carries it (the
+    // receiver adopts higher, drops lower) and ACKs echo the receiver's
+    // (the sender drops mismatches), so in-flight events of an old life
+    // die on arrival.
     std::uint64_t gen = 0;
     bool error = false;  // budget exhausted; dead until ResetFlow
-    // Sender.
     std::uint64_t next_psn = 0;     // next PSN to assign
     std::uint64_t base = 0;         // lowest unacked PSN
     std::uint64_t send_cursor = 0;  // next PSN to (re)transmit
@@ -261,13 +352,39 @@ class Transport {
     std::set<std::uint64_t> known_received;   // SACKed above base (SR)
     std::set<std::uint64_t> retx_outstanding; // SACK-resent, once per event
     std::deque<Message> msgs;       // FIFO, not yet fully acked
-    std::size_t delivered = 0;      // msgs[0..delivered) fired on_deliver
-    // Receiver.
+    // Split flows: unacked messages of a failed/reset incarnation, held
+    // until the reset fence echoes back (no receiver-side event of the old
+    // life can still fire), then flushed via on_failed.
+    std::deque<Message> limbo;
+    Rng rng{1};                     // split flows: egress-side draws
+    TransportCounters ctr;          // sender-half share of the counters
+  };
+
+  struct ReceiverHalf {
+    std::uint64_t gen = 0;          // incarnation adopted from DATA/fences
     std::uint64_t expected = 0;     // next in-order PSN
     std::uint32_t rx_unacked = 0;   // in-order packets since the last ACK
     std::uint64_t ack_epoch = 0;    // invalidates superseded delayed ACKs
     bool ack_timer_armed = false;
     std::set<std::uint64_t> rx_ooo; // held out-of-order PSNs (SR only)
+    // Reassembly/delivery queue, keyed by first PSN.
+    std::map<std::uint64_t, std::shared_ptr<RxDesc>> rx_msgs;
+    Rng rng{1};                     // split flows: ingress-side draws
+    TransportCounters ctr;          // receiver-half share of the counters
+  };
+
+  // One flow = one sender half + one receiver half + immutable routing.
+  // unique_ptr keeps the address stable — in-flight events capture Flow*,
+  // which is also what lets mailbox messages skip the flow-table lookup.
+  struct Flow {
+    int id = -1;
+    int src = -1;
+    int dst = -1;
+    EventDomain* sdom = nullptr;  // sender half's event domain
+    EventDomain* ddom = nullptr;  // receiver half's event domain
+    bool split = false;           // false: both halves on the home domain
+    SenderHalf snd;
+    ReceiverHalf rcv;
   };
 
   struct LinkFault {
@@ -278,10 +395,41 @@ class Transport {
   struct PacketView {
     std::uint32_t bytes;  // payload bytes (wire adds header_bytes)
     Nanos ready;
+    const Message* msg;   // owning message (split flows ship msg->desc)
   };
 
   // Missing-PSN ranges [first, last] carried by a selective-repeat ACK.
   using SackRanges = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+  // Shard-affinity guard, mirroring EventDomain::AssertSameShard: while a
+  // sharded round is executing, the touched half/endpoint must belong to
+  // the running domain. No-op outside rounds and in release builds.
+  static void AssertOn(const EventDomain* dom) {
+    assert((EventDomain::Current() == nullptr ||
+            EventDomain::Current() == dom) &&
+           "transport state touched from a foreign shard; route the call "
+           "to the owning endpoint's domain");
+    (void)dom;
+  }
+
+  EventDomain* DomainOf(int ep) const {
+    if (ep < 0 || static_cast<std::size_t>(ep) >= fabric_.endpoint_count()) {
+      return &sim_;
+    }
+    EventDomain* d = fabric_.domain(ep);
+    return d != nullptr ? d : &sim_;
+  }
+  Nanos SNow(const Flow& f) const { return f.sdom->now(); }
+  Nanos DNow(const Flow& f) const { return f.ddom->now(); }
+  // Randomness sources: the home stream for legacy flows (draws interleave
+  // in event order, exactly the pre-split behaviour), per-half streams for
+  // split flows (draw order invariant under shard count).
+  Rng& SndRng(Flow& f) { return f.split ? f.snd.rng : rng_; }
+  Rng& RcvRng(Flow& f) { return f.split ? f.rcv.rng : rng_; }
+  static bool Draw(Rng& rng, double p) {
+    return p > 0.0 && rng.NextDouble() < p;
+  }
+  std::uint64_t FlowSeed(int flow, int side) const;
 
   PacketView PacketOf(const Flow& f, std::uint64_t psn) const;
   const LinkFault& FaultAt(int ep) const;
@@ -289,11 +437,15 @@ class Transport {
     const std::size_t i = static_cast<std::size_t>(ep);
     return i < delays_.size() ? delays_[i] : 0;
   }
-  bool Lost(double p) { return p > 0.0 && rng_.NextDouble() < p; }
-  static bool TakeForced(int* budget) {
-    if (*budget <= 0) return false;
-    --*budget;
-    return true;
+  static bool TakeForced(std::atomic<int>* budget) {
+    int v = budget->load(std::memory_order_relaxed);
+    while (v > 0) {
+      if (budget->compare_exchange_weak(v, v - 1,
+                                        std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
   }
   bool Sr() const { return cfg_.mode == TransportMode::kSelectiveRepeat; }
   Nanos BaseRto() const {
@@ -301,9 +453,43 @@ class Transport {
                                  : (Nanos{4096} << cfg_.timeout_exp);
   }
   Nanos RnrDelay(std::uint32_t attempt) const;
+  void EnsureLinkTables();
 
+  // --- sender-half logic (runs on f.sdom) -----------------------------------
   void TrySend(Flow& f);
   void SendPacket(Flow& f, std::uint64_t psn, const PacketView& p);
+  void MarkKnownReceived(Flow& f, std::uint64_t upto, std::uint64_t high,
+                         const SackRanges& ranges);
+  int SackRetransmit(Flow& f, const SackRanges& ranges);
+  void OnAck(Flow& f, std::uint64_t upto, AckKind kind, std::uint64_t high,
+             const SackRanges& ranges);
+  // ACK-leg ingress at the sender's endpoint (split flows: runs as the
+  // mailbox message the receiver posted).
+  void OnAckMail(Flow& f, std::uint64_t upto, AckKind kind,
+                 std::uint64_t high, SackRanges ranges, std::uint64_t wire,
+                 std::uint64_t gen);
+  void RetransmitMissing(Flow& f);
+  void ArmRto(Flow& f);
+  void OnRto(Flow& f);
+  void OnRnrResume(Flow& f);
+  void FailFlow(Flow& f, MsgFailure why);
+  // Split flows: parks the unacked queue in limbo and posts the reset
+  // fence; the fence's echo (OnFenceEcho) flushes it.
+  void ParkAndFence(Flow& f, MsgFailure why);
+  void OnFenceEcho(Flow& f, std::uint64_t gen);
+  void FlushLimbo(Flow& f);
+  // Protocol-state resets that preserve the half's counters and RNG stream.
+  static void ResetSenderHalf(SenderHalf& s, std::uint64_t gen,
+                              std::uint64_t rto_epoch);
+  static void ResetReceiverHalf(ReceiverHalf& r, std::uint64_t gen,
+                                std::uint64_t ack_epoch);
+
+  // --- receiver-half logic (runs on f.ddom) ---------------------------------
+  // DATA-leg ingress at the receiver's endpoint (split flows: runs as the
+  // mailbox message the sender posted).
+  void OnDataMail(Flow& f, std::uint64_t psn, std::uint64_t wire,
+                  std::uint64_t gen, bool src_corrupt,
+                  std::shared_ptr<RxDesc> desc);
   void OnData(Flow& f, std::uint64_t psn);
   // Delivers every fully-arrived message at the head of the queue; returns
   // false if an rnr_probe rejected one (expected already rewound to its
@@ -311,36 +497,23 @@ class Transport {
   bool DeliverReady(Flow& f, bool* boundary);
   void SendAck(Flow& f, AckKind kind);
   SackRanges MissingRanges(const Flow& f) const;
-  // Records what a SACK proves arrived ([upto, high] minus the missing
-  // ranges) in f.known_received.
-  void MarkKnownReceived(Flow& f, std::uint64_t upto, std::uint64_t high,
-                         const SackRanges& ranges);
-  // Retransmits the SACK-named holes, at most once each per loss event;
-  // returns how many packets went out.
-  int SackRetransmit(Flow& f, const SackRanges& ranges);
-  void OnAck(Flow& f, std::uint64_t upto, AckKind kind, std::uint64_t high,
-             const SackRanges& ranges);
-  // RTO/RNR-resume path: retransmits everything in [base, high_water) not
-  // known received.
-  void RetransmitMissing(Flow& f);
-  void ArmRto(Flow& f);
-  void OnRto(Flow& f);
-  void OnRnrResume(Flow& f);
   void ArmAckTimer(Flow& f);
   void OnAckTimer(Flow& f, std::uint64_t epoch);
-  void FailFlow(Flow& f, MsgFailure why);
+  // Restarts the receiver half for incarnation `gen` (reset fence arrived,
+  // or DATA of a newer life overtook it).
+  void AdoptGen(Flow& f, std::uint64_t gen);
 
-  Simulator& sim_;
+  Simulator& sim_;  // home domain
   Fabric& fabric_;
   TransportConfig cfg_;
-  Rng rng_;
+  Rng rng_;  // legacy flows' shared stream
   std::vector<std::unique_ptr<Flow>> flows_;
-  std::vector<LinkFault> faults_;  // indexed by endpoint; lazily grown
+  std::vector<LinkFault> faults_;  // indexed by endpoint
   std::vector<Nanos> delays_;      // per-endpoint added latency (kSlow)
   LinkFault default_fault_;
-  int force_drop_data_ = 0;
-  int force_drop_acks_ = 0;
-  TransportCounters counters_;
+  bool any_split_ = false;  // at least one flow crosses domains
+  std::atomic<int> force_drop_data_{0};
+  std::atomic<int> force_drop_acks_{0};
 };
 
 }  // namespace redn::sim

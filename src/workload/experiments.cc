@@ -54,14 +54,44 @@ std::vector<Writer> StartWriters(rnic::RnicDevice& cdev,
   return out;
 }
 
+// Builds the packetized transport from the shared FabricScaleConfig knobs.
+// `home` is the transport's legacy domain: flows whose two endpoints both
+// live there run the classic single-domain protocol; everything else splits.
+std::unique_ptr<sim::Transport> MakePacketizedTransport(
+    sim::Simulator& home, sim::Fabric& fabric, const FabricScaleConfig& cfg) {
+  sim::TransportConfig tc;
+  tc.mtu = cfg.mtu;
+  tc.loss = cfg.loss;
+  tc.corrupt = cfg.corrupt;
+  tc.rto = cfg.rto;
+  tc.seed = cfg.transport_seed;
+  tc.mode = cfg.selective_repeat ? sim::TransportMode::kSelectiveRepeat
+                                 : sim::TransportMode::kGoBackN;
+  tc.retry_count = cfg.retry_count;
+  tc.rnr_retry_count = cfg.rnr_retry_count;
+  tc.timeout_exp = cfg.timeout_exp;
+  tc.min_rnr_timer = cfg.min_rnr_timer;
+  return std::make_unique<sim::Transport>(home, fabric, tc);
+}
+
 // Sharded variant of RunFabricScale: same topology and closed loops, run on
 // a ShardedSimulator with per-client placement. Every piece of mutable
 // driver state (rng, recorder, timestamps) is per-client, because each
 // client's completion hook fires on its own shard's thread; results merge
 // in client order after the run, which keeps same-config reruns bit-stable.
+// With cfg.packetized, client<->server QPs ride split transport flows: the
+// sender half lives on the client's shard, the receiver half on the
+// server's, and DATA/ACK legs cross through the mailboxes (docs/NET.md).
 FabricScaleResult RunFabricScaleSharded(const FabricScaleConfig& cfg) {
   sim::ShardedSimulator ssim(cfg.shards);
   sim::Fabric fabric(cfg.switch_latency);
+  std::unique_ptr<sim::Transport> transport;
+  if (cfg.packetized) {
+    // Home = the server's shard: a client co-resident with the server keeps
+    // the legacy single-domain flow; cross-shard pairs split per endpoint.
+    transport =
+        MakePacketizedTransport(ssim.shard(cfg.server_shard), fabric, cfg);
+  }
   rnic::RnicDevice sdev(ssim.shard(cfg.server_shard),
                         rnic::NicConfig::ConnectX5(), {}, "server");
   sdev.AttachPort(0, fabric, {cfg.server_gbps, cfg.propagation});
@@ -97,7 +127,8 @@ FabricScaleResult RunFabricScaleSharded(const FabricScaleConfig& cfg) {
         *c.dev, sdev,
         offloads::HashGetOffload::Config{.buckets = 2,
                                          .max_requests = cfg.gets_per_client + 8,
-                                         .fabric = &fabric},
+                                         .fabric = &fabric,
+                                         .transport = transport.get()},
         kv::RdmaHashTable::Config{.buckets = 1 << 12}, heap_bytes,
         /*max_value=*/cfg.value_len + 64);
     for (int k = 1; k <= cfg.keys; ++k) {
@@ -150,6 +181,53 @@ FabricScaleResult RunFabricScaleSharded(const FabricScaleConfig& cfg) {
                            [&issue, i] { issue(i); });
   }
 
+  // Fault windows run on the shard that owns the touched state: link-fault
+  // flips on the faulted client's shard (the endpoint's owning domain),
+  // RQ stalls on the server's, and the recovery re-arm splits — the client
+  // half locally, the server half via a mailbox hop of one fabric one-way
+  // (>= the pair's lookahead floor, and strictly ahead of any reissued
+  // trigger, whose data leg pays the same one-way plus NIC processing).
+  const sim::Nanos hop = 2 * cfg.propagation + cfg.switch_latency;
+  for (const FaultEntry& e : cfg.faults.entries) {
+    const int i = e.client;
+    Client& c = clients[static_cast<std::size_t>(i)];
+    sim::EventDomain& cdom = ssim.shard(c.shard);
+    if (e.kind == FaultKind::kBlackhole) {
+      cdom.At(e.down_at, [&transport, &clients, i] {
+        transport->SetLinkFaults(
+            clients[static_cast<std::size_t>(i)].dev->fabric_endpoint(0), 1.0,
+            0.0);
+      });
+    } else {  // kRnrStall: the probed RQ is server-side state
+      ssim.shard(cfg.server_shard).At(e.down_at, [&sdev, &clients, e, i] {
+        sdev.StallRecvsFor(
+            clients[static_cast<std::size_t>(i)].harness->server_qp(),
+            e.rnr_count);
+      });
+    }
+    if (e.up_at > 0) {
+      cdom.At(e.up_at, [&, e, i] {
+        Client& cl = clients[static_cast<std::size_t>(i)];
+        if (e.kind == FaultKind::kBlackhole) {
+          transport->SetLinkFaults(cl.dev->fabric_endpoint(0), cfg.loss,
+                                   cfg.corrupt);
+        } else if (cl.harness->client_qp()->state != rnic::QpState::kError) {
+          return;  // stall drained transiently; nothing to repair
+        }
+        cl.harness->RearmTransportClientHalf();
+        sim::EventDomain& dom = ssim.shard(cl.shard);
+        const int n = cl.remaining + 4;
+        dom.SendTo(cfg.server_shard, dom.now() + hop, [&clients, i, n] {
+          clients[static_cast<std::size_t>(i)]
+              .harness->RearmTransportServerHalf(n);
+        });
+        // Depth-1 loop: if the outstanding get died with the fault,
+        // nothing will ever poke the notify hook again — reissue it.
+        if (cl.waiting && cl.remaining > 0) issue(i);
+      });
+    }
+  }
+
   ssim.RunUntil(sim::Seconds(30));
 
   FabricScaleResult out;
@@ -180,6 +258,29 @@ FabricScaleResult RunFabricScaleSharded(const FabricScaleConfig& cfg) {
   out.server_tx_util = fabric.TxUtilisation(sep, last_resp);
   out.server_rx_util = fabric.RxUtilisation(sep, last_resp);
   out.events = ssim.events_processed();
+  if (transport != nullptr) {
+    // counters() sums every flow's two halves; safe here — the run is over,
+    // no shard thread is live.
+    const sim::TransportCounters tc = transport->counters();
+    out.data_packets = tc.data_packets;
+    out.retransmits = tc.retransmits;
+    out.timeouts = tc.timeouts;
+    out.packets_lost = tc.PacketsLost();
+    out.acks = tc.acks_sent;
+    out.goodput_gbps = 8.0 * static_cast<double>(tc.payload_bytes_delivered) /
+                       static_cast<double>(span);
+    out.rto_fires = tc.rto_fires;
+    out.spurious_retransmits = tc.spurious_retransmits;
+    out.sack_retransmits = tc.sack_retransmits;
+    out.rnr_naks = tc.rnr_naks;
+    out.flow_resets = tc.flow_resets;
+    out.qp_errors = sdev.counters().qp_errors;
+    out.qp_rearms = sdev.counters().qp_rearms;
+    for (const Client& c : clients) {
+      out.qp_errors += c.dev->counters().qp_errors;
+      out.qp_rearms += c.dev->counters().qp_rearms;
+    }
+  }
   return out;
 }
 
@@ -188,30 +289,6 @@ FabricScaleResult RunFabricScaleSharded(const FabricScaleConfig& cfg) {
 FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
   if (cfg.shards < 1) {
     throw std::invalid_argument("FabricScaleConfig: shards must be >= 1");
-  }
-  if (cfg.shards > 1) {
-    if (cfg.packetized) {
-      throw std::invalid_argument(
-          "FabricScaleConfig: packetized transport flows are shard-local — "
-          "shards > 1 requires packetized = false (see docs/PARSIM.md)");
-    }
-    if (!cfg.placement.empty() &&
-        cfg.placement.size() != static_cast<std::size_t>(cfg.clients)) {
-      throw std::invalid_argument(
-          "FabricScaleConfig: placement must be empty or name a shard per "
-          "client");
-    }
-    for (const int p : cfg.placement) {
-      if (p < 0 || p >= cfg.shards) {
-        throw std::invalid_argument(
-            "FabricScaleConfig: placement entry out of shard range");
-      }
-    }
-    if (cfg.server_shard < 0 || cfg.server_shard >= cfg.shards) {
-      throw std::invalid_argument(
-          "FabricScaleConfig: server_shard out of shard range");
-    }
-    return RunFabricScaleSharded(cfg);
   }
   // Fail fast: the reliability engine and fault scripting only exist on the
   // packetized transport — silently ignoring these knobs on the lossless
@@ -241,23 +318,30 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
           " faults belong to RunKvService");
     }
   }
+  if (cfg.shards > 1) {
+    if (!cfg.placement.empty() &&
+        cfg.placement.size() != static_cast<std::size_t>(cfg.clients)) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: placement must be empty or name a shard per "
+          "client");
+    }
+    for (const int p : cfg.placement) {
+      if (p < 0 || p >= cfg.shards) {
+        throw std::invalid_argument(
+            "FabricScaleConfig: placement entry out of shard range");
+      }
+    }
+    if (cfg.server_shard < 0 || cfg.server_shard >= cfg.shards) {
+      throw std::invalid_argument(
+          "FabricScaleConfig: server_shard out of shard range");
+    }
+    return RunFabricScaleSharded(cfg);
+  }
   sim::Simulator sim;
   sim::Fabric fabric(cfg.switch_latency);
   std::unique_ptr<sim::Transport> transport;
   if (cfg.packetized) {
-    sim::TransportConfig tc;
-    tc.mtu = cfg.mtu;
-    tc.loss = cfg.loss;
-    tc.corrupt = cfg.corrupt;
-    tc.rto = cfg.rto;
-    tc.seed = cfg.transport_seed;
-    tc.mode = cfg.selective_repeat ? sim::TransportMode::kSelectiveRepeat
-                                   : sim::TransportMode::kGoBackN;
-    tc.retry_count = cfg.retry_count;
-    tc.rnr_retry_count = cfg.rnr_retry_count;
-    tc.timeout_exp = cfg.timeout_exp;
-    tc.min_rnr_timer = cfg.min_rnr_timer;
-    transport = std::make_unique<sim::Transport>(sim, fabric, tc);
+    transport = MakePacketizedTransport(sim, fabric, cfg);
   }
   rnic::RnicDevice sdev(sim, rnic::NicConfig::ConnectX5(), {}, "server");
   sdev.AttachPort(0, fabric, {cfg.server_gbps, cfg.propagation});
@@ -393,7 +477,7 @@ FabricScaleResult RunFabricScale(const FabricScaleConfig& cfg) {
   out.server_rx_util = fabric.RxUtilisation(sep, last_resp);
   out.events = sim.events_processed();
   if (transport != nullptr) {
-    const sim::TransportCounters& tc = transport->counters();
+    const sim::TransportCounters tc = transport->counters();
     out.data_packets = tc.data_packets;
     out.retransmits = tc.retransmits;
     out.timeouts = tc.timeouts;

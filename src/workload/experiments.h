@@ -69,7 +69,9 @@ struct FabricScaleConfig {
   // but different shard counts may order same-instant RX reservations
   // differently (see docs/PARSIM.md). shards == 1 is the classic
   // single-domain path, bit-identical to the pre-sharding driver.
-  // Incompatible with `packetized`: transport flows are shard-local.
+  // Composes with `packetized`: cross-shard transport flows split into
+  // per-endpoint halves with per-flow RNG streams (docs/NET.md), so lossy
+  // GBN/SR recovery, RNR backoff, and fault windows all run sharded.
   int shards = 1;
   std::vector<int> placement;      // client i -> shard id; empty = i % shards
   int server_shard = 0;

@@ -101,11 +101,9 @@ void Validate(const KvServiceConfig& cfg) {
         "KvServiceConfig: placement must be empty or name a shard per tenant");
   }
   for (const int p : cfg.placement) {
-    if (p != cfg.service_shard) {
+    if (p < 0 || p >= cfg.sim_shards) {
       throw std::invalid_argument(
-          "KvServiceConfig: tenant placed off service_shard — packetized "
-          "transport flows are shard-local, so every KV-service actor must "
-          "share one event domain (see docs/PARSIM.md)");
+          "KvServiceConfig: placement names an out-of-range sim shard");
     }
   }
 }
@@ -115,9 +113,12 @@ void Validate(const KvServiceConfig& cfg) {
 KvServiceResult RunKvService(const KvServiceConfig& cfg) {
   Validate(cfg);
 
-  // All actors live on one domain (transport flows are shard-local); the
-  // coordinator still hosts the run so the service composes with sharded
-  // callers, and sim_shards == 1 is the classic single-domain path.
+  // The KV shards (and the transport's home) live on service_shard; each
+  // tenant's NIC lives on placement[t] (empty = co-resident with the
+  // service). Co-resident flows stay single-domain legacy flows; a spread
+  // tenant's flows split into per-endpoint halves riding the mailbox sync
+  // (docs/NET.md "Split flows"). sim_shards == 1 is the classic
+  // single-domain path, bit-identical to the pre-sharding driver.
   sim::ShardedSimulator ssim(cfg.sim_shards);
   sim::Simulator& sim = ssim.shard(cfg.service_shard);
   sim::Fabric fabric(cfg.switch_latency);
@@ -143,10 +144,20 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
         "shard" + std::to_string(s)));
     sdev.back()->AttachPort(0, fabric, {cfg.gbps, cfg.propagation});
   }
+  // Tenant t's host logic and NIC run on place[t]'s domain; tsim(t) is the
+  // clock and scheduler every tenant-side callback must use.
+  std::vector<int> place(static_cast<std::size_t>(cfg.tenants),
+                         cfg.service_shard);
+  for (std::size_t t = 0; t < cfg.placement.size(); ++t) {
+    place[t] = cfg.placement[t];
+  }
+  auto tsim = [&](int t) -> sim::Simulator& {
+    return ssim.shard(place[static_cast<std::size_t>(t)]);
+  };
   std::vector<std::unique_ptr<rnic::RnicDevice>> tdev;
   for (int t = 0; t < cfg.tenants; ++t) {
     tdev.push_back(std::make_unique<rnic::RnicDevice>(
-        sim, rnic::NicConfig::ConnectX5(), rnic::Calibration{},
+        tsim(t), rnic::NicConfig::ConnectX5(), rnic::Calibration{},
         "tenant" + std::to_string(t)));
     tdev.back()->AttachPort(0, fabric, {cfg.gbps, cfg.propagation});
   }
@@ -487,6 +498,18 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
     // Highest fully-acked (both replicas) version per key — the tenant's
     // read-your-writes floor.
     std::unordered_map<std::uint64_t, std::uint64_t> ryw;
+    // Shard-local accounting: the tenant's domain owns these, and the
+    // run-wide totals are merged after RunUntil (tenant order), so spread
+    // placements never write run-global counters from a shard thread.
+    sim::Nanos first_sent = -1;
+    sim::Nanos last_resp = 0;
+    std::uint64_t err_cqes = 0, stale = 0, probes = 0;
+    std::uint64_t heal_resends = 0, put_retry = 0, ryw_viol = 0, full_acks = 0;
+    std::vector<AckedWrite> ledger;
+    // Nonzero while a spread heal is mid-flight between its tenant-shard
+    // and service-shard legs: the server-side offload program is being
+    // swapped over there, so sends park until the final leg resumes them.
+    int healing = 0;
   };
   std::vector<Tenant> tenants(static_cast<std::size_t>(cfg.tenants));
   for (int t = 0; t < cfg.tenants; ++t) {
@@ -501,6 +524,9 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
       cfg.timeout_exp > 0 ? (sim::Nanos{4096} << cfg.timeout_exp) : tc.rto;
   const sim::Nanos host_timeout =
       cfg.host_timeout > 0 ? cfg.host_timeout : 16 * base_rto;
+  // One-way endpoint->endpoint latency: the legal (and exact) cross-shard
+  // mailbox hop between a spread tenant's domain and the service shard.
+  const sim::Nanos hop = 2 * cfg.propagation + cfg.switch_latency;
 
   sim::Nanos first_sent = -1;
   sim::Nanos last_resp = 0;
@@ -545,33 +571,47 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
       return;  // a probe already tripped; the chain fired or is firing
     }
     verbs::PostSendNow(pq, verbs::MakeSend(0, 0, 0, /*signaled=*/false));
-    ++probes_sent;
+    ++T.probes;
+    sim::Simulator& ts = tsim(t);
     rnic::QueuePair* ps =
         probe_srv[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
-    if (ps->alive && ps->state == rnic::QpState::kRts) {
-      verbs::RecvWr rwr;
-      verbs::PostRecv(ps, rwr);  // keep the responder's RQ topped up
+    if (place[static_cast<std::size_t>(t)] == cfg.service_shard) {
+      if (ps->alive && ps->state == rnic::QpState::kRts) {
+        verbs::RecvWr rwr;
+        verbs::PostRecv(ps, rwr);  // keep the responder's RQ topped up
+      }
+    } else {
+      // The responder's RQ belongs to the service shard; the top-up rides
+      // the mailbox at the one-way latency (the probe itself takes at
+      // least as long to arrive, so the RQ is replenished in time).
+      ts.SendTo(cfg.service_shard, ts.now() + hop, [ps] {
+        if (ps->alive && ps->state == rnic::QpState::kRts) {
+          verbs::RecvWr rwr;
+          verbs::PostRecv(ps, rwr);
+        }
+      });
     }
-    sim.After(cfg.probe_interval,
-              [&, t, seq, attempt, p] { probe_fn(t, seq, attempt, p); });
+    ts.After(cfg.probe_interval,
+             [&, t, seq, attempt, p] { probe_fn(t, seq, attempt, p); });
   };
 
   auto schedule_watchdog = [&](int t) {
     Tenant& T = tenants[static_cast<std::size_t>(t)];
     const std::uint64_t seq = T.seq, attempt = T.attempt;
-    sim.At(sim.now() + host_timeout, [&, t, seq, attempt] {
+    sim::Simulator& ts = tsim(t);
+    ts.At(ts.now() + host_timeout, [&, t, seq, attempt] {
       Tenant& W = tenants[static_cast<std::size_t>(t)];
       if (!W.waiting || W.seq != seq || W.attempt != attempt) return;
       // The send is stuck past the application RPC timer: declare its
       // target dead and re-issue from the CPU (the multi-RTO stall).
       W.dead[static_cast<std::size_t>(W.target)] = 1;
       if (W.is_put) {
-        ++put_retries;  // puts have no detour chain; the watchdog is their
+        ++W.put_retry;  // puts have no detour chain; the watchdog is their
                         // only failure detector
       } else {
         ++W.host_reissues;
       }
-      sim.After(cfg.host_reissue_cost, [&, t, seq] {
+      tsim(t).After(cfg.host_reissue_cost, [&, t, seq] {
         Tenant& W2 = tenants[static_cast<std::size_t>(t)];
         if (!W2.waiting || W2.seq != seq) return;
         send_fn(t);
@@ -581,6 +621,19 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
 
   send_fn = [&](int t) {
     Tenant& T = tenants[static_cast<std::size_t>(t)];
+    sim::Simulator& ts = tsim(t);
+    if (T.healing > 0) {
+      // A spread heal is rebuilding this tenant's server-side programs on
+      // the service shard; park like the no-live-replica case and let the
+      // heal's final leg (or this retry) resume.
+      ts.After(sim::Millis(1), [&, t] {
+        Tenant& W = tenants[static_cast<std::size_t>(t)];
+        if (W.waiting || W.remaining <= 0) return;
+        send_fn(t);
+      });
+      T.waiting = false;
+      return;
+    }
     const int p = ring.PrimaryOf(T.key);
     T.primary = p;
     const int b = ring.SuccessorOf(p);
@@ -616,11 +669,11 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
         T.target = target;
         T.waiting = true;
         ++T.attempt;
-        if (first_sent < 0) first_sent = sim.now();
+        if (T.first_sent < 0) T.first_sent = ts.now();
         schedule_watchdog(t);
         return;
       }
-      sim.After(sim::Millis(1), [&, t] {
+      ts.After(sim::Millis(1), [&, t] {
         Tenant& W = tenants[static_cast<std::size_t>(t)];
         if (W.waiting || W.remaining <= 0) return;
         send_fn(t);
@@ -648,7 +701,7 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
       T.target = target;
       T.waiting = true;
       ++T.attempt;
-      if (first_sent < 0) first_sent = sim.now();
+      if (T.first_sent < 0) T.first_sent = ts.now();
       // The detour chain covers gets aimed at a live primary; everything
       // else (baseline policy, or a get already running on the backup)
       // falls back to the host watchdog so no get can be lost.
@@ -656,13 +709,13 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
         schedule_watchdog(t);
       } else if (cfg.probe_interval > 0) {
         const std::uint64_t seq = T.seq, attempt = T.attempt;
-        sim.After(cfg.probe_interval,
-                  [&, t, seq, attempt, p] { probe_fn(t, seq, attempt, p); });
+        ts.After(cfg.probe_interval,
+                 [&, t, seq, attempt, p] { probe_fn(t, seq, attempt, p); });
       }
       return;
     }
     // No live replica right now — retry once a heal had a chance to land.
-    sim.After(sim::Millis(1), [&, t] {
+    ts.After(sim::Millis(1), [&, t] {
       Tenant& W = tenants[static_cast<std::size_t>(t)];
       if (W.waiting || W.remaining <= 0) return;
       send_fn(t);
@@ -674,30 +727,32 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
   issue_next = [&](int t) {
     Tenant& T = tenants[static_cast<std::size_t>(t)];
     if (T.remaining <= 0) return;
+    sim::Simulator& ts = tsim(t);
     if (!T.started) {
       T.started = true;
-      T.last_mark = sim.now();
+      T.last_mark = ts.now();
     }
     T.key = draw(t);
     // The mix draw happens only on write-enabled runs so pure-get configs
     // consume exactly the RNG stream they always did (bit-compat).
     T.is_put = writes && T.rng.NextDouble() < cfg.put_fraction;
-    T.t_sent = sim.now();
+    T.t_sent = ts.now();
     send_fn(t);
   };
 
   auto complete = [&](int t, bool via_detour) {
     Tenant& T = tenants[static_cast<std::size_t>(t)];
+    sim::Simulator& ts = tsim(t);
     T.waiting = false;
     if (T.is_put) {
-      T.put_rec.Add(sim.now() - T.t_sent);
+      T.put_rec.Add(ts.now() - T.t_sent);
       ++T.puts;
     } else {
-      T.rec.Add(sim.now() - T.t_sent);
+      T.rec.Add(ts.now() - T.t_sent);
     }
-    T.max_blip = std::max(T.max_blip, sim.now() - T.last_mark);
-    T.last_mark = sim.now();
-    last_resp = std::max(last_resp, sim.now());
+    T.max_blip = std::max(T.max_blip, ts.now() - T.last_mark);
+    T.last_mark = ts.now();
+    T.last_resp = std::max(T.last_resp, ts.now());
     if (via_detour) {
       T.dead[static_cast<std::size_t>(T.primary)] = 1;
       ++T.detours;
@@ -715,20 +770,20 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
         rnic::Cqe cqe;
         while (tdev[static_cast<std::size_t>(t)]->PollCq(h->client_recv_cq(),
                                                          1, &cqe) == 1) {
+          Tenant& T = tenants[static_cast<std::size_t>(t)];
           if (cqe.status != rnic::WcStatus::kSuccess) {
-            ++error_cqes;  // flushed RECVs from an errored QP
+            ++T.err_cqes;  // flushed RECVs from an errored QP
             continue;
           }
           h->NoteOpenLoopResponse(cqe.qp_id);
-          Tenant& T = tenants[static_cast<std::size_t>(t)];
           if (!T.waiting || T.target != s) {
-            ++stale_responses;
+            ++T.stale;
             continue;
           }
           if (versioned && !T.is_put) {
             const auto it = T.ryw.find(T.key);
             if (it != T.ryw.end() && h->ResponseVersion() < it->second) {
-              ++ryw_violations;  // older than this tenant's own acked write
+              ++T.ryw_viol;  // older than this tenant's own acked write
             }
           }
           complete(t, /*via_detour=*/false);
@@ -741,22 +796,22 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
           rnic::Cqe cqe;
           while (tdev[static_cast<std::size_t>(t)]->PollCq(f->client_recv_cq(),
                                                            1, &cqe) == 1) {
+            Tenant& T = tenants[static_cast<std::size_t>(t)];
             if (cqe.status != rnic::WcStatus::kSuccess) {
-              ++error_cqes;
+              ++T.err_cqes;
               continue;
             }
             f->NoteOpenLoopResponse(cqe.qp_id);
-            Tenant& T = tenants[static_cast<std::size_t>(t)];
             // The detour watching primary `s` answered the get that was in
             // flight toward it.
             if (!T.waiting || T.target != s) {
-              ++stale_responses;
+              ++T.stale;
               continue;
             }
             if (versioned && !T.is_put) {
               const auto it = T.ryw.find(T.key);
               if (it != T.ryw.end() && f->ResponseVersion() < it->second) {
-                ++ryw_violations;
+                ++T.ryw_viol;
               }
             }
             complete(t, /*via_detour=*/true);
@@ -764,7 +819,8 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
         });
       }
     }
-    sim.At(static_cast<sim::Nanos>(t) * 311 + 17, [&, t] { issue_next(t); });
+    tsim(t).At(static_cast<sim::Nanos>(t) * 311 + 17,
+               [&, t] { issue_next(t); });
   }
 
   // --- write path: apply, propagate, ack -------------------------------------
@@ -868,8 +924,9 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
           rnic::Cqe cqe;
           while (tdev[static_cast<std::size_t>(t)]->PollCq(
                      LL.ack_cli->recv_cq, 1, &cqe) == 1) {
+            Tenant& T = tenants[static_cast<std::size_t>(t)];
             if (cqe.status != rnic::WcStatus::kSuccess) {
-              ++error_cqes;
+              ++T.err_cqes;
               continue;
             }
             const int slot = static_cast<int>(cqe.wr_id);
@@ -879,18 +936,17 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
             const std::uint64_t version = rnic::dma::ReadU64(a + 8);
             const std::uint64_t mask = rnic::dma::ReadU64(a + 16);
             post_ack_slot(LL, slot);
-            Tenant& T = tenants[static_cast<std::size_t>(t)];
             // Even a stale ack (the watchdog already re-issued) attests a
             // durable apply: it belongs in the ledger and lifts the RYW
             // floor. Only the op completion is staleness-guarded.
-            ledger.push_back(AckedWrite{key, version, mask});
+            T.ledger.push_back(AckedWrite{key, version, mask});
             if (__builtin_popcountll(mask) >= 2) {
               std::uint64_t& floor = T.ryw[key];
               floor = std::max(floor, version);
-              ++acked_full;
+              ++T.full_acks;
             }
             if (!T.waiting || !T.is_put || T.key != key || T.target != s) {
-              ++stale_responses;
+              ++T.stale;
               continue;
             }
             complete(t, /*via_detour=*/false);
@@ -973,6 +1029,44 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
     for (int t = 0; t < cfg.tenants; ++t) {
       PutLink& L =
           plinks[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
+      if (place[static_cast<std::size_t>(t)] != cfg.service_shard) {
+        // Spread tenant: only the shard-side ends may be inspected here.
+        // The tenant-shard leg checks its own ends, cycles them, and hops
+        // back so the request slots are re-posted after both ends are
+        // fresh (a put racing the middle leg just RNR-retries).
+        const bool srv_bad =
+            qp_unhealthy(L.req_srv) || qp_unhealthy(L.ack_srv);
+        sim.SendTo(
+            place[static_cast<std::size_t>(t)], sim.now() + hop,
+            [&, t, s, srv_bad] {
+              PutLink& LL = plinks[static_cast<std::size_t>(t)]
+                                  [static_cast<std::size_t>(s)];
+              Tenant& T = tenants[static_cast<std::size_t>(t)];
+              if (!srv_bad && !qp_unhealthy(LL.req_cli) &&
+                  !qp_unhealthy(LL.ack_cli)) {
+                return;
+              }
+              rnic::Cqe cqe;
+              for (rnic::QueuePair* q : {LL.req_cli, LL.ack_cli}) {
+                while (tdev[static_cast<std::size_t>(t)]->PollCq(
+                           q->send_cq, 1, &cqe) == 1) {
+                  if (cqe.status != rnic::WcStatus::kSuccess) ++T.err_cqes;
+                }
+              }
+              cycle_qp(LL.req_cli);
+              cycle_qp(LL.ack_cli);
+              for (int i = 0; i < kPutSlots; ++i) post_ack_slot(LL, i);
+              sim::Simulator& ts = tsim(t);
+              ts.SendTo(cfg.service_shard, ts.now() + hop, [&, t, s] {
+                PutLink& LS = plinks[static_cast<std::size_t>(t)]
+                                    [static_cast<std::size_t>(s)];
+                cycle_qp(LS.req_srv);
+                cycle_qp(LS.ack_srv);
+                for (int i = 0; i < kPutSlots; ++i) post_req_slot(LS, i);
+              });
+            });
+        continue;
+      }
       if (!(qp_unhealthy(L.req_cli) || qp_unhealthy(L.req_srv) ||
             qp_unhealthy(L.ack_srv) || qp_unhealthy(L.ack_cli))) {
         continue;
@@ -1015,20 +1109,162 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
     }
   };
 
-  // Per-tenant client-side recovery for shard `s`. `crash` forces a full
-  // transport re-arm (the server side was revived in ERROR even if the
-  // client QP never noticed); `clear_dead` restores routing to s now —
-  // a re-syncing shard defers that to finish_recovery.
-  auto heal_tenants = [&](const FaultEntry& e, int s, bool crash,
-                          bool clear_dead) {
-    for (int t = 0; t < cfg.tenants; ++t) {
-      if (!tenant_in_scope(e, t)) continue;
+  // Spread-tenant heal: the same recovery as the co-resident body below,
+  // split into a tenant-shard leg (client-side QP halves), a service-shard
+  // leg (server-side halves + offload program rebuilds), and a final
+  // tenant-shard leg that resumes sends only once the fresh server program
+  // is armed. Each leg rides the mailbox at the fabric one-way latency —
+  // a client really would learn of the heal over the wire. T.healing parks
+  // sends across the window so no trigger races the program swap.
+  auto heal_tenant_spread = [&](int s, bool crash, bool clear_dead, int t) {
+    sim.SendTo(place[static_cast<std::size_t>(t)], sim.now() + hop,
+               [&, s, crash, clear_dead, t] {
       Tenant& T = tenants[static_cast<std::size_t>(t)];
       offloads::HashGetHarness* h =
           H[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)].get();
       rnic::QueuePair* qp = h->client_qp();
       const bool errored = qp->state == rnic::QpState::kError;
-      if (!errored && !crash && !T.dead[static_cast<std::size_t>(s)]) {
+      const bool routed_off = T.dead[static_cast<std::size_t>(s)] != 0;
+      if (!clear_dead) {
+        // The shard is rejoining with a wiped store: close routing even
+        // for a tenant that never saw the failure first-hand (its op may
+        // have been parked on the watchdog the whole window), or a stale
+        // read slips out before anti-entropy drains. finish_recovery
+        // reopens the flag once the resync completes.
+        T.dead[static_cast<std::size_t>(s)] = 1;
+      }
+      if (!errored && !crash && !routed_off) return;
+      ++T.healing;
+      rnic::Cqe cqe;
+      while (tdev[static_cast<std::size_t>(t)]->PollCq(qp->send_cq, 1,
+                                                       &cqe) == 1) {
+        if (cqe.status != rnic::WcStatus::kSuccess) ++T.err_cqes;
+      }
+      const bool rearm = errored || crash;
+      const int arm_n = T.remaining + 8;
+      if (rearm) h->RearmTransportClientHalf();
+      if (clear_dead) T.dead[static_cast<std::size_t>(s)] = 0;
+      bool pc_err = false;
+      std::vector<std::pair<int, char>> detours;  // (column, client errored)
+      if (offloaded) {
+        auto& chain =
+            chains[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
+        if (qp->send_cq->hw_count() >= chain->wait_threshold()) {
+          chain->Rearm();
+        }
+        rnic::QueuePair* pc = probe_cli[static_cast<std::size_t>(t)]
+                                      [static_cast<std::size_t>(s)];
+        pc_err = pc->state == rnic::QpState::kError;
+        if (pc_err) cycle_qp(pc);
+        if (crash) {
+          for (int x = 0; x < cfg.shards; ++x) {
+            if (ring.SuccessorOf(x) != s) continue;
+            offloads::HashGetHarness* f =
+                F[static_cast<std::size_t>(t)][static_cast<std::size_t>(x)]
+                    .get();
+            const bool fc = f->client_qp()->state == rnic::QpState::kError;
+            if (fc) f->RearmTransportClientHalf();
+            detours.emplace_back(x, fc ? 1 : 0);
+          }
+        }
+      }
+      sim::Simulator& ts = tsim(t);
+      ts.SendTo(
+          cfg.service_shard, ts.now() + hop,
+          [&, s, t, rearm, arm_n, pc_err, detours = std::move(detours)] {
+        if (rearm) {
+          offloads::HashGetHarness* h =
+              H[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)]
+                  .get();
+          h->RearmTransportServerHalf(arm_n);
+          h->SetServerOwner(kShardPidBase + s);
+        }
+        bool cycle_pc = false;
+        // Detour columns the final tenant leg must finish: (column,
+        // client half still to cycle).
+        std::vector<std::pair<int, char>> fresh;
+        if (offloaded) {
+          rnic::QueuePair* ps = probe_srv[static_cast<std::size_t>(t)]
+                                        [static_cast<std::size_t>(s)];
+          if (pc_err || ps->state == rnic::QpState::kError) {
+            cycle_pc = !pc_err;  // only the server end tripped
+            cycle_qp(ps);
+            verbs::RecvWr rwr;
+            for (int i = 0; i < 64; ++i) verbs::PostRecv(ps, rwr);
+          }
+          for (const auto& [x, fc] : detours) {
+            offloads::HashGetHarness* f =
+                F[static_cast<std::size_t>(t)][static_cast<std::size_t>(x)]
+                    .get();
+            const bool fs = f->server_qp()->state == rnic::QpState::kError;
+            if (!fc && !fs) continue;
+            f->RearmTransportServerHalf(kDetourArms);
+            f->SetServerOwner(kShardPidBase + s);
+            fresh.emplace_back(x, fc ? 0 : 1);
+          }
+        }
+        sim.SendTo(place[static_cast<std::size_t>(t)], sim.now() + hop,
+                   [&, s, t, cycle_pc, fresh = std::move(fresh)] {
+          if (cycle_pc) {
+            cycle_qp(probe_cli[static_cast<std::size_t>(t)]
+                             [static_cast<std::size_t>(s)]);
+          }
+          for (const auto& [x, nc] : fresh) {
+            offloads::HashGetHarness* f =
+                F[static_cast<std::size_t>(t)][static_cast<std::size_t>(x)]
+                    .get();
+            if (nc) f->RearmTransportClientHalf();
+            f->PrepostResponseRecvs(kDetourArms + 4);
+            chains[static_cast<std::size_t>(t)][static_cast<std::size_t>(x)]
+                ->Rearm();
+          }
+          Tenant& T = tenants[static_cast<std::size_t>(t)];
+          --T.healing;
+          if (T.waiting && T.target == s) {
+            ++T.heal_resends;
+            send_fn(t);
+          } else if (!T.waiting && T.remaining > 0 && T.started) {
+            send_fn(t);
+          }
+        });
+      });
+    });
+  };
+
+  // Per-tenant client-side recovery for shard `s`. `crash` forces a full
+  // transport re-arm (the server side was revived in ERROR even if the
+  // client QP never noticed); `clear_dead` restores routing to s now,
+  // while a re-syncing shard instead CLOSES routing on sharded runs
+  // (dead[s] = 1 for every tenant in scope) and defers the reopen to
+  // finish_recovery — otherwise a tenant that never saw the outage
+  // (e.g. parked on the put watchdog the whole window on its own
+  // domain) could read the wiped store before anti-entropy drains.
+  auto heal_tenants = [&](const FaultEntry& e, int s, bool crash,
+                          bool clear_dead) {
+    for (int t = 0; t < cfg.tenants; ++t) {
+      if (!tenant_in_scope(e, t)) continue;
+      if (place[static_cast<std::size_t>(t)] != cfg.service_shard) {
+        heal_tenant_spread(s, crash, clear_dead, t);
+        continue;
+      }
+      Tenant& T = tenants[static_cast<std::size_t>(t)];
+      offloads::HashGetHarness* h =
+          H[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)].get();
+      rnic::QueuePair* qp = h->client_qp();
+      const bool errored = qp->state == rnic::QpState::kError;
+      const bool routed_off = T.dead[static_cast<std::size_t>(s)] != 0;
+      if (!clear_dead && cfg.sim_shards > 1) {
+        // Same stale-read guard as the spread leg: a re-syncing shard is
+        // unroutable until finish_recovery, no matter what this tenant
+        // observed during the outage. Gated to sharded runs — classic
+        // single-domain runs keep their recorded schedules bit for bit
+        // (there a put reaching the re-syncing shard dies on its ERROR
+        // QP and retries off the watchdog; only gets could read stale,
+        // and the goldens' tight co-resident interleavings mark the
+        // shard dead through first-hand probe/detour evidence first).
+        T.dead[static_cast<std::size_t>(s)] = 1;
+      }
+      if (!errored && !crash && !routed_off) {
         continue;
       }
       // Drain the failure CQEs nothing else polls (the WAIT chain
@@ -1084,7 +1320,7 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
         // The pending op died in the reset's flush — re-send it (its
         // latency keeps accruing from the original t_sent; send_fn
         // respects the dead flags, so a re-syncing s is avoided).
-        ++heal_reissues;
+        ++T.heal_resends;
         send_fn(t);
       } else if (!T.waiting && T.remaining > 0 && T.started) {
         // The tenant parked because both replicas looked dead.
@@ -1100,6 +1336,16 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
     dirty[static_cast<std::size_t>(s)] = 0;
     note_window(ei, down_at);
     for (int t = 0; t < cfg.tenants; ++t) {
+      if (place[static_cast<std::size_t>(t)] != cfg.service_shard) {
+        // The routing flag and resume belong to the tenant's domain.
+        sim.SendTo(place[static_cast<std::size_t>(t)], sim.now() + hop,
+                   [&, t, s] {
+          Tenant& T = tenants[static_cast<std::size_t>(t)];
+          T.dead[static_cast<std::size_t>(s)] = 0;
+          if (!T.waiting && T.remaining > 0 && T.started) send_fn(t);
+        });
+        continue;
+      }
       Tenant& T = tenants[static_cast<std::size_t>(t)];
       T.dead[static_cast<std::size_t>(s)] = 0;
       if (!T.waiting && T.remaining > 0 && T.started) send_fn(t);
@@ -1268,6 +1514,25 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
 
   ssim.RunUntil(cfg.horizon);
 
+  // Merge the shard-local tenant accounting into the run-wide totals
+  // (tenant order: deterministic, and order-independent anyway — sums,
+  // extrema, and an order-insensitive ledger).
+  for (int t = 0; t < cfg.tenants; ++t) {
+    Tenant& T = tenants[static_cast<std::size_t>(t)];
+    if (T.first_sent >= 0 && (first_sent < 0 || T.first_sent < first_sent)) {
+      first_sent = T.first_sent;
+    }
+    last_resp = std::max(last_resp, T.last_resp);
+    error_cqes += T.err_cqes;
+    stale_responses += T.stale;
+    heal_reissues += T.heal_resends;
+    probes_sent += T.probes;
+    put_retries += T.put_retry;
+    ryw_violations += T.ryw_viol;
+    acked_full += T.full_acks;
+    ledger.insert(ledger.end(), T.ledger.begin(), T.ledger.end());
+  }
+
   // --- results ---------------------------------------------------------------
   KvServiceResult out;
   out.keys_visible = eligible.size();
@@ -1375,7 +1640,7 @@ KvServiceResult RunKvService(const KvServiceConfig& cfg) {
   const sim::Nanos span = last_resp > first_sent ? last_resp - first_sent : 1;
   out.duration_us = sim::ToMicros(span);
   out.gets_per_sec = static_cast<double>(out.gets) / sim::ToSeconds(span);
-  const sim::TransportCounters& tcs = transport.counters();
+  const sim::TransportCounters tcs = transport.counters();
   out.data_packets = tcs.data_packets;
   out.retransmits = tcs.retransmits;
   out.rto_fires = tcs.rto_fires;

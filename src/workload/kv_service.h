@@ -111,14 +111,18 @@ struct KvServiceConfig {
   sim::Nanos horizon = sim::Seconds(30);
 
   // --- sharded parallel engine ----------------------------------------------
-  // The KV service rides the packetized transport, and transport flows are
-  // shard-local (docs/PARSIM.md): a flow's window/SACK state spans both
-  // endpoints, so every NIC and host actor here must share one event
-  // domain. sim_shards > 1 still runs the service on a ShardedSimulator —
-  // useful when it coexists with other actors — but the whole service is
-  // pinned to `service_shard`, and a placement map that scatters tenants
-  // across domains is rejected with an explanation rather than deadlocking
-  // or racing.
+  // sim_shards > 1 runs the service on a ShardedSimulator. The KV shards
+  // (and the transport's home) live on `service_shard`; `placement` pins
+  // each tenant's NIC and host loop to its own domain (empty = co-resident
+  // with the service — the classic single-domain path, bit-identical to
+  // the pre-sharding driver). A spread tenant's transport flows split into
+  // per-endpoint sender/receiver halves whose DATA/ACK packets ride the
+  // conservative mailbox sync, with per-flow RNG streams whose draw order
+  // depends only on each half's own packets (docs/NET.md "Split flows");
+  // heals
+  // and fault windows route each QP re-arm to the shard that owns it. Same
+  // (seed, placement) reruns are bit-stable; moving tenants between
+  // domains may reorder same-instant arrivals (docs/PARSIM.md).
   int sim_shards = 1;
   int service_shard = 0;
   std::vector<int> placement;  // per-tenant shard; empty = all service_shard

@@ -14,6 +14,7 @@
 #include "sim/transport.h"
 #include "verbs/verbs.h"
 #include "workload/experiments.h"
+#include "workload/kv_service.h"
 
 namespace redn::test {
 namespace {
@@ -305,14 +306,188 @@ TEST(ShardedDevice, ZeroLatencyCrossShardLinkRejectedAtAttach) {
   EXPECT_NO_THROW(c.AttachPort(0, fabric, {25.0, 0}));
 }
 
-TEST(ShardedDevice, CrossShardTransportRejected) {
+TEST(ShardedDevice, CrossShardTransportConnectsAndDelivers) {
+  // The lift this PR exists for: QPs on different shards connect over a
+  // packetized transport, the SEND's DATA/ACK packets ride the mailbox, and
+  // the per-flow counter snapshot sees exactly that flow's traffic.
   ShardedPair bed(2, 1);
   sim::Transport transport(bed.ssim.shard(0), *bed.fabric,
                            sim::TransportConfig{});
   rnic::QueuePair* c2 = ShardedPair::MakeQp(*bed.client);
   rnic::QueuePair* s2 = ShardedPair::MakeQp(*bed.server);
-  EXPECT_THROW(rnic::ConnectOverTransport(c2, s2, transport),
-               std::invalid_argument);
+  rnic::ConnectOverTransport(c2, s2, transport);  // no longer rejected
+  auto src = std::make_unique<std::byte[]>(256);
+  auto dst = std::make_unique<std::byte[]>(256);
+  auto smr = bed.client->pd().Register(src.get(), 256, rnic::kAccessAll);
+  auto dmr = bed.server->pd().Register(dst.get(), 256, rnic::kAccessAll);
+  rnic::dma::WriteU64(smr.addr, 0xfeedbee5u);
+  verbs::RecvWr rwr;
+  rwr.local_addr = dmr.addr;
+  rwr.length = 256;
+  rwr.lkey = dmr.lkey;
+  verbs::PostRecv(s2, rwr);
+  verbs::PostSendNow(c2, verbs::MakeSend(smr.addr, 256, smr.lkey));
+  bed.ssim.Run();
+  verbs::Cqe cqe;
+  ASSERT_EQ(verbs::PollCq(c2, c2->send_cq, 1, &cqe), 1);
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  ASSERT_EQ(verbs::PollCq(s2, s2->recv_cq, 1, &cqe), 1);
+  EXPECT_EQ(cqe.status, rnic::WcStatus::kSuccess);
+  EXPECT_EQ(cqe.byte_len, 256u);
+  EXPECT_EQ(rnic::dma::ReadU64(dmr.addr), 0xfeedbee5u);
+  EXPECT_GT(bed.ssim.cross_shard_sends(), 0u);
+  // Per-flow accounting: the client->server flow carried the data packet;
+  // the reverse flow carried none.
+  EXPECT_GT(transport.FlowCounters(c2->flow).data_packets, 0u);
+  EXPECT_EQ(transport.FlowCounters(s2->flow).data_packets, 0u);
+  EXPECT_EQ(transport.counters().payload_bytes_delivered, 256u);
+}
+
+// ---------------------------------------------------------------------------
+// Transport-level: split flows — sender half on shard 0, receiver half on
+// shard 1, every DATA/ACK/NAK/RNR packet a timestamped mailbox message.
+// ---------------------------------------------------------------------------
+
+// Same legible arithmetic as transport_test.cc: 8 Gbps = 1 ns/byte.
+sim::TransportConfig SplitConfig() {
+  sim::TransportConfig cfg;
+  cfg.mtu = 1000;
+  cfg.header_bytes = 30;
+  cfg.ack_bytes = 30;
+  cfg.ack_every = 4;
+  cfg.ack_delay = 2'000;
+  cfg.rto = 20'000;
+  return cfg;
+}
+
+// Raw protocol endpoints on two shards; the transport is homed on shard 0,
+// so the a->b flow runs the split sender/receiver-half protocol.
+struct SplitFlowBed {
+  explicit SplitFlowBed(int shards, const sim::TransportConfig& cfg)
+      : ssim(shards),
+        fabric(std::make_unique<sim::Fabric>(/*switch_latency=*/50)) {
+    a = fabric->Attach({8.0, 100}, "a", &ssim.shard(0));
+    b = fabric->Attach({8.0, 100}, "b",
+                       &ssim.shard(shards > 1 ? 1 : 0));
+    tr = std::make_unique<sim::Transport>(ssim.shard(0), *fabric, cfg);
+    flow = tr->OpenFlow(a, b);
+  }
+  ShardedSimulator ssim;
+  std::unique_ptr<sim::Fabric> fabric;
+  std::unique_ptr<sim::Transport> tr;
+  int a = 0;
+  int b = 0;
+  int flow = 0;
+};
+
+TEST(ShardedTransport, DataLegLossRecoversAcrossTheMailbox) {
+  // First packet of a 3-packet message force-dropped on the data leg: the
+  // receiver half NAKs back through the mailbox, go-back-N rewinds the full
+  // window where selective repeat resends exactly the hole.
+  auto run = [](sim::TransportMode mode) {
+    sim::TransportConfig cfg = SplitConfig();
+    cfg.mode = mode;
+    SplitFlowBed bed(2, cfg);
+    bed.tr->DropNextData(1);
+    std::vector<Nanos> delivered;
+    bed.tr->SendMessage(bed.flow, 0, 3000,
+                        [&](Nanos t) { delivered.push_back(t); });
+    bed.ssim.Run();
+    EXPECT_EQ(delivered.size(), 1u);
+    EXPECT_LT(delivered[0], cfg.rto);  // NAK recovery beat the RTO
+    EXPECT_EQ(bed.tr->counters().timeouts, 0u);
+    EXPECT_EQ(bed.tr->counters().dropped_tx, 1u);
+    EXPECT_GT(bed.ssim.cross_shard_sends(), 0u);
+    return bed.tr->counters();
+  };
+  const auto gbn = run(sim::TransportMode::kGoBackN);
+  EXPECT_EQ(gbn.nak_gobacks, 1u);
+  EXPECT_EQ(gbn.retransmits, 3u);
+  const auto sr = run(sim::TransportMode::kSelectiveRepeat);
+  EXPECT_EQ(sr.nak_gobacks, 0u);
+  EXPECT_EQ(sr.retransmits, 1u);
+  EXPECT_EQ(sr.sack_retransmits, 1u);
+}
+
+TEST(ShardedTransport, AckLegLossTimesOutAndDeliversOnce) {
+  // The boundary ACK evaporates on its way back across the mailbox: the
+  // sender half's RTO fires, the duplicate is discarded by the receiver
+  // half, and the message still delivers (and acks) exactly once.
+  SplitFlowBed bed(2, SplitConfig());
+  bed.tr->DropNextAcks(1);
+  int delivered = 0;
+  std::vector<Nanos> acked;
+  bed.tr->SendMessage(bed.flow, 0, 500, [&](Nanos) { ++delivered; },
+                      [&](Nanos t) { acked.push_back(t); });
+  bed.ssim.Run();
+  EXPECT_EQ(delivered, 1);
+  ASSERT_EQ(acked.size(), 1u);
+  EXPECT_GT(acked[0], SplitConfig().rto);
+  EXPECT_EQ(bed.tr->counters().timeouts, 1u);
+  EXPECT_EQ(bed.tr->counters().retransmits, 1u);
+  EXPECT_EQ(bed.tr->counters().duplicates, 1u);
+  EXPECT_EQ(bed.tr->counters().acks_dropped, 1u);
+  EXPECT_EQ(bed.tr->counters().messages_delivered, 1u);
+  EXPECT_EQ(bed.tr->counters().messages_acked, 1u);
+}
+
+TEST(ShardedTransport, RnrBackoffCrossesTheMailbox) {
+  // The receiver half (shard 1) runs the rnr_probe and mails the NAK back;
+  // the sender half (shard 0) owns the backoff timer. Two rejects cost two
+  // full backoff rounds before delivery.
+  sim::TransportConfig cfg = SplitConfig();
+  cfg.rnr_retry_count = 7;
+  cfg.min_rnr_timer = 1;
+  SplitFlowBed bed(2, cfg);
+  int rejects = 2;
+  std::vector<Nanos> delivered, acked;
+  sim::Transport::MessageOps ops;
+  ops.rnr_probe = [&](Nanos) { return rejects-- <= 0; };
+  ops.on_deliver = [&](Nanos t) { delivered.push_back(t); };
+  ops.on_acked = [&](Nanos t) { acked.push_back(t); };
+  bed.tr->SendMessageEx(bed.flow, 0, 500, std::move(ops));
+  bed.ssim.Run();
+  ASSERT_EQ(delivered.size(), 1u);
+  ASSERT_EQ(acked.size(), 1u);
+  EXPECT_GT(delivered[0], Nanos{8192 + 16384});  // waited out both rounds
+  EXPECT_EQ(bed.tr->counters().rnr_naks, 2u);
+  EXPECT_EQ(bed.tr->counters().rnr_backoffs, 2u);
+  EXPECT_EQ(bed.tr->counters().rnr_exhausted, 0u);
+  EXPECT_EQ(bed.tr->counters().messages_delivered, 1u);
+}
+
+TEST(ShardedTransport, RandomLossRecoversAndRepliesBitStably) {
+  // 40 messages through a 10%-lossy split flow, GBN and SR: every message
+  // recovers, and the per-flow RNG streams make the same-config rerun
+  // bit-identical counter for counter.
+  auto run = [](sim::TransportMode mode) {
+    sim::TransportConfig cfg = SplitConfig();
+    cfg.mode = mode;
+    cfg.loss = 0.1;
+    cfg.seed = 42;
+    SplitFlowBed bed(2, cfg);
+    int delivered = 0;
+    for (int i = 0; i < 40; ++i) {
+      bed.tr->SendMessage(bed.flow, 0, 2500, [&](Nanos) { ++delivered; });
+    }
+    bed.ssim.Run();
+    EXPECT_EQ(delivered, 40);
+    return bed.tr->counters();
+  };
+  const auto gbn = run(sim::TransportMode::kGoBackN);
+  EXPECT_GT(gbn.retransmits, 0u);
+  const auto gbn2 = run(sim::TransportMode::kGoBackN);
+  EXPECT_EQ(gbn.retransmits, gbn2.retransmits);
+  EXPECT_EQ(gbn.wire_bytes_sent, gbn2.wire_bytes_sent);
+  EXPECT_EQ(gbn.acks_sent, gbn2.acks_sent);
+  const auto sr = run(sim::TransportMode::kSelectiveRepeat);
+  EXPECT_GT(sr.sack_retransmits, 0u);
+  const auto sr2 = run(sim::TransportMode::kSelectiveRepeat);
+  EXPECT_EQ(sr.retransmits, sr2.retransmits);
+  EXPECT_EQ(sr.sack_retransmits, sr2.sack_retransmits);
+  EXPECT_EQ(sr.wire_bytes_sent, sr2.wire_bytes_sent);
+  // Selective repeat resends only holes; same seed, strictly fewer resends.
+  EXPECT_LT(sr.retransmits, gbn.retransmits);
 }
 
 // ---------------------------------------------------------------------------
@@ -356,9 +531,6 @@ TEST(ShardedWorkload, FabricScaleBitStableAcrossReruns) {
 
 TEST(ShardedWorkload, FabricScaleValidatesShardConfig) {
   auto cfg = SweepConfig(2);
-  cfg.packetized = true;
-  EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
-  cfg = SweepConfig(2);
   cfg.placement = {0};  // 4 clients need 4 entries
   EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
   cfg = SweepConfig(2);
@@ -367,6 +539,111 @@ TEST(ShardedWorkload, FabricScaleValidatesShardConfig) {
   cfg = SweepConfig(2);
   cfg.server_shard = 5;
   EXPECT_THROW(workload::RunFabricScale(cfg), std::invalid_argument);
+}
+
+TEST(ShardedWorkload, PacketizedLossySweepBitStableAcrossReruns) {
+  // The headline satellite: the packetized lossy workload runs sharded.
+  // For each shard count and both reliability engines, the same (seed,
+  // shards) config must reproduce every measured field bit for bit.
+  for (const bool sr : {false, true}) {
+    for (const int shards : {1, 2, 4}) {
+      auto cfg = SweepConfig(shards);
+      cfg.packetized = true;
+      cfg.loss = 0.02;
+      cfg.selective_repeat = sr;
+      const auto a = workload::RunFabricScale(cfg);
+      const auto b = workload::RunFabricScale(cfg);
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " sr=" + std::to_string(sr));
+      EXPECT_EQ(a.gets, 100u);  // every get answered despite loss
+      EXPECT_GT(a.retransmits, 0u);
+      EXPECT_EQ(a.shards, shards);
+      EXPECT_EQ(a.duration_us, b.duration_us);
+      EXPECT_EQ(a.avg_us, b.avg_us);
+      EXPECT_EQ(a.p99_us, b.p99_us);
+      EXPECT_EQ(a.retransmits, b.retransmits);
+      EXPECT_EQ(a.sack_retransmits, b.sack_retransmits);
+      EXPECT_EQ(a.packets_lost, b.packets_lost);
+      EXPECT_EQ(a.goodput_gbps, b.goodput_gbps);
+      EXPECT_EQ(a.events, b.events);
+      EXPECT_EQ(a.mailbox_sends, b.mailbox_sends);
+      EXPECT_EQ(a.sync_rounds, b.sync_rounds);
+      if (shards > 1) {
+        EXPECT_GT(a.mailbox_sends, 0u);
+      }
+    }
+  }
+}
+
+TEST(ShardedWorkload, KillAndReconnectSpansShards) {
+  // The blackhole window kills client 0's QP pair (retry budgets die), the
+  // re-arm routes each half's reset to its owning shard, and the client
+  // resumes — same fault plan as the single-domain kill-and-reconnect test,
+  // now with the server and half the clients on another shard.
+  workload::FabricScaleConfig cfg;
+  cfg.clients = 3;
+  cfg.gets_per_client = 30;
+  cfg.value_len = 8192;
+  cfg.keys = 64;
+  cfg.packetized = true;
+  cfg.loss = 0.01;
+  cfg.selective_repeat = true;
+  cfg.retry_count = 2;
+  cfg.rnr_retry_count = 4;
+  cfg.timeout_exp = 2;
+  cfg.shards = 2;
+  cfg.server_shard = 1;  // client 0 (the victim) is cross-shard
+  workload::FaultEntry fe;
+  fe.client = 0;
+  fe.kind = workload::FaultKind::kBlackhole;
+  fe.down_at = 50'000;
+  fe.up_at = 250'000;
+  cfg.faults.entries.push_back(fe);
+  const auto r1 = workload::RunFabricScale(cfg);
+  EXPECT_EQ(r1.gets, 90u);  // the dead window costs wall time, not gets
+  EXPECT_GT(r1.qp_errors, 0u);
+  EXPECT_GT(r1.qp_rearms, 0u);
+  EXPECT_GE(r1.flow_resets, 2u);  // both directions of client 0's pair
+  EXPECT_GT(r1.rto_fires, 0u);
+  EXPECT_GT(r1.mailbox_sends, 0u);
+  const auto r2 = workload::RunFabricScale(cfg);
+  EXPECT_EQ(r1.duration_us, r2.duration_us);
+  EXPECT_EQ(r1.avg_us, r2.avg_us);
+  EXPECT_EQ(r1.p99_us, r2.p99_us);
+  EXPECT_EQ(r1.retransmits, r2.retransmits);
+  EXPECT_EQ(r1.sack_retransmits, r2.sack_retransmits);
+  EXPECT_EQ(r1.rto_fires, r2.rto_fires);
+  EXPECT_EQ(r1.error_cqes, r2.error_cqes);
+  EXPECT_EQ(r1.qp_errors, r2.qp_errors);
+  EXPECT_EQ(r1.qp_rearms, r2.qp_rearms);
+  EXPECT_EQ(r1.flow_resets, r2.flow_resets);
+  EXPECT_EQ(r1.mailbox_sends, r2.mailbox_sends);
+}
+
+TEST(ShardedWorkload, KvServiceSpreadPlacementRunsAndValidates) {
+  // Spread tenants across domains: the run completes every get, reruns are
+  // bit-stable, and the placement validation still rejects bad shards.
+  workload::KvServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.tenants = 2;
+  cfg.gets_per_tenant = 20;
+  cfg.keys = 256;
+  cfg.value_len = 64;
+  cfg.sim_shards = 2;
+  cfg.placement = {0, 1};  // tenant 1 off the service shard
+  const auto a = workload::RunKvService(cfg);
+  EXPECT_EQ(a.gets, 40u);
+  EXPECT_EQ(a.unanswered, 0u);
+  EXPECT_EQ(a.sim_shards, 2);
+  const auto b = workload::RunKvService(cfg);
+  EXPECT_EQ(a.duration_us, b.duration_us);
+  EXPECT_EQ(a.avg_us, b.avg_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.data_packets, b.data_packets);
+  EXPECT_EQ(a.events, b.events);
+  auto bad = cfg;
+  bad.placement = {0, 5};  // shard 5 does not exist
+  EXPECT_THROW(workload::RunKvService(bad), std::invalid_argument);
 }
 
 }  // namespace

@@ -189,6 +189,36 @@ TEST(Transport, CorruptionCountsAndRecovers) {
   EXPECT_GT(tr.counters().retransmits, 0u);
 }
 
+TEST(Transport, FlowCountersIsolatePerFlow) {
+  // The per-flow snapshot carves the global totals by flow id, legacy path
+  // included: traffic on one flow must not bleed into another's counters.
+  sim::Simulator s;
+  sim::Fabric f;
+  const int a = f.Attach({8.0, 100});
+  const int b = f.Attach({8.0, 100});
+  const int c = f.Attach({8.0, 100});
+  Transport tr(s, f, LegibleConfig());
+  const int ab = tr.OpenFlow(a, b);
+  const int ac = tr.OpenFlow(a, c);
+  int delivered = 0;
+  tr.SendMessage(ab, 0, 2500, [&](Nanos) { ++delivered; });  // 3 packets
+  tr.SendMessage(ac, 0, 500, [&](Nanos) { ++delivered; });   // 1 packet
+  s.Run();
+  EXPECT_EQ(delivered, 2);
+  const auto fab = tr.FlowCounters(ab);
+  const auto fac = tr.FlowCounters(ac);
+  EXPECT_EQ(fab.data_packets, 3u);
+  EXPECT_EQ(fac.data_packets, 1u);
+  EXPECT_EQ(fab.payload_bytes_delivered, 2500u);
+  EXPECT_EQ(fac.payload_bytes_delivered, 500u);
+  EXPECT_EQ(fab.messages_delivered, 1u);
+  EXPECT_EQ(fab.retransmits, 0u);
+  // The per-flow pieces sum to the global snapshot.
+  EXPECT_EQ(fab.data_packets + fac.data_packets,
+            tr.counters().data_packets);
+  EXPECT_EQ(fab.acks_sent + fac.acks_sent, tr.counters().acks_sent);
+}
+
 TEST(Transport, SameSeedReplaysBitIdentically) {
   auto run = [](std::uint64_t seed) {
     sim::Simulator s;
